@@ -1,0 +1,76 @@
+"""Extension study: profitability false positives (paper Sec. V-A).
+
+Fig. 15's negative tail comes from cost-model inaccuracy: "cost models
+can be inaccurate as they estimate at the IR level the size of
+individual instructions when lowered to the target architecture.
+However, this is not a direct mapping and instruction scheduling,
+register allocation, as well as other optimizations, play a significant
+role."
+
+We reproduce the phenomenon directly: profitability decides with the
+default model, but final sizes are *measured* with a perturbed
+"as-lowered" model (loop control and array traffic priced higher, the
+straight-line ops slightly lower — the directions real lowering skews).
+Rollings that looked marginal at decision time land negative.
+
+Expected shape: a nonzero set of affected functions regress (the
+negative tail), while the mean reduction over affected functions stays
+clearly positive — exactly Fig. 15's shape.
+"""
+
+from conftest import save_and_print
+
+from repro.analysis import CodeSizeCostModel
+from repro.bench import run_angha_experiment
+from repro.bench.reporting import ascii_curve
+
+
+def lowered_model() -> CodeSizeCostModel:
+    """A plausible 'what the assembler actually did' size model."""
+    cm = CodeSizeCostModel()
+    cm.table["phi"] = 5        # parallel copies materialise worse
+    cm.table["br.cond"] = 4    # compare+jcc fusion not always possible
+    cm.table["load"] = 5       # frame addressing needs bigger modrm
+    cm.table["store"] = 5
+    cm.table["add"] = 2        # straight-line ALU ops pack tighter
+    cm.table["mul"] = 3
+    return cm
+
+
+def test_ext_profitability_false_positives(benchmark, results_dir):
+    exp = benchmark.pedantic(
+        lambda: run_angha_experiment(
+            count=200, seed=2022, measure_model=lowered_model()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    affected = exp.affected
+    negatives = [r for r in affected if r.reduction < 0]
+    text = "\n".join(
+        [
+            "=== Extension: profitability false positives (Sec. V-A) ===",
+            f"affected functions: {len(affected)}; "
+            f"regressions (false positives): {len(negatives)}",
+            f"mean reduction over affected: {exp.mean_reduction:.2f} % "
+            "(paper Fig. 15: mean 9.12 % with a visible negative tail)",
+            ascii_curve(
+                exp.curve,
+                label="reduction % under the as-lowered model (sorted)",
+            ),
+            "worst regressions: "
+            + ", ".join(
+                f"{r.name} ({r.reduction:.1f} %)"
+                for r in sorted(affected, key=lambda r: r.reduction)[:5]
+            ),
+        ]
+    )
+    save_and_print(results_dir, "ext_false_positives.txt", text)
+
+    # The negative tail exists ...
+    assert negatives, "perturbed measurement must expose false positives"
+    # ... is a minority ...
+    assert len(negatives) < len(affected) / 4
+    # ... and the aggregate win survives.
+    assert exp.mean_reduction > 0

@@ -1,0 +1,77 @@
+"""Extension: min/max reduction rolling (paper Fig. 20b future work).
+
+Section V-C lists min/max reductions (kernel s3113) among the cases
+"currently unsupported by both LLVM and RoLAG" and observes that since
+the conditional is lowered to a select instruction, "the single block
+solution should suffice for this example".  The MinMaxReductionNode
+extension implements exactly that: if-conversion produces the
+compare+select chain, the seed collector recognises it, and the chain
+rolls through an accumulator phi.
+
+Expected shape: with the extension enabled s3113-style kernels roll
+(to oracle size in loop-aware mode); with it disabled they stay
+straight-line, matching the paper's reported limitation.
+"""
+
+from conftest import save_and_print
+
+from repro.bench import format_table, run_tsvc_experiment
+from repro.rolag import RolagConfig
+
+#: Kernels containing (or reducing to) min/max select chains plus a few
+#: neighbours as controls.
+KERNELS = ["s3113", "s311", "vsumr", "vdotr", "s312", "s000"]
+
+
+def test_ext_minmax_reductions(benchmark, results_dir):
+    def both():
+        import dataclasses
+
+        enabled = run_tsvc_experiment(
+            kernels=KERNELS,
+            config=RolagConfig(fast_math=True, loop_aware=True),
+        )
+        disabled = run_tsvc_experiment(
+            kernels=KERNELS,
+            config=RolagConfig(
+                fast_math=True, loop_aware=True, enable_minmax=False
+            ),
+        )
+        return enabled, disabled
+
+    enabled, disabled = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    by_name_off = {r.name: r for r in disabled.results}
+    rows = [
+        (
+            r.name,
+            r.base_size,
+            f"{by_name_off[r.name].rolag_reduction:.1f}",
+            f"{r.rolag_reduction:.1f}",
+            f"{r.oracle_reduction:.1f}",
+        )
+        for r in enabled.results
+    ]
+    text = "\n".join(
+        [
+            "=== Extension: min/max reductions (paper Fig. 20b) ===",
+            format_table(
+                ["Kernel", "Base(B)", "RoLAG w/o minmax %",
+                 "RoLAG w/ minmax %", "Oracle %"],
+                rows,
+            ),
+            f"minmax nodes used: {dict(enabled.node_counts).get('minmax', 0)}",
+        ]
+    )
+    save_and_print(results_dir, "ext_minmax.txt", text)
+
+    on = {r.name: r for r in enabled.results}
+    off = by_name_off
+    # s3113 rolls only with the extension ...
+    assert on["s3113"].rolag_rolled == 1
+    assert off["s3113"].rolag_rolled == 0
+    # ... reaching the oracle in loop-aware mode.
+    assert on["s3113"].rolag_size == on["s3113"].oracle_size
+    # Controls are unaffected by the flag.
+    for name in ("s311", "vsumr", "s000"):
+        assert on[name].rolag_size == off[name].rolag_size

@@ -1,0 +1,121 @@
+"""Extension: profile-guided rolling (paper Sec. V-D / VII future work).
+
+Section V-D: "Ideally, the compiler would have profiling information
+when optimizing for performance, allowing it to disable RoLAG on hot
+basic blocks."  The reference interpreter produces block-execution
+profiles, and ``RolagConfig(profile=..., hot_block_threshold=...)``
+consumes them.
+
+Expected shape: unguided rolling shrinks both hot and cold code but
+inflates dynamic instructions; profile-guided rolling keeps most of
+the size win while staying at baseline speed.
+"""
+
+from conftest import save_and_print
+
+from repro.bench import format_table, measure_module
+from repro.frontend import compile_c
+from repro.ir import Machine
+from repro.rolag import RolagConfig, roll_loops_in_module
+
+#: A program with one hot inner block and many cold rollable helpers.
+SOURCE = """
+int state[16];
+int t1[8]; int t2[8]; int t3[8];
+
+void hot_kernel(int n) {
+  for (int iter = 0; iter < n; iter++) {
+    state[0] = iter; state[1] = iter; state[2] = iter; state[3] = iter;
+    state[4] = iter; state[5] = iter; state[6] = iter; state[7] = iter;
+  }
+}
+
+void cold_setup1(void) {
+  t1[0] = 1; t1[1] = 2; t1[2] = 3; t1[3] = 4;
+  t1[4] = 5; t1[5] = 6; t1[6] = 7; t1[7] = 8;
+}
+
+void cold_setup2(void) {
+  t2[0] = 10; t2[1] = 20; t2[2] = 30; t2[3] = 40;
+  t2[4] = 50; t2[5] = 60; t2[6] = 70; t2[7] = 80;
+}
+
+void cold_setup3(void) {
+  t3[0] = 7; t3[1] = 7; t3[2] = 7; t3[3] = 7;
+  t3[4] = 7; t3[5] = 7; t3[6] = 7; t3[7] = 7;
+}
+
+void run(void) {
+  cold_setup1();
+  cold_setup2();
+  cold_setup3();
+  hot_kernel(300);
+}
+"""
+
+
+def _steps(module):
+    machine = Machine(module, step_limit=50_000_000)
+    machine.call(module.get_function("run"), [])
+    return dict(machine.block_counts), machine.steps
+
+
+def test_ext_profile_guided_rolling(benchmark, results_dir):
+    def experiment():
+        baseline = compile_c(SOURCE)
+        profile, steps_base = _steps(baseline)
+        size_base = measure_module(baseline).text
+
+        unguided = compile_c(SOURCE)
+        rolled_unguided = roll_loops_in_module(unguided)
+        _, steps_unguided = _steps(unguided)
+        size_unguided = measure_module(unguided).text
+
+        guided = compile_c(SOURCE)
+        rolled_guided = roll_loops_in_module(
+            guided,
+            config=RolagConfig(profile=profile, hot_block_threshold=50),
+        )
+        _, steps_guided = _steps(guided)
+        size_guided = measure_module(guided).text
+
+        return {
+            "base": (size_base, steps_base, 0),
+            "unguided": (size_unguided, steps_unguided, rolled_unguided),
+            "guided": (size_guided, steps_guided, rolled_guided),
+        }
+
+    data = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        (name, size, steps, rolled,
+         f"{data['base'][1] / steps:.2f}")
+        for name, (size, steps, rolled) in data.items()
+    ]
+    text = "\n".join(
+        [
+            "=== Extension: profile-guided rolling (Sec. V-D) ===",
+            format_table(
+                ["Build", "Text(B)", "Dyn. instrs", "Rolled",
+                 "Perf vs base"],
+                rows,
+            ),
+        ]
+    )
+    save_and_print(results_dir, "ext_profile.txt", text)
+
+    size_base, steps_base, _ = data["base"]
+    size_unguided, steps_unguided, rolled_unguided = data["unguided"]
+    size_guided, steps_guided, rolled_guided = data["guided"]
+
+    # Unguided: smallest text, but pays at run time.
+    assert size_unguided < size_base
+    assert steps_unguided > steps_base
+    # Guided: skips only the hot block...
+    assert rolled_guided == rolled_unguided - 1
+    # ... keeps most of the size win ...
+    assert size_guided < size_base
+    # ... and stays at essentially baseline speed (the residual couple
+    # of percent is the rolled *cold* code running once).
+    assert steps_guided <= steps_base * 1.05
+    assert steps_guided < steps_unguided / 2

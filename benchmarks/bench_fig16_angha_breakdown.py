@@ -1,0 +1,36 @@
+"""Fig. 16: node-kind breakdown over profitable AnghaBench graphs.
+
+Paper: matching/identical nodes dominate; all special node kinds
+(sequences, neutral pointer ops, binop identities, recurrences,
+reductions, joints) contribute, and mismatching nodes appear in a small
+share of profitable graphs.
+"""
+
+from conftest import save_and_print
+
+from repro.bench import run_angha_experiment
+from repro.bench.reporting import histogram
+
+
+def test_fig16_node_breakdown(benchmark, results_dir):
+    exp = benchmark.pedantic(
+        lambda: run_angha_experiment(count=200, seed=2022),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n".join(
+        [
+            "=== Fig. 16: node kinds in profitable alignment graphs (Angha) ===",
+            histogram(dict(exp.node_counts)),
+        ]
+    )
+    save_and_print(results_dir, "fig16_angha_breakdown.txt", text)
+
+    counts = exp.node_counts
+    # Matching/identical dominate ...
+    assert counts["match"] >= max(
+        v for k, v in counts.items() if k not in ("match", "identical")
+    )
+    # ... and every special kind the corpus exercises shows up.
+    for kind in ("sequence", "ptr_seq", "recurrence", "reduction", "joint"):
+        assert counts.get(kind, 0) > 0, f"missing node kind {kind}"

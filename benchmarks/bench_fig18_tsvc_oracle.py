@@ -1,0 +1,42 @@
+"""Fig. 18: RoLAG versus the oracle across the whole TSVC suite.
+
+Paper: the oracle (the original rolled source) averages 55.5 % versus
+RoLAG's 23.4 % -- rerolling recovers a large part, but not all, of what
+unrolling cost.
+
+Expected shape here: oracle mean > RoLAG mean > 0 on every kernel where
+RoLAG fires, and RoLAG never beats the oracle by more than cost-model
+noise.
+"""
+
+from conftest import save_and_print
+
+from repro.bench import run_tsvc_experiment
+from repro.bench.reporting import ascii_curve
+
+
+def _render(exp) -> str:
+    rolag_curve = sorted((r.rolag_reduction for r in exp.results), reverse=True)
+    oracle_curve = sorted(
+        (r.oracle_reduction for r in exp.results), reverse=True
+    )
+    lines = ["=== Fig. 18: oracle vs RoLAG across TSVC ==="]
+    lines.append(
+        f"mean reduction: oracle {exp.mean('oracle_reduction'):.2f} %, "
+        f"RoLAG {exp.mean('rolag_reduction'):.2f} % "
+        "(paper: 55.5 % vs 23.4 %)"
+    )
+    lines.append(ascii_curve(oracle_curve, label="oracle reduction % (sorted)"))
+    lines.append(ascii_curve(rolag_curve, label="RoLAG reduction % (sorted)"))
+    return "\n".join(lines)
+
+
+def test_fig18_oracle_comparison(benchmark, results_dir):
+    exp = benchmark.pedantic(run_tsvc_experiment, rounds=1, iterations=1)
+    save_and_print(results_dir, "fig18_tsvc_oracle.txt", _render(exp))
+
+    assert exp.mean("oracle_reduction") > exp.mean("rolag_reduction") > 0
+    # Per kernel, RoLAG must not beat the oracle beyond noise: the
+    # rolled source is the ideal form.
+    for r in exp.results:
+        assert r.rolag_size >= r.oracle_size - 2, r.name

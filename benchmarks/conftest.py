@@ -1,0 +1,27 @@
+"""Shared fixtures for the exhibit benchmarks.
+
+Each benchmark regenerates one table/figure of the paper, printing the
+rows/series and writing them under ``results/`` so they can be compared
+against the paper without rerunning.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.abspath(RESULTS_DIR)
+
+
+def save_and_print(results_dir: str, filename: str, text: str) -> None:
+    path = os.path.join(results_dir, filename)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    print(f"[saved to {path}]")

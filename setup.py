@@ -1,0 +1,17 @@
+"""Package configuration (legacy style for offline editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "RoLAG: loop rolling for code size reduction (CGO 2022) - "
+        "full Python reproduction"
+    ),
+    license="Apache-2.0",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

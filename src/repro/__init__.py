@@ -1,0 +1,13 @@
+"""RoLAG reproduction: loop rolling for code size reduction (CGO 2022).
+
+Subpackages:
+
+* :mod:`repro.ir` -- the typed SSA intermediate representation;
+* :mod:`repro.analysis` -- dominators, alias, dependences, cost model;
+* :mod:`repro.transforms` -- cleanups, unrolling, the reroll baseline;
+* :mod:`repro.rolag` -- the loop rolling optimization itself;
+* :mod:`repro.frontend` -- the mini-C compiler;
+* :mod:`repro.bench` -- evaluation workloads and the experiment harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""Program analyses: dominators, alias, dependences, loops, cost model."""
+
+from .alias import AliasAnalysis, AliasResult, constant_offset, underlying_object
+from .costmodel import (
+    CodeSizeCostModel,
+    DEFAULT_SIZE_TABLE,
+    FUNCTION_OVERHEAD,
+)
+from .deps import DependenceGraph
+from .icache import CodeLayout, ICacheSim, simulate_icache
+from .domtree import DominatorTree, reverse_postorder
+from .loopinfo import CountedLoop, Loop, find_loops, match_counted_loop
+
+__all__ = [
+    "AliasAnalysis",
+    "AliasResult",
+    "CodeSizeCostModel",
+    "CountedLoop",
+    "DEFAULT_SIZE_TABLE",
+    "CodeLayout",
+    "DependenceGraph",
+    "ICacheSim",
+    "DominatorTree",
+    "FUNCTION_OVERHEAD",
+    "Loop",
+    "constant_offset",
+    "find_loops",
+    "match_counted_loop",
+    "reverse_postorder",
+    "simulate_icache",
+    "underlying_object",
+]

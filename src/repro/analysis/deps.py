@@ -1,0 +1,142 @@
+"""Block-level dependence graph.
+
+The scheduling analysis of RoLAG (paper Section IV-D) must prove that
+reordering a basic block into pre-loop / loop-iterations / post-loop
+order preserves semantics.  That holds iff every dependence edge of the
+original block still points forward in the new order.  This module
+computes those edges: SSA def-use edges plus memory/side-effect
+ordering edges refined by alias analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir.instructions import Call, Instruction, Load, Store
+from ..ir.module import BasicBlock
+from ..ir.types import DataLayout, DEFAULT_LAYOUT
+from .alias import AliasAnalysis, AliasResult
+
+
+def _access_kind(inst: Instruction) -> Tuple[bool, bool]:
+    """(reads, writes) memory classification for ordering purposes."""
+    if isinstance(inst, Load):
+        return True, False
+    if isinstance(inst, Store):
+        return False, True
+    if isinstance(inst, Call):
+        if inst.is_readnone():
+            return False, False
+        if inst.is_readonly():
+            return True, False
+        return True, True
+    return False, False
+
+
+class DependenceGraph:
+    """Pairwise must-precede relation over one basic block.
+
+    ``edges[j]`` holds the set of earlier indices i such that the
+    instruction at i must execute before the instruction at j.
+    """
+
+    def __init__(
+        self,
+        block: BasicBlock,
+        aa: AliasAnalysis,
+        layout: DataLayout = DEFAULT_LAYOUT,
+    ) -> None:
+        self.block = block
+        self.instructions: List[Instruction] = list(block.instructions)
+        self.index: Dict[int, int] = {
+            id(inst): i for i, inst in enumerate(self.instructions)
+        }
+        self.edges: List[Set[int]] = [set() for _ in self.instructions]
+        self._build(aa, layout)
+
+    def _build(self, aa: AliasAnalysis, layout: DataLayout) -> None:
+        insts = self.instructions
+
+        # SSA def-use edges within the block.
+        for j, inst in enumerate(insts):
+            for op in inst.operands:
+                i = self.index.get(id(op))
+                if i is not None and i < j:
+                    self.edges[j].add(i)
+
+        # Memory ordering edges.
+        mem_ops = [
+            (i, inst) for i, inst in enumerate(insts) if any(_access_kind(inst))
+        ]
+        for a_pos in range(len(mem_ops)):
+            i, inst_i = mem_ops[a_pos]
+            reads_i, writes_i = _access_kind(inst_i)
+            for b_pos in range(a_pos + 1, len(mem_ops)):
+                j, inst_j = mem_ops[b_pos]
+                reads_j, writes_j = _access_kind(inst_j)
+                if not (writes_i or writes_j):
+                    continue  # read-read never conflicts
+                if self._may_conflict(inst_i, inst_j, aa, layout):
+                    self.edges[j].add(i)
+
+    @staticmethod
+    def _may_conflict(
+        a: Instruction,
+        b: Instruction,
+        aa: AliasAnalysis,
+        layout: DataLayout,
+    ) -> bool:
+        loc_a = DependenceGraph._location(a, layout)
+        loc_b = DependenceGraph._location(b, layout)
+        if loc_a is None or loc_b is None:
+            # A call with unknown effects conflicts with everything,
+            # except pairs already filtered (read-read).
+            return True
+        (ptr_a, size_a), (ptr_b, size_b) = loc_a, loc_b
+        return aa.alias(ptr_a, size_a, ptr_b, size_b) is not AliasResult.NO
+
+    @staticmethod
+    def _location(inst: Instruction, layout: DataLayout):
+        if isinstance(inst, Load):
+            return inst.pointer, layout.size_of(inst.type)
+        if isinstance(inst, Store):
+            return inst.pointer, layout.size_of(inst.value.type)
+        return None  # call: unknown location
+
+    def must_precede(self, a: Instruction, b: Instruction) -> bool:
+        """Direct dependence edge a -> b (not transitive)."""
+        i = self.index[id(a)]
+        j = self.index[id(b)]
+        if i > j:
+            i, j = j, i
+        return i in self.edges[j]
+
+    def respects(self, new_order: List[Instruction]) -> bool:
+        """Whether ``new_order`` preserves every dependence edge."""
+        position = {id(inst): p for p, inst in enumerate(new_order)}
+        for j, preds in enumerate(self.edges):
+            pj = position.get(id(self.instructions[j]))
+            if pj is None:
+                continue
+            for i in preds:
+                pi = position.get(id(self.instructions[i]))
+                if pi is not None and pi >= pj:
+                    return False
+        return True
+
+    def predecessors_of(self, inst: Instruction) -> List[Instruction]:
+        """Instructions with a direct edge into ``inst``."""
+        j = self.index[id(inst)]
+        return [self.instructions[i] for i in sorted(self.edges[j])]
+
+    def transitive_predecessors(self, roots: List[Instruction]) -> Set[int]:
+        """Indices of all instructions the roots transitively depend on."""
+        result: Set[int] = set()
+        work = [self.index[id(r)] for r in roots if id(r) in self.index]
+        while work:
+            j = work.pop()
+            for i in self.edges[j]:
+                if i not in result:
+                    result.add(i)
+                    work.append(i)
+        return result

@@ -1,0 +1,139 @@
+"""Instruction-cache simulation (paper Section VII future work).
+
+The paper closes with "we also plan to investigate [...] its impact on
+the instruction cache."  This module provides the substrate: static
+code is laid out at byte addresses using the code-size cost model
+(functions packed back to back, instructions at their cumulative
+offsets), and a set-associative i-cache with LRU replacement is driven
+by the reference interpreter's dynamic instruction stream.
+
+Smaller code ⇒ smaller footprint ⇒ fewer capacity misses: the
+`bench_ext_icache` benchmark quantifies exactly that for rolled versus
+straight-line code.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from .costmodel import CodeSizeCostModel, FUNCTION_OVERHEAD
+
+
+@dataclass
+class CodeLayout:
+    """Byte addresses for every instruction of a module."""
+
+    addresses: Dict[int, int]
+    function_ranges: Dict[str, tuple]
+    total_bytes: int
+
+    @classmethod
+    def assign(
+        cls, module: Module, cost_model: Optional[CodeSizeCostModel] = None
+    ) -> "CodeLayout":
+        """Pack every defined function and record instruction addresses."""
+        cm = cost_model or CodeSizeCostModel()
+        addresses: Dict[int, int] = {}
+        ranges: Dict[str, tuple] = {}
+        cursor = 0
+        for fn in module.functions:
+            if fn.is_declaration:
+                continue
+            start = cursor
+            cursor += FUNCTION_OVERHEAD
+            for block in fn.blocks:
+                for inst in block.instructions:
+                    addresses[id(inst)] = cursor
+                    cursor += cm.instruction_cost(inst)
+            ranges[fn.name] = (start, cursor)
+        return cls(addresses, ranges, cursor)
+
+
+class ICacheSim:
+    """A set-associative instruction cache with LRU replacement."""
+
+    def __init__(
+        self,
+        layout: CodeLayout,
+        size_bytes: int = 1024,
+        line_bytes: int = 16,
+        associativity: int = 2,
+    ) -> None:
+        if size_bytes % (line_bytes * associativity) != 0:
+            raise ValueError("cache geometry does not divide evenly")
+        self.layout = layout
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = size_bytes // (line_bytes * associativity)
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access_address(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = address // self.line_bytes
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[tag] = True
+        if len(ways) > self.associativity:
+            ways.popitem(last=False)
+        return False
+
+    def hook(self, inst: Instruction) -> None:
+        """Interpreter instruction hook: fetch the instruction's line."""
+        address = self.layout.addresses.get(id(inst))
+        if address is not None:
+            self.access_address(address)
+
+    @property
+    def accesses(self) -> int:
+        """Total fetches observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """misses / accesses (0.0 when idle)."""
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        """Clear contents and counters."""
+        self.hits = 0
+        self.misses = 0
+        for ways in self._sets:
+            ways.clear()
+
+
+def simulate_icache(
+    module: Module,
+    entry: str,
+    args=(),
+    size_bytes: int = 1024,
+    line_bytes: int = 16,
+    associativity: int = 2,
+    machine_setup=None,
+) -> ICacheSim:
+    """Lay out ``module``, run ``entry``, and return the driven cache."""
+    from ..ir.interp import Machine
+
+    layout = CodeLayout.assign(module)
+    cache = ICacheSim(layout, size_bytes, line_bytes, associativity)
+    machine = Machine(module, step_limit=50_000_000)
+    machine.instruction_hook = cache.hook
+    if machine_setup is not None:
+        machine_setup(machine)
+    machine.call(module.get_function(entry), list(args))
+    return cache

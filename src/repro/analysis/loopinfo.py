@@ -1,0 +1,209 @@
+"""Natural-loop detection and counted-loop pattern matching.
+
+Used by the unroller (to find loops to unroll for the TSVC experiment)
+and by the LLVM-style reroll baseline (which only looks at single-block
+loops with a basic induction variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..ir.instructions import BinaryOp, Br, ICmp, Phi
+from ..ir.module import BasicBlock, Function
+from ..ir.values import ConstantInt, Value
+from .domtree import DominatorTree
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the blocks of its body."""
+
+    header: BasicBlock
+    blocks: List[BasicBlock]
+    latches: List[BasicBlock]
+
+    @property
+    def is_single_block(self) -> bool:
+        """Whether header and latch are the same block."""
+        return len(self.blocks) == 1
+
+    def __contains__(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+
+def find_loops(fn: Function) -> List[Loop]:
+    """All natural loops in ``fn`` (innermost loops included separately)."""
+    domtree = DominatorTree(fn)
+    headers = {}
+    for block in domtree.order:
+        for succ in block.successors():
+            if domtree.dominates_block(succ, block):
+                headers.setdefault(id(succ), (succ, []))[1].append(block)
+
+    loops = []
+    for _, (header, latches) in headers.items():
+        body: Set[int] = {id(header)}
+        blocks = [header]
+        work = [l for l in latches]
+        while work:
+            block = work.pop()
+            if id(block) in body:
+                continue
+            body.add(id(block))
+            blocks.append(block)
+            for pred in block.predecessors():
+                if id(pred) not in body and domtree.is_reachable(pred):
+                    work.append(pred)
+        loops.append(Loop(header, blocks, latches))
+    return loops
+
+
+@dataclass
+class CountedLoop:
+    """A single-block loop of the canonical rolled shape.
+
+    ::
+
+        loop:
+          %iv = phi [ %start, %pre ], [ %iv.next, %loop ]
+          ...body...
+          %iv.next = add %iv, <step>
+          %cond = icmp <pred> %iv.next, <bound>
+          br %cond, loop, exit   (or exit, loop)
+    """
+
+    loop: Loop
+    preheader: BasicBlock
+    exit: BasicBlock
+    iv: Phi
+    start: Value
+    step: int
+    iv_next: BinaryOp
+    cmp: ICmp
+    bound: Value
+    exit_on_true: bool
+
+    @property
+    def block(self) -> BasicBlock:
+        """The loop's single block."""
+        return self.loop.header
+
+    def trip_count(self) -> Optional[int]:
+        """Static trip count, when start/step/bound are all constants."""
+        if not isinstance(self.start, ConstantInt):
+            return None
+        if not isinstance(self.bound, ConstantInt):
+            return None
+        start, bound, step = self.start.value, self.bound.value, self.step
+        pred = self.cmp.predicate
+        if self.exit_on_true:
+            # Loop continues while cond is false; only `eq` is common.
+            if pred == "eq":
+                if step == 0 or (bound - start) % step != 0:
+                    return None
+                count = (bound - start) // step
+                return count if count > 0 else None
+            return None
+        if pred in ("slt", "ult"):
+            if step <= 0:
+                return None
+            count = max(0, -(-(bound - start) // step))
+            return count if count > 0 else None
+        if pred in ("sle", "ule"):
+            if step <= 0:
+                return None
+            count = max(0, -(-(bound - start + 1) // step))
+            return count if count > 0 else None
+        if pred in ("sgt", "ugt"):
+            if step >= 0:
+                return None
+            count = max(0, -(-(start - bound) // -step))
+            return count if count > 0 else None
+        if pred in ("sge", "uge"):
+            if step >= 0:
+                return None
+            count = max(0, -(-(start - bound + 1) // -step))
+            return count if count > 0 else None
+        if pred == "ne":
+            if step == 0 or (bound - start) % step != 0:
+                return None
+            count = (bound - start) // step
+            return count if count > 0 else None
+        return None
+
+
+def match_counted_loop(loop: Loop) -> Optional[CountedLoop]:
+    """Match a single-block loop against the canonical counted shape."""
+    if not loop.is_single_block:
+        return None
+    block = loop.header
+    term = block.terminator
+    if not isinstance(term, Br) or not term.is_conditional:
+        return None
+    succs = term.successors()
+    if block in succs:
+        exit_block = succs[1] if succs[0] is block else succs[0]
+        exit_on_true = succs[1] is block
+    else:
+        return None
+
+    preds = [p for p in block.predecessors() if p is not block]
+    if len(preds) != 1:
+        return None
+    preheader = preds[0]
+
+    cond = term.condition
+    if not isinstance(cond, ICmp) or cond.parent is not block:
+        return None
+
+    # Find the induction phi: phi whose latch value is `add phi, const`.
+    for phi in block.phis():
+        if len(phi.incoming) != 2:
+            continue
+        latch_value = phi.incoming_for(block)
+        start = phi.incoming_for(preheader)
+        if latch_value is None or start is None:
+            continue
+        if not isinstance(latch_value, BinaryOp):
+            continue
+        if latch_value.opcode not in ("add", "sub"):
+            continue
+        lhs, rhs = latch_value.operands
+        if lhs is phi and isinstance(rhs, ConstantInt):
+            step = rhs.value
+        elif rhs is phi and isinstance(lhs, ConstantInt) and latch_value.opcode == "add":
+            step = lhs.value
+        else:
+            continue
+        if latch_value.opcode == "sub":
+            step = -step
+        # The compare must involve iv or iv.next against a loop-invariant bound.
+        cmp_lhs, cmp_rhs = cond.operands
+        for candidate, bound in ((cmp_lhs, cmp_rhs), (cmp_rhs, cmp_lhs)):
+            if candidate is latch_value or candidate is phi:
+                if isinstance(bound, ConstantInt) or _is_invariant(bound, block):
+                    if candidate is phi:
+                        # Normalise: model compares on iv as compares on
+                        # iv.next with an adjusted bound only for constants.
+                        continue
+                    return CountedLoop(
+                        loop=loop,
+                        preheader=preheader,
+                        exit=exit_block,
+                        iv=phi,
+                        start=start,
+                        step=step,
+                        iv_next=latch_value,
+                        cmp=cond,
+                        bound=bound,
+                        exit_on_true=exit_on_true,
+                    )
+    return None
+
+
+def _is_invariant(value: Value, block: BasicBlock) -> bool:
+    from ..ir.instructions import Instruction
+
+    return not (isinstance(value, Instruction) and value.parent is block)

@@ -1,0 +1,304 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each ``run_*`` function regenerates the data behind an exhibit of the
+paper's evaluation section and returns plain dataclasses the reporting
+module (and the pytest-benchmark suite) renders.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..analysis.costmodel import CodeSizeCostModel
+from ..ir.interp import Machine
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..rolag import RolagConfig, RolagStats, roll_loops_in_module
+from ..transforms.reroll import reroll_loops
+from . import angha, programs, tsvc
+from .objsize import function_size, measure_module, reduction_percent
+
+
+# --------------------------------------------------------------------------
+# Fig. 15 / Fig. 16 -- AnghaBench
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class AnghaFunctionResult:
+    """Per-function outcome of the corpus experiment."""
+    name: str
+    family: str
+    size_before: int
+    size_after: int
+    rolag_rolled: int
+    llvm_rolled: int
+
+    @property
+    def reduction(self) -> float:
+        """Relative size reduction in percent."""
+        return reduction_percent(self.size_before, self.size_after)
+
+    @property
+    def affected(self) -> bool:
+        """Whether either technique changed the function."""
+        return self.rolag_rolled > 0 or self.llvm_rolled > 0
+
+
+@dataclass
+class AnghaExperiment:
+    """Aggregated Fig. 15/16 results."""
+    results: List[AnghaFunctionResult]
+    node_counts: Counter
+
+    @property
+    def affected(self) -> List[AnghaFunctionResult]:
+        """The functions either technique changed."""
+        return [r for r in self.results if r.affected]
+
+    @property
+    def curve(self) -> List[float]:
+        """Per-affected-function reduction %, descending (Fig. 15)."""
+        return sorted((r.reduction for r in self.affected), reverse=True)
+
+    @property
+    def mean_reduction(self) -> float:
+        """Mean reduction over affected functions (percent)."""
+        curve = self.curve
+        return statistics.mean(curve) if curve else 0.0
+
+    @property
+    def rolag_triggered(self) -> int:
+        """Functions RoLAG rolled at least one loop in."""
+        return sum(1 for r in self.results if r.rolag_rolled)
+
+    @property
+    def llvm_triggered(self) -> int:
+        """Functions the reroll baseline changed."""
+        return sum(1 for r in self.results if r.llvm_rolled)
+
+
+def run_angha_experiment(
+    count: int = 200,
+    seed: int = 2022,
+    config: Optional[RolagConfig] = None,
+    measure_model: Optional[CodeSizeCostModel] = None,
+) -> AnghaExperiment:
+    """Fig. 15/16: per-function reductions over the synthetic corpus.
+
+    ``measure_model`` measures the final sizes with a *different* cost
+    model than the one profitability consulted, reproducing the paper's
+    Section V-A observation that "cost models can be inaccurate":
+    decisions that looked like wins at the IR level can come out
+    negative in the measured binary.
+    """
+    corpus = angha.generate_corpus(count=count, seed=seed)
+    stats = RolagStats()
+    results: List[AnghaFunctionResult] = []
+    for cf in corpus:
+        fn = cf.module.get_function(cf.name)
+        before = function_size(fn, measure_model)
+        llvm_rolled = sum(
+            reroll_loops(f) for f in cf.module.functions if not f.is_declaration
+        )
+        rolled = roll_loops_in_module(cf.module, config=config, stats=stats)
+        verify_module(cf.module)
+        after = function_size(fn, measure_model)
+        results.append(
+            AnghaFunctionResult(
+                cf.name, cf.family, before, after, rolled, llvm_rolled
+            )
+        )
+    return AnghaExperiment(results, Counter(stats.node_counts))
+
+
+# --------------------------------------------------------------------------
+# Table I -- full programs
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ProgramResult:
+    """One Table I row as measured."""
+    suite: str
+    name: str
+    size_before: int
+    size_after: int
+    rolled_loops: int
+    llvm_rerolled: int
+
+    @property
+    def reduction_bytes(self) -> int:
+        """Absolute bytes saved."""
+        return self.size_before - self.size_after
+
+    @property
+    def reduction_percent(self) -> float:
+        """Relative reduction in percent."""
+        return reduction_percent(self.size_before, self.size_after)
+
+
+def run_programs_experiment(
+    scale: float = 1.0,
+    config: Optional[RolagConfig] = None,
+) -> List[ProgramResult]:
+    """Table I: per-program sizes, reductions and rolled-loop counts."""
+    rows: List[ProgramResult] = []
+    for spec in programs.PROGRAMS:
+        module = programs.build_program(spec, scale)
+        before = measure_module(module)
+        llvm = sum(
+            reroll_loops(f) for f in module.functions if not f.is_declaration
+        )
+        rolled = roll_loops_in_module(module, config=config)
+        verify_module(module)
+        after = measure_module(module)
+        rows.append(
+            ProgramResult(
+                spec.suite,
+                spec.name,
+                before.total,
+                after.total,
+                rolled,
+                llvm,
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Fig. 17 / Fig. 18 / Fig. 19 / Sec. V-D -- TSVC
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TsvcKernelResult:
+    """Per-kernel sizes/counts for the TSVC experiments."""
+    name: str
+    base_size: int
+    llvm_size: int
+    rolag_size: int
+    oracle_size: int
+    llvm_rolled: int
+    rolag_rolled: int
+    steps_base: int = 0
+    steps_rolag: int = 0
+
+    @property
+    def llvm_reduction(self) -> float:
+        """Baseline reduction vs the unrolled kernel (percent)."""
+        return reduction_percent(self.base_size, self.llvm_size)
+
+    @property
+    def rolag_reduction(self) -> float:
+        """RoLAG reduction vs the unrolled kernel (percent)."""
+        return reduction_percent(self.base_size, self.rolag_size)
+
+    @property
+    def oracle_reduction(self) -> float:
+        """Rolled-source reduction vs the unrolled kernel (percent)."""
+        return reduction_percent(self.base_size, self.oracle_size)
+
+    @property
+    def performance_ratio(self) -> float:
+        """base steps / rolag steps; < 1 means the rolled code is slower."""
+        if self.steps_rolag == 0:
+            return 1.0
+        return self.steps_base / self.steps_rolag
+
+
+@dataclass
+class TsvcExperiment:
+    """Aggregated Fig. 17/18/19 results."""
+    results: List[TsvcKernelResult]
+    node_counts: Counter
+
+    def mean(self, attr: str) -> float:
+        """Average of a reduction attribute across ALL kernels."""
+        return statistics.mean(getattr(r, attr) for r in self.results)
+
+    @property
+    def llvm_kernels(self) -> int:
+        """Kernels the baseline rerolled."""
+        return sum(1 for r in self.results if r.llvm_rolled)
+
+    @property
+    def rolag_kernels(self) -> int:
+        """Kernels RoLAG profitably rolled."""
+        return sum(1 for r in self.results if r.rolag_rolled)
+
+
+def _run_kernel_dynamic(module: Module, name: str) -> int:
+    machine = Machine(module)
+    tsvc.init_machine(machine)
+    machine.call(module.get_function(name), [])
+    return machine.steps
+
+
+def run_tsvc_experiment(
+    factor: int = 8,
+    config: Optional[RolagConfig] = None,
+    measure_dynamic: bool = False,
+    kernels: Optional[List[str]] = None,
+) -> TsvcExperiment:
+    """Fig. 17/18 (and V-D with ``measure_dynamic``): the TSVC study."""
+    config = config or RolagConfig(fast_math=True)
+    stats = RolagStats()
+    results: List[TsvcKernelResult] = []
+    for name in kernels or tsvc.kernel_names():
+        base_module = tsvc.build_unrolled_kernel(name, factor)
+        base_size = function_size(base_module.get_function(name))
+
+        llvm_module = tsvc.build_unrolled_kernel(name, factor)
+        llvm_rolled = sum(
+            reroll_loops(f)
+            for f in llvm_module.functions
+            if not f.is_declaration
+        )
+        verify_module(llvm_module)
+        llvm_size = function_size(llvm_module.get_function(name))
+
+        rolag_module = tsvc.build_unrolled_kernel(name, factor)
+        rolag_rolled = roll_loops_in_module(
+            rolag_module, config=config, stats=stats
+        )
+        verify_module(rolag_module)
+        rolag_size = function_size(rolag_module.get_function(name))
+
+        oracle_module = tsvc.build_kernel(name)
+        oracle_size = function_size(oracle_module.get_function(name))
+
+        steps_base = steps_rolag = 0
+        if measure_dynamic:
+            steps_base = _run_kernel_dynamic(base_module, name)
+            steps_rolag = _run_kernel_dynamic(rolag_module, name)
+
+        results.append(
+            TsvcKernelResult(
+                name,
+                base_size,
+                llvm_size,
+                rolag_size,
+                oracle_size,
+                llvm_rolled,
+                rolag_rolled,
+                steps_base,
+                steps_rolag,
+            )
+        )
+    return TsvcExperiment(results, Counter(stats.node_counts))
+
+
+def run_tsvc_ablation(factor: int = 8) -> Tuple[int, int]:
+    """Fig. 19's headline: profitable rolls with/without special nodes.
+
+    Returns (rolls with all nodes, rolls with special nodes disabled).
+    """
+    full = run_tsvc_experiment(factor)
+    disabled = run_tsvc_experiment(
+        factor, config=RolagConfig(fast_math=True).all_special_disabled()
+    )
+    return full.rolag_kernels, disabled.rolag_kernels

@@ -1,0 +1,120 @@
+"""Synthetic MiBench / SPEC 2017 programs (paper Table I).
+
+The paper compiles 21 full programs with -Os and reports per-program
+binary size, absolute/relative reduction, and the number of rolled
+loops.  We cannot ship those suites; instead each row of Table I is
+modelled as a multi-function module whose *size* (relative to the other
+programs) and *density of rollable patterns* (relative to the paper's
+reported reduction) match the original.  What the experiment then
+measures -- how often RoLAG fires, how big full-program reductions are,
+and that the reroll baseline never triggers -- is produced by the real
+passes running over real IR.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..frontend import compile_c
+from ..ir.module import Module
+from . import angha
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """One Table I row: identity plus generation parameters."""
+
+    suite: str
+    name: str
+    #: Paper-reported binary KB (drives the generated function count).
+    paper_kb: float
+    #: Fraction of functions drawn from rollable pattern families.
+    density: float
+    seed: int
+
+
+#: Table I programs.  Densities shadow the paper's reduction column:
+#: povray/blender/tiff* saw the largest relative wins, typeset/sha/xz
+#: barely any.
+PROGRAMS: List[ProgramSpec] = [
+    ProgramSpec("MiBench", "typeset", 534.4, 0.010, 101),
+    ProgramSpec("MiBench", "sha", 3.3, 0.020, 102),
+    ProgramSpec("MiBench", "pgp", 179.2, 0.012, 103),
+    ProgramSpec("MiBench", "gsm", 48.6, 0.020, 104),
+    ProgramSpec("MiBench", "jpeg_d", 116.7, 0.025, 105),
+    ProgramSpec("MiBench", "jpeg_c", 121.1, 0.028, 106),
+    ProgramSpec("MiBench", "ghostscript", 908.8, 0.020, 107),
+    ProgramSpec("MiBench", "tiff2bw", 240.1, 0.085, 108),
+    ProgramSpec("MiBench", "tiff2dither", 239.5, 0.090, 109),
+    ProgramSpec("MiBench", "tiff2median", 239.6, 0.090, 110),
+    ProgramSpec("MiBench", "tiff2rgba", 243.8, 0.095, 111),
+    ProgramSpec("SPEC'17", "657.xz_s", 158.2, 0.010, 201),
+    ProgramSpec("SPEC'17", "620.omnetpp_s", 1512.2, 0.012, 202),
+    ProgramSpec("SPEC'17", "605.mcf_s", 17.8, 0.015, 203),
+    ProgramSpec("SPEC'17", "644.nab_s", 149.9, 0.018, 204),
+    ProgramSpec("SPEC'17", "631.deepsjeng_s", 68.8, 0.025, 205),
+    ProgramSpec("SPEC'17", "619.lbm_s", 15.4, 0.060, 206),
+    ProgramSpec("SPEC'17", "625.x264_s", 392.2, 0.025, 207),
+    ProgramSpec("SPEC'17", "638.imagick_s", 1574.9, 0.025, 208),
+    ProgramSpec("SPEC'17", "511.povray_r", 790.8, 0.160, 209),
+    ProgramSpec("SPEC'17", "526.blender_r", 8508.5, 0.070, 210),
+]
+
+#: Rollable pattern families (subset of the angha generators).
+_ROLLABLE = [
+    "field_copy", "call_sequence", "chained_calls", "dot_product",
+    "array_init", "alternating", "elementwise", "padded",
+    "memset_bytes", "struct_init", "checksum",
+]
+_FILLER = ["irregular", "tiny"]
+
+
+def _gen_loop_helper(rng: random.Random, uid: str) -> str:
+    """An already-rolled loop function (realistic program padding).
+
+    Neither technique should touch these; they also give the dynamic
+    experiments something loop-shaped to execute.
+    """
+    op = rng.choice(["+", "*", "^"])
+    k = rng.randrange(1, 9)
+    return f"""
+int walk_{uid}(int *buf, int len) {{
+  int acc = {k};
+  for (int i = 0; i < len; i++) {{
+    acc = acc {op} buf[i];
+  }}
+  return acc;
+}}
+"""
+
+
+def function_count_for(spec: ProgramSpec, scale: float = 1.0) -> int:
+    """Number of generated functions for a program (sublinear in KB)."""
+    import math
+
+    base = 6 + 12 * math.sqrt(spec.paper_kb)
+    return max(8, int(base * scale / 6))
+
+
+def build_program(spec: ProgramSpec, scale: float = 1.0) -> Module:
+    """Generate and compile one synthetic program."""
+    rng = random.Random(spec.seed)
+    count = function_count_for(spec, scale)
+    sources: List[str] = []
+    for index in range(count):
+        uid = f"p{spec.seed}_{index}"
+        roll = rng.random()
+        if roll < spec.density:
+            family = rng.choice(_ROLLABLE)
+        elif roll < spec.density + 0.08:
+            sources.append(_gen_loop_helper(rng, uid))
+            continue
+        else:
+            family = rng.choice(_FILLER)
+        generator = angha.FAMILIES[family][0]
+        source, _ = generator(rng, uid)
+        sources.append(source)
+    program_source = "\n".join(sources)
+    return compile_c(program_source, module_name=spec.name)

@@ -1,0 +1,177 @@
+"""Random mini-C program generator for differential testing.
+
+A csmith-lite: generates seeded, always-terminating, trap-free mini-C
+programs (array indices are masked, divisors forced odd, loop bounds
+fixed) so that the whole pipeline -- frontend, cleanups, unrolling,
+rerolling, RoLAG -- can be differentially tested end to end: every
+configuration must compute the same result and leave the same global
+state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+#: Number of int elements in every generated global array.
+ARRAY_LEN = 16
+
+
+class ProgramGenerator:
+    """Emits one random translation unit per seed."""
+
+    def __init__(self, seed: int, max_depth: int = 3) -> None:
+        self.rng = random.Random(seed)
+        self.max_depth = max_depth
+        self.arrays = [f"g{i}" for i in range(self.rng.randrange(2, 5))]
+        self.scalars = [f"s{i}" for i in range(self.rng.randrange(1, 4))]
+        self.functions: List[str] = []
+
+    # ----- expressions -----------------------------------------------------
+
+    def expr(self, depth: int, local_vars: List[str]) -> str:
+        """A random integer expression over the visible names."""
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            choice = rng.randrange(4)
+            if choice == 0:
+                return str(rng.randrange(-64, 64))
+            if choice == 1 and local_vars:
+                return rng.choice(local_vars)
+            if choice == 2:
+                return rng.choice(self.scalars)
+            array = rng.choice(self.arrays)
+            return f"{array}[{self.index(depth - 1, local_vars)}]"
+        op = rng.choice(["+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%"])
+        lhs = self.expr(depth - 1, local_vars)
+        rhs = self.expr(depth - 1, local_vars)
+        if op in ("<<", ">>"):
+            return f"(({lhs}) {op} {rng.randrange(0, 8)})"
+        if op in ("/", "%"):
+            # Force a nonzero divisor; the IR traps on division by zero.
+            return f"(({lhs}) {op} ((({rhs}) & 7) | 1))"
+        return f"(({lhs}) {op} ({rhs}))"
+
+    def index(self, depth: int, local_vars: List[str]) -> str:
+        """A random in-bounds array index (masked)."""
+        return f"({self.expr(max(depth, 0), local_vars)}) & {ARRAY_LEN - 1}"
+
+    def condition(self, depth: int, local_vars: List[str]) -> str:
+        """A random comparison."""
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return (
+            f"({self.expr(depth, local_vars)}) {op} "
+            f"({self.expr(depth, local_vars)})"
+        )
+
+    # ----- statements ----------------------------------------------------------
+
+    def statement(
+        self,
+        depth: int,
+        local_vars: List[str],
+        indent: str,
+        in_loop: bool = False,
+    ) -> str:
+        """One random statement (stores, ifs, loops, calls, store runs)."""
+        rng = self.rng
+        kind = rng.randrange(8)
+        if kind in (0, 1):  # array store
+            array = rng.choice(self.arrays)
+            return (
+                f"{indent}{array}[{self.index(depth, local_vars)}] = "
+                f"{self.expr(depth, local_vars)};"
+            )
+        if kind == 2:  # scalar global update
+            name = rng.choice(self.scalars)
+            op = rng.choice(["=", "+=", "^=", "-="])
+            return f"{indent}{name} {op} {self.expr(depth, local_vars)};"
+        if kind == 3 and local_vars:  # local update
+            name = rng.choice(local_vars)
+            op = rng.choice(["=", "+=", "*=", "^="])
+            return f"{indent}{name} {op} {self.expr(depth, local_vars)};"
+        if kind == 4 and depth > 0:  # if / if-else
+            body = self.block(depth - 1, local_vars, indent + "  ", in_loop)
+            if rng.random() < 0.5:
+                other = self.block(
+                    depth - 1, local_vars, indent + "  ", in_loop
+                )
+                return (
+                    f"{indent}if ({self.condition(depth, local_vars)}) {{\n"
+                    f"{body}\n{indent}}} else {{\n{other}\n{indent}}}"
+                )
+            return (
+                f"{indent}if ({self.condition(depth, local_vars)}) {{\n"
+                f"{body}\n{indent}}}"
+            )
+        if kind == 5 and depth > 0:  # bounded for loop
+            iv = f"i{rng.randrange(1000)}"
+            bound = rng.choice([4, 8, 16])
+            body = self.block(
+                depth - 1, local_vars + [iv], indent + "  ", in_loop=True
+            )
+            return (
+                f"{indent}for (int {iv} = 0; {iv} < {bound}; {iv}++) {{\n"
+                f"{body}\n{indent}}}"
+            )
+        if kind == 6 and self.functions and depth > 0 and not in_loop:
+            # Call an earlier function -- never from inside a loop, so
+            # total dynamic work stays polynomial in the program size.
+            callee = rng.choice(self.functions)
+            return (
+                f"{indent}{rng.choice(self.scalars)} ^= "
+                f"{callee}({self.expr(depth, local_vars)}, "
+                f"{self.expr(depth, local_vars)});"
+            )
+        # Unrolled store run: RoLAG bait.
+        array = rng.choice(self.arrays)
+        lanes = rng.choice([3, 4, 5, 6])
+        start = rng.randrange(0, ARRAY_LEN - lanes)
+        value = self.expr(max(depth - 1, 0), local_vars)
+        lines = [
+            f"{indent}{array}[{start + k}] = ({value}) + {k * rng.randrange(0, 5)};"
+            for k in range(lanes)
+        ]
+        return "\n".join(lines)
+
+    def block(
+        self,
+        depth: int,
+        local_vars: List[str],
+        indent: str,
+        in_loop: bool = False,
+    ) -> str:
+        """A short random statement list."""
+        count = self.rng.randrange(1, 4)
+        return "\n".join(
+            self.statement(depth, local_vars, indent, in_loop)
+            for _ in range(count)
+        )
+
+    # ----- top level -----------------------------------------------------------
+
+    def function(self, name: str) -> str:
+        """Emit one function and register it as callable."""
+        locals_decl = "  int x = a * 3;\n  int y = b ^ 5;"
+        body = self.block(self.max_depth, ["a", "b", "x", "y"], "  ")
+        ret = self.expr(1, ["a", "b", "x", "y"])
+        source = (
+            f"int {name}(int a, int b) {{\n{locals_decl}\n{body}\n"
+            f"  return {ret};\n}}"
+        )
+        self.functions.append(name)
+        return source
+
+    def generate(self) -> str:
+        """The whole translation unit."""
+        parts = [f"int {name}[{ARRAY_LEN}];" for name in self.arrays]
+        parts += [f"int {name} = {self.rng.randrange(-9, 10)};"
+                  for name in self.scalars]
+        for i in range(self.rng.randrange(1, 4)):
+            parts.append(self.function(f"fn{i}"))
+        return "\n".join(parts)
+
+
+def generate_program(seed: int, max_depth: int = 3) -> str:
+    """One random, trap-free, terminating mini-C program."""
+    return ProgramGenerator(seed, max_depth).generate()

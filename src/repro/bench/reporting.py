@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment results.
+
+The paper's artifact produces PDF plots; in this offline reproduction
+every figure is rendered as an ASCII table/curve so the benchmark runs
+print the same rows and series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Align a small table for terminal output."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    values: Sequence[float],
+    height: int = 12,
+    width: int = 68,
+    label: str = "",
+) -> str:
+    """Downsample a sorted series into a terminal chart (Fig. 15/18)."""
+    if not values:
+        return "(empty series)"
+    lo = min(min(values), 0.0)
+    hi = max(max(values), 1.0)
+    span = hi - lo or 1.0
+    columns = min(width, len(values))
+    sampled: List[float] = []
+    for c in range(columns):
+        start = c * len(values) // columns
+        end = max(start + 1, (c + 1) * len(values) // columns)
+        chunk = values[start:end]
+        sampled.append(sum(chunk) / len(chunk))
+    grid = [[" "] * columns for _ in range(height)]
+    for c, value in enumerate(sampled):
+        row = int((value - lo) / span * (height - 1))
+        row = min(height - 1, max(0, row))
+        grid[height - 1 - row][c] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{hi:8.1f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{lo:8.1f} +" + "".join(grid[-1]))
+    return "\n".join(lines)
+
+
+def histogram(counts: dict, title: str = "") -> str:
+    """Node-kind breakdown bars (Fig. 16 / Fig. 19)."""
+    if not counts:
+        return "(no data)"
+    total = sum(counts.values())
+    peak = max(counts.values())
+    lines = [title] if title else []
+    for kind, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(1, int(40 * count / peak))
+        lines.append(
+            f"  {kind:<16s} {count:6d} ({count * 100.0 / total:5.1f}%) {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,423 @@
+"""TSVC-style kernel suite (paper Section V-C).
+
+The paper evaluates on the 151 TSVC kernels, manually unrolled by a
+factor of 8, with the original rolled sources acting as the *oracle*.
+We reproduce that setup: each kernel here is written in mini-C in its
+natural rolled form; :func:`build_kernel` compiles it, and
+:func:`build_unrolled_kernel` applies the counted-loop unroller --
+exactly the input both rerolling techniques then compete on.
+
+Kernel names follow the paper's Fig. 17.  Bodies are faithful to the
+TSVC patterns they exercise (element-wise ops, reductions, strided and
+indirect access, scalar expansion, induction recomputation, wraparound,
+conditionals); trip counts are scaled down so the reference interpreter
+stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..frontend import compile_c
+from ..ir.module import Module
+from ..transforms.unroll import unroll_loops
+
+#: 1-D length; must be divisible by the unroll factor 8.
+LEN = 32
+#: 2-D dimensions.
+LEN2 = 8
+
+_PREAMBLE = f"""
+float a[{LEN}];
+float b[{LEN}];
+float c[{LEN}];
+float d[{LEN}];
+float e[{LEN}];
+float aa[{LEN2}][{LEN2}];
+float bb[{LEN2}][{LEN2}];
+float cc[{LEN2}][{LEN2}];
+int ip[{LEN}];
+float s1;
+float s2;
+"""
+
+
+def _loop(body: str, ret: str = "", decl: str = "", bound: int = LEN,
+          start: int = 0, step: int = 1) -> str:
+    """A standard single-loop kernel body."""
+    cmp = "<" if step > 0 else ">="
+    return (
+        "{\n"
+        + (f"  {decl}\n" if decl else "")
+        + f"  for (int i = {start}; i {cmp} {bound}; i += {step}) {{\n"
+        + "".join(f"    {line}\n" for line in body.strip().splitlines())
+        + "  }\n"
+        + (f"  {ret}\n" if ret else "")
+        + "}"
+    )
+
+
+#: name -> (return type, body).  Bodies reference the shared globals.
+KERNELS: Dict[str, str] = {}
+
+
+def _kernel(name: str, signature: str, body: str) -> None:
+    KERNELS[name] = f"{signature} {name}(void) {body}"
+
+
+# --- element-wise vector kernels -------------------------------------------------
+
+_kernel("s000", "void", _loop("a[i] = b[i] + 1.0f;"))
+_kernel("vpv", "void", _loop("a[i] += b[i];"))
+_kernel("vtv", "void", _loop("a[i] *= b[i];"))
+_kernel("vpvtv", "void", _loop("a[i] += b[i] * c[i];"))
+_kernel("vpvts", "void", _loop("a[i] += b[i] * s1;"))
+_kernel("vpvpv", "void", _loop("a[i] += b[i] + c[i];"))
+_kernel("vtvtv", "void", _loop("a[i] = a[i] * b[i] * c[i];"))
+_kernel("vas", "void", _loop("a[i] = b[i] + s1;"))
+_kernel("vag", "void", _loop("a[i] = b[ip[i]];"))
+_kernel("vif", "void", _loop("if (b[i] > 0.0f) { a[i] = b[i]; }"))
+_kernel("s111", "void", _loop("a[2*i+1] = a[2*i] + b[i];", bound=LEN // 2))
+_kernel("s1111", "void", _loop(
+    "a[2*i] = c[i] * b[i] + d[i] * b[i] + c[i] * c[i];", bound=LEN // 2))
+_kernel("s112", "void", _loop("a[i+1] = a[i] + b[i];", bound=LEN - 8))
+_kernel("s1112", "void", _loop("a[i] = b[i] + 1.0f;"))
+_kernel("s113", "void", _loop("a[i] = a[0] + b[i];", start=1, bound=LEN - 7))
+_kernel("s1113", "void", _loop("a[i] = a[LENHALF] + b[i];".replace(
+    "LENHALF", str(LEN // 2))))
+_kernel("s115", "void", _loop("a[i] = a[i] - s1 * b[i];"))
+_kernel("s1115", "void", _loop("a[i] = a[i] * c[i] + b[i];"))
+_kernel("s119", "void", _loop("a[i] = a[i-1] + b[i];", start=1, bound=LEN - 7))
+_kernel("s1119", "void", _loop("a[i] = a[i] + b[i];"))
+_kernel("s121", "void", _loop("a[i] = a[i+1] + b[i];", bound=LEN - 8))
+_kernel("s1221", "void", _loop("b[i] = b[i-4] + a[i];", start=4, bound=LEN - 4))
+_kernel("s122", "void", _loop("a[i] = a[i] + b[LENM1-i];".replace(
+    "LENM1", str(LEN - 1))))
+_kernel("s124", "void", _loop(
+    "if (b[i] > 0.0f) { a[i] = b[i] + d[i] * e[i]; } "
+    "else { a[i] = c[i] + d[i] * e[i]; }"))
+_kernel("s125", "void", _loop("a[i] = aa[i/8][i%8] * 2.0f;"))
+_kernel("s126", "void", _loop("b[i] = b[i] + c[i] * a[i];"))
+_kernel("s127", "void", _loop("a[i] = a[i] + c[i] * d[i];"))
+_kernel("s128", "void", _loop("a[i] = b[i] - d[i]; b[i] = a[i] + c[i];"))
+_kernel("s131", "void", _loop("a[i] = a[i+1] + b[i];", bound=LEN - 8))
+_kernel("s132", "void", _loop("aa[i][1] = aa[i][0] + b[i];", bound=LEN2))
+_kernel("s1351", "void", _loop("a[i] = b[i] + c[i];"))
+
+# --- loops with scalars / induction arithmetic ------------------------------------
+
+_kernel("s151", "void", _loop("a[i] = a[i+1] + b[i];", bound=LEN - 8))
+_kernel("s152", "void", _loop("b[i] = d[i] * e[i]; a[i] = a[i] + b[i];"))
+_kernel("s162", "void", _loop("a[i] = a[i+4] + b[i];", bound=LEN - 8))
+_kernel("s171", "void", _loop("a[2*i] = a[2*i] + b[i];", bound=LEN // 2))
+_kernel("s173", "void", _loop(
+    "a[i+LENHALF] = a[i] + b[i];".replace("LENHALF", str(LEN // 2)),
+    bound=LEN // 2))
+_kernel("s176", "void", _loop(
+    "a[i] = a[i] + b[i] * c[LENM1-i];".replace("LENM1", str(LEN - 1))))
+_kernel("s221", "void", _loop("a[i] = a[i-1] + c[i] * d[i];", start=1, bound=LEN - 7))
+_kernel("s222", "void", _loop(
+    "a[i] += b[i] * c[i]; e[i] = e[i-1] * e[i-1]; a[i] -= b[i] * c[i];",
+    start=1, bound=LEN - 7))
+_kernel("s231", "void", _loop("aa[1][i] = aa[0][i] + bb[1][i];", bound=LEN2))
+_kernel("s233", "void", _loop("aa[1][i] = aa[0][i] + bb[i][1];", bound=LEN2))
+_kernel("s2233", "void", _loop("aa[1][i] = aa[0][i] + cc[1][i];", bound=LEN2))
+_kernel("s235", "void", _loop("a[i] += b[i] * c[i]; aa[1][i] = aa[0][i] + a[i];",
+                              bound=LEN2))
+_kernel("s241", "void", _loop(
+    "a[i] = b[i] * c[i] * d[i]; b[i] = a[i] * a[i+1] * d[i];", bound=LEN - 8))
+_kernel("s242", "void", _loop(
+    "a[i] = a[i-1] + s1 + s2 + b[i] + c[i] + d[i];", start=1, bound=LEN - 7))
+_kernel("s243", "void", _loop(
+    "a[i] = b[i] + c[i] * d[i]; b[i] = a[i] + d[i] * e[i]; "
+    "a[i] = b[i] + a[i+1] * d[i];", bound=LEN - 8))
+_kernel("s251", "void", _loop("float s = b[i] + c[i] * d[i]; a[i] = s * s;",))
+_kernel("s1251", "void", _loop("float s = b[i] + c[i]; b[i] = a[i] + d[i]; a[i] = s * e[i];"))
+_kernel("s2251", "void", _loop("float s = b[i] + c[i] * d[i]; a[i] = s * b[i];"))
+_kernel("s256", "void", _loop("a[i] = aa[1][i] - aa[0][i];", bound=LEN2))
+_kernel("s257", "void", _loop("a[i] = aa[i][i] - b[i];", bound=LEN2))
+_kernel("s258", "void", _loop(
+    "float s = 0.0f; if (a[i] > 0.0f) { s = d[i] * d[i]; } "
+    "b[i] = s * c[i] + d[i]; e[i] = (s + 1.0f) * aa[0][i];", bound=LEN2))
+_kernel("s275", "void", _loop(
+    "if (aa[0][i] > 0.0f) { aa[1][i] = aa[0][i] + bb[1][i]; }", bound=LEN2))
+_kernel("s2275", "void", _loop(
+    "a[i] = b[i] + c[i] * d[i]; b[i] = c[i] + b[i]; "
+    "aa[1][i] = aa[0][i] + bb[1][i];", bound=LEN2))
+_kernel("s276", "void", _loop(
+    "if (i < LENHALF) { a[i] += b[i] * c[i]; } "
+    "else { a[i] += b[i] * d[i]; }".replace("LENHALF", str(LEN // 2))))
+_kernel("s281", "void", _loop(
+    "float x = a[LENM1-i] + b[i] * c[i]; a[i] = x - 1.0f; b[i] = x;".replace(
+        "LENM1", str(LEN - 1))))
+_kernel("s293", "void", _loop("a[i] = a[0];"))
+_kernel("s2101", "void", _loop("aa[i][i] = aa[i][i] + bb[i][i] * cc[i][i];",
+                               bound=LEN2))
+_kernel("s2102", "void", _loop("aa[i][i] = 1.0f;", bound=LEN2))
+
+# --- reductions ---------------------------------------------------------------
+
+_kernel("vsumr", "float", _loop(
+    "sum = sum + a[i];", decl="float sum = 0.0f;", ret="return sum;"))
+_kernel("vdotr", "float", _loop(
+    "dot = dot + a[i] * b[i];", decl="float dot = 0.0f;", ret="return dot;"))
+_kernel("s311", "float", _loop(
+    "sum = sum + a[i];", decl="float sum = 0.0f;", ret="return sum;"))
+_kernel("s3110", "float", _loop(
+    "sum = sum + aa[i][i];", decl="float sum = 0.0f;", ret="return sum;",
+    bound=LEN2))
+_kernel("s3112", "void", _loop("s1 = s1 + a[i]; b[i] = s1;"))
+_kernel("s3113", "float", _loop(
+    "if (a[i] > mx) { mx = a[i]; }",
+    decl="float mx = a[0];", ret="return mx;", start=1, bound=LEN - 7))
+_kernel("s312", "float", _loop(
+    "prod = prod * a[i];", decl="float prod = 1.0f;", ret="return prod;"))
+_kernel("s313", "float", _loop(
+    "dot = dot + a[i] * b[i];", decl="float dot = 0.0f;", ret="return dot;"))
+_kernel("s319", "float", _loop(
+    "a[i] = c[i] + d[i]; sum = sum + a[i]; b[i] = c[i] + e[i]; sum = sum + b[i];",
+    decl="float sum = 0.0f;", ret="return sum;"))
+_kernel("s3251", "void", _loop(
+    "a[i+1] = b[i] + c[i]; b[i] = c[i] * e[i]; d[i] = a[i] * e[i];",
+    bound=LEN - 8))
+_kernel("s321", "void", _loop("a[i] = a[i-1] + b[i];", start=1, bound=LEN - 7))
+_kernel("s323", "void", _loop(
+    "a[i] = b[i-1] + c[i] * d[i]; b[i] = a[i] + c[i] * e[i];",
+    start=1, bound=LEN - 7))
+_kernel("s351", "void", _loop("a[i] = a[i] + s1 * b[i];"))
+_kernel("s1351b", "void", _loop("a[i] = b[i] + c[i] * d[i];"))
+_kernel("s352", "float", _loop(
+    "dot = dot + a[i] * b[i];", decl="float dot = 0.0f;", ret="return dot;"))
+_kernel("s353", "void", _loop("a[i] = a[i] + s1 * b[ip[i]];"))
+
+# --- indirect addressing / gather-scatter ---------------------------------------
+
+_kernel("s4112", "void", _loop("a[i] = a[i] + b[ip[i]] * s1;"))
+_kernel("s4113", "void", _loop("a[ip[i]] = b[ip[i]] + c[i];"))
+_kernel("s4114", "void", _loop("a[i] = b[ip[i]] + c[i];"))
+_kernel("s4115", "float", _loop(
+    "sum = sum + a[i] * b[ip[i]];", decl="float sum = 0.0f;",
+    ret="return sum;"))
+_kernel("s4117", "void", _loop("a[i] = b[i] + c[i/2] * d[i];"))
+_kernel("s4121", "void", _loop("a[i] = a[i] + b[i] * c[i];"))
+_kernel("s421", "void", _loop("a[i] = a[i+1] + b[i];", bound=LEN - 8))
+_kernel("s422", "void", _loop("a[i] = a[i+4] + b[i];", bound=LEN - 8))
+_kernel("s423", "void", _loop("a[i+1] = a[i] + b[i];", bound=LEN - 8))
+_kernel("s424", "void", _loop("a[i+1] = b[i] + c[i];", bound=LEN - 8))
+_kernel("s431", "void", _loop("a[i] = a[i+7] + b[i];", bound=LEN - 8))
+_kernel("s441", "void", _loop(
+    "if (d[i] < 0.0f) { a[i] += b[i] * c[i]; } "
+    "else { a[i] += b[i] * b[i]; }"))
+_kernel("s443", "void", _loop(
+    "if (d[i] <= 0.0f) { a[i] += b[i] * c[i]; } else { a[i] += b[i] * b[i]; }"))
+_kernel("s451", "void", _loop("a[i] = b[i] + c[i] * d[i];"))
+_kernel("s452", "void", _loop("a[i] = b[i] + c[i] * (float)(i + 1);"))
+_kernel("s453", "void", _loop(
+    "s = s + 2.0f; a[i] = s * b[i];", decl="float s = 0.0f;"))
+_kernel("s471", "void", _loop("b[i] = a[i] + d[i] * d[i]; c[i] = b[i] + e[i];"))
+_kernel("s491", "void", _loop("a[ip[i]] = b[i] + c[i] * d[i];"))
+_kernel("s141", "void", _loop("a[i] = a[i] + b[i] * c[i]; d[i] = d[i] + b[i];"))
+_kernel("s1421", "void", _loop(
+    "b[i] = b[i + LENHALF] + a[i];".replace("LENHALF", str(LEN // 2)),
+    bound=LEN // 2))
+_kernel("s1244", "void", _loop(
+    "a[i] = b[i] + c[i] * c[i] + b[i] * b[i] + c[i]; d[i] = a[i] + a[i+1];",
+    bound=LEN - 8))
+_kernel("s1281", "void", _loop(
+    "float x = b[i] * c[i] + a[i] * d[i] + e[i]; a[i] = x - 1.0f; b[i] = x;"))
+
+
+# --- control flow / crossing thresholds / wraparounds ---------------------------
+# Many of these keep multiple basic blocks after lowering (conditional
+# stores cannot be if-converted), so neither technique touches them --
+# the paper's suite likewise contains a large unaffected population.
+
+_kernel("s114", "void", _loop("aa[i][i/2] = aa[i/2][i] + bb[i][i/2];",
+                              bound=LEN2))
+_kernel("s116", "void", _loop(
+    "a[i] = a[i+1] * a[i]; a[i+1] = a[i+2] * a[i+1]; "
+    "a[i+2] = a[i+3] * a[i+2]; a[i+3] = a[i+4] * a[i+3];",
+    bound=LEN - 8))
+_kernel("s1161", "void", _loop(
+    "if (c[i] < 0.0f) { b[i] = a[i] + d[i] * d[i]; } "
+    "else { a[i] = c[i] + d[i] * e[i]; }"))
+_kernel("s118", "void", _loop("a[i] = a[i-1] + bb[0][i] * aa[0][i-1];",
+                              start=1, bound=LEN2))
+_kernel("s1213", "void", _loop(
+    "a[i] = b[i-1] + c[i]; b[i] = a[i+1] * d[i];", start=1, bound=LEN - 7))
+_kernel("s1232", "void", _loop(
+    "aa[1][i] = aa[0][i] + bb[i][i]; cc[1][i] = cc[0][i] + bb[1][i];",
+    bound=LEN2))
+_kernel("s2111", "void", _loop(
+    "aa[1][i] = (aa[1][i-1] + aa[0][i]) * 0.5f;", start=1, bound=LEN2))
+_kernel("s232", "void", _loop(
+    "aa[1][i] = aa[1][i-1] * aa[1][i-1] + bb[1][i];", start=1, bound=LEN2))
+_kernel("s244", "void", _loop(
+    "a[i] = b[i] + c[i] * d[i]; b[i] = c[i] + b[i]; a[i+1] = b[i] + a[i+1] * d[i];",
+    bound=LEN - 8))
+_kernel("s252", "void", _loop(
+    "float t = b[i] * c[i]; a[i] = t + s; s = t;",
+    decl="float s = 0.0f;"))
+_kernel("s253", "void", _loop(
+    "if (a[i] > b[i]) { float t = a[i] - b[i]; c[i] += t; a[i] = t; }"))
+_kernel("s254", "void", _loop(
+    "a[i] = (b[i] + x) * 0.5f; x = b[i];",
+    decl="float x = b[LENM1];".replace("LENM1", str(LEN - 1))))
+_kernel("s255", "void", _loop(
+    "a[i] = (b[i] + x + y) * 0.333f; y = x; x = b[i];",
+    decl="float x = b[LENM1]; float y = b[LENM2];".replace(
+        "LENM1", str(LEN - 1)).replace("LENM2", str(LEN - 2))))
+_kernel("s261", "void", _loop(
+    "float t1 = a[i] + b[i]; a[i] = t1 + c[i-1]; float t2 = c[i] * d[i]; "
+    "c[i] = t2;", start=1, bound=LEN - 7))
+_kernel("s271", "void", _loop("if (b[i] > 0.0f) { a[i] += b[i] * c[i]; }"))
+_kernel("s272", "void", _loop(
+    "if (e[i] >= s1) { a[i] += c[i] * d[i]; b[i] += c[i] * c[i]; }"))
+_kernel("s273", "void", _loop(
+    "a[i] += d[i] * e[i]; if (a[i] < 0.0f) { b[i] += d[i] * e[i]; } "
+    "c[i] += a[i] * d[i];"))
+_kernel("s274", "void", _loop(
+    "a[i] = c[i] + e[i] * d[i]; "
+    "if (a[i] > 0.0f) { b[i] = a[i] + b[i]; } else { a[i] = d[i] * e[i]; }"))
+_kernel("s277", "void", _loop(
+    "if (a[i] < 0.0f) { if (b[i] < 0.0f) { a[i] += c[i] * d[i]; } "
+    "b[i+1] = c[i] + d[i] * e[i]; }", bound=LEN - 8))
+_kernel("s278", "void", _loop(
+    "if (a[i] > 0.0f) { c[i] = -c[i] + d[i] * e[i]; } "
+    "else { b[i] = -b[i] + d[i] * e[i]; } a[i] = b[i] + c[i] * d[i];"))
+_kernel("s279", "void", _loop(
+    "if (a[i] > 0.0f) { c[i] = -c[i] + d[i] * d[i]; } "
+    "else { b[i] = a[i] + d[i] * d[i]; if (b[i] > a[i]) { c[i] += d[i] * e[i]; } } "
+    "a[i] = b[i] + c[i] * d[i];"))
+_kernel("s1279", "void", _loop(
+    "if (a[i] < 0.0f) { if (b[i] > a[i]) { c[i] += d[i] * e[i]; } }"))
+_kernel("s2712", "void", _loop(
+    "if (a[i] > b[i]) { a[i] += b[i] * c[i]; }"))
+_kernel("s291", "void", _loop(
+    "a[i] = (b[i] + b[im1]) * 0.5f; im1 = i;",
+    decl="int im1 = LENM1;".replace("LENM1", str(LEN - 1))))
+_kernel("s292", "void", _loop(
+    "a[i] = (b[i] + b[im1] + b[im2]) * 0.333f; im2 = im1; im1 = i;",
+    decl=("int im1 = LENM1; int im2 = LENM2;"
+          .replace("LENM1", str(LEN - 1)).replace("LENM2", str(LEN - 2)))))
+_kernel("s3111", "float", _loop(
+    "if (a[i] > 0.0f) { sum = sum + a[i]; }",
+    decl="float sum = 0.0f;", ret="return sum;"))
+_kernel("s317", "float", _loop(
+    "q = q * 0.99f;", decl="float q = 1.0f;", ret="return q;"))
+_kernel("s318", "float", _loop(
+    "float absv = a[i] > 0.0f ? a[i] : -a[i]; "
+    "if (absv > mx) { mx = absv; }",
+    decl="float mx = a[0] > 0.0f ? a[0] : -a[0];", ret="return mx;",
+    start=1, bound=LEN - 7))
+_kernel("s331", "int", _loop(
+    "if (a[i] < 0.0f) { j = i; }",
+    decl="int j = -1;", ret="return j;"))
+_kernel("s332", "int", _loop(
+    "if (a[i] > s1) { index = i; value = a[i]; }",
+    decl="int index = -2; float value = -1.0f;", ret="return index;"))
+_kernel("s341", "void", _loop(
+    "if (b[i] > 0.0f) { a[j] = b[i]; j = j + 1; }",
+    decl="int j = 0;"))
+_kernel("s342", "void", _loop(
+    "if (a[i] > 0.0f) { a[i] = b[j]; j = j + 1; }",
+    decl="int j = 0;"))
+_kernel("s343", "void", _loop(
+    "if (bb[0][i] > 0.0f) { a[j] = aa[0][i]; j = j + 1; }",
+    decl="int j = 0;", bound=LEN2))
+_kernel("s481", "void", _loop(
+    "if (d[i] < 0.0f) { s1 = s1 + 1.0f; } a[i] += b[i] * c[i];"))
+_kernel("s482", "void", _loop(
+    "a[i] += b[i] * c[i]; if (c[i] > b[i]) { s1 = s1 + 1.0f; }"))
+_kernel("va", "void", _loop("a[i] = b[i];"))
+_kernel("vbor", "void", _loop(
+    "a[i] = b[i] * c[i] + b[i] * d[i] + b[i] * e[i] + c[i] * d[i];"))
+_kernel("s2244", "void", _loop(
+    "a[i+1] = b[i] + e[i]; a[i] = b[i] + c[i];", bound=LEN - 8))
+_kernel("s3251b", "void", _loop(
+    "b[i+1] = a[i] + 0.5f; c[i] = b[i] * d[i];", bound=LEN - 8))
+
+
+_kernel("s172", "void", _loop("a[i] = a[i] + b[i];", start=0, bound=LEN, step=2))
+_kernel("s175", "void", _loop("a[i] = a[i+2] + b[i];", bound=LEN - 8, step=2))
+_kernel("s211", "void", _loop(
+    "a[i] = b[i-1] + c[i] * d[i]; b[i] = b[i+1] - e[i] * d[i];",
+    start=1, bound=LEN - 7))
+_kernel("s212", "void", _loop(
+    "a[i] = a[i] * c[i]; b[i] = b[i] + a[i+1] * d[i];", bound=LEN - 8))
+_kernel("s1112b", "void", _loop("a[i] = b[i] + 1.0f;", start=LEN - 1,
+                                bound=0, step=-1))
+_kernel("s121b", "void", _loop("a[i] = a[i+1] * b[i];", bound=LEN - 8))
+_kernel("s131b", "void", _loop("a[i] = a[i+1] - b[i];", bound=LEN - 8))
+_kernel("s141b", "void", _loop(
+    "a[i] = a[i] + b[i] * c[i] + d[i]; e[i] = e[i] + b[i];"))
+_kernel("s161", "void", _loop(
+    "if (b[i] < 0.0f) { c[i+1] = a[i] + d[i] * d[i]; } "
+    "else { a[i] = c[i] + d[i] * e[i]; }", bound=LEN - 8))
+_kernel("s253b", "void", _loop(
+    "if (a[i] > b[i]) { c[i] = a[i] - b[i]; }"))
+_kernel("s443b", "void", _loop(
+    "a[i] = b[i] + c[i] * c[i] + b[i] * b[i] + c[i];"))
+_kernel("vsumrb", "float", _loop(
+    "sum = sum + a[i] + b[i];", decl="float sum = 0.0f;",
+    ret="return sum;"))
+_kernel("vtvb", "void", _loop("a[i] = a[i] * s1;"))
+_kernel("vpvb", "void", _loop("a[i] = a[i] + s2;"))
+_kernel("s1115b", "void", _loop(
+    "aa[0][i] = aa[0][i] * bb[i][0] + cc[0][i];", bound=LEN2))
+
+
+def kernel_names() -> List[str]:
+    """All kernel names, sorted."""
+    return sorted(KERNELS)
+
+
+def kernel_source(name: str) -> str:
+    """Full compilable source of one kernel (globals + function)."""
+    return _PREAMBLE + "\n" + KERNELS[name] + "\n"
+
+
+def build_kernel(name: str) -> Module:
+    """Compile the rolled (oracle) form of a kernel."""
+    return compile_c(kernel_source(name), module_name=f"tsvc.{name}")
+
+
+def build_unrolled_kernel(name: str, factor: int = 8) -> Module:
+    """Compile a kernel and unroll its inner loops by ``factor``.
+
+    This is the experimental input of paper Section V-C ("we have
+    forced all its inner loops to unroll by a factor of 8").
+    """
+    module = build_kernel(name)
+    for fn in module.functions:
+        if not fn.is_declaration:
+            unroll_loops(fn, factor)
+    from ..ir.verifier import verify_module
+
+    verify_module(module)
+    return module
+
+
+def init_machine(machine) -> None:
+    """Deterministic, non-trivial initial data for the kernel globals."""
+    import struct
+
+    def write_floats(name, values):
+        addr = machine.global_addresses[name]
+        machine.write_bytes(addr, struct.pack(f"<{len(values)}f", *values))
+
+    write_floats("a", [((i * 7) % 13) / 4.0 + 1.0 for i in range(LEN)])
+    write_floats("b", [((i * 5) % 11) / 8.0 + 0.5 for i in range(LEN)])
+    write_floats("c", [((i * 3) % 7) / 2.0 + 0.25 for i in range(LEN)])
+    write_floats("d", [((i * 11) % 17) / 16.0 + 2.0 for i in range(LEN)])
+    write_floats("e", [((i * 13) % 19) / 32.0 + 1.5 for i in range(LEN)])
+    for grid in ("aa", "bb", "cc"):
+        addr = machine.global_addresses[grid]
+        values = [((i * 7 + j * 3) % 23) / 8.0 + 1.0
+                  for i in range(LEN2) for j in range(LEN2)]
+        machine.write_bytes(addr, struct.pack(f"<{len(values)}f", *values))
+    ip_addr = machine.global_addresses["ip"]
+    indices = [(i * 7 + 3) % LEN for i in range(LEN)]
+    machine.write_bytes(ip_addr, struct.pack(f"<{LEN}i", *indices))
+    write_floats("s1", [1.5])
+    write_floats("s2", [2.5])

@@ -1,0 +1,198 @@
+"""Command-line driver: compile, transform, measure, and run.
+
+Usage::
+
+    python -m repro input.c  --roll --size --emit-ir
+    python -m repro input.ll --unroll 8 --reroll --size
+    python -m repro input.c  --roll --loop-aware --run main 1 2
+
+Input ending in ``.ll`` is parsed as IR text; anything else goes
+through the mini-C frontend (with the standard -Os-style cleanups
+unless ``--no-opt`` is given).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.objsize import measure_module, reduction_percent
+from .bench.reporting import format_table
+from .frontend import compile_c
+from .ir import Machine, Module, parse_module, print_module, verify_module
+from .rolag import RolagConfig, RolagStats, roll_loops_in_module
+from .transforms import reroll_loops, unroll_loops
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The argparse definition of the driver's interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RoLAG loop-rolling compiler driver "
+        "(CGO 2022 reproduction)",
+    )
+    parser.add_argument("input", help="a mini-C source file or an .ll IR file")
+    parser.add_argument(
+        "--no-opt",
+        action="store_true",
+        help="skip the -Os style cleanup pipeline after the frontend",
+    )
+    parser.add_argument(
+        "--unroll",
+        type=int,
+        metavar="N",
+        help="unroll counted loops by N before anything else",
+    )
+    parser.add_argument(
+        "--reroll",
+        action="store_true",
+        help="run the LLVM-style loop reroll baseline",
+    )
+    parser.add_argument(
+        "--roll",
+        action="store_true",
+        help="run RoLAG loop rolling",
+    )
+    parser.add_argument(
+        "--loop-aware",
+        action="store_true",
+        help="with --roll: re-roll enclosing loops in place",
+    )
+    parser.add_argument(
+        "--fast-math",
+        action="store_true",
+        help="with --roll: allow re-association of float reductions",
+    )
+    parser.add_argument(
+        "--no-special-nodes",
+        action="store_true",
+        help="with --roll: disable every special alignment-node kind",
+    )
+    parser.add_argument(
+        "--emit-ir",
+        action="store_true",
+        help="print the final IR to stdout",
+    )
+    parser.add_argument(
+        "--size",
+        action="store_true",
+        help="report per-function and total size estimates",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="with --roll: print alignment-node statistics",
+    )
+    parser.add_argument(
+        "--run",
+        nargs="+",
+        metavar=("FUNCTION", "ARG"),
+        help="interpret FUNCTION with integer/float arguments",
+    )
+    return parser
+
+
+def load_module(path: str, optimize: bool) -> Module:
+    """Load a module from a .ll or mini-C file."""
+    with open(path) as fh:
+        source = fh.read()
+    if path.endswith(".ll"):
+        module = parse_module(source)
+        verify_module(module)
+        return module
+    return compile_c(source, module_name=path, optimize=optimize)
+
+
+def _parse_run_args(raw: List[str]) -> List[object]:
+    values: List[object] = []
+    for text in raw:
+        try:
+            values.append(int(text, 0))
+        except ValueError:
+            values.append(float(text))
+    return values
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        module = load_module(args.input, optimize=not args.no_opt)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    size_before = measure_module(module)
+
+    if args.unroll:
+        unrolled = sum(
+            unroll_loops(fn, args.unroll)
+            for fn in module.functions
+            if not fn.is_declaration
+        )
+        print(f"; unrolled {unrolled} loop(s) by factor {args.unroll}")
+
+    if args.reroll:
+        rerolled = sum(
+            reroll_loops(fn)
+            for fn in module.functions
+            if not fn.is_declaration
+        )
+        print(f"; rerolled {rerolled} loop(s) (LLVM-style baseline)")
+
+    if args.roll:
+        config = RolagConfig(
+            fast_math=args.fast_math, loop_aware=args.loop_aware
+        )
+        if args.no_special_nodes:
+            config = config.all_special_disabled()
+        stats = RolagStats()
+        rolled = roll_loops_in_module(module, config=config, stats=stats)
+        print(f"; RoLAG rolled {rolled} loop(s)")
+        if args.stats:
+            print(f"; attempts: {stats.attempted}, "
+                  f"schedule-rejected: {stats.schedule_rejected}, "
+                  f"unprofitable: {stats.unprofitable}")
+            for kind, count in sorted(stats.node_counts.items()):
+                print(f";   node {kind}: {count}")
+
+    verify_module(module)
+
+    if args.size:
+        size_after = measure_module(module)
+        rows = []
+        for name, after in sorted(size_after.per_function.items()):
+            before = size_before.per_function.get(name, after)
+            rows.append(
+                (name, before, after,
+                 f"{reduction_percent(before, after):.1f}%")
+            )
+        print(format_table(["Function", "Before(B)", "After(B)", "Reduction"],
+                           rows))
+        print(
+            f"text: {size_before.text} -> {size_after.text} bytes; "
+            f"data: {size_after.data} bytes"
+        )
+
+    if args.run:
+        fn_name, *raw_args = args.run
+        machine = Machine(module)
+        fn = module.get_function(fn_name)
+        if fn is None:
+            print(f"error: no function @{fn_name}", file=sys.stderr)
+            return 1
+        result = machine.call(fn, _parse_run_args(raw_args))
+        print(f"; @{fn_name} returned {result!r} "
+              f"({machine.steps} instructions executed)")
+
+    if args.emit_ir:
+        print(print_module(module))
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

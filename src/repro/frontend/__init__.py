@@ -1,0 +1,27 @@
+"""Mini-C frontend: lexer, parser, AST, and lowering to the IR."""
+
+from .ctypes import (
+    CArray,
+    CFloat,
+    CInt,
+    CPtr,
+    CStruct,
+    CType,
+    CVoid,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    UINT,
+    VOIDT,
+)
+from .lexer import LexError, Token, tokenize
+from .lower import LowerError, compile_c, lower
+from .parser import CParseError, CParser, parse
+
+__all__ = [
+    "CArray", "CFloat", "CInt", "CParseError", "CParser", "CPtr",
+    "CStruct", "CType", "CVoid", "DOUBLE", "FLOAT", "INT", "LONG",
+    "LexError", "LowerError", "Token", "UINT", "VOIDT", "compile_c",
+    "lower", "parse", "tokenize",
+]

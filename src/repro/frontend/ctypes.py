@@ -1,0 +1,212 @@
+"""C-level type model for the mini-C frontend.
+
+Tracks signedness (which the IR does not), so the lowering can pick
+``sdiv``/``udiv``, ``ashr``/``lshr`` and signed/unsigned comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+
+
+class CType:
+    """Base class of frontend types."""
+
+    def to_ir(self) -> Type:
+        """The IR type this C type lowers to."""
+        raise NotImplementedError
+
+    @property
+    def is_integer(self) -> bool:
+        """Whether this is an integer type."""
+        return isinstance(self, CInt)
+
+    @property
+    def is_float(self) -> bool:
+        """Whether this is a floating type."""
+        return isinstance(self, CFloat)
+
+    @property
+    def is_pointer(self) -> bool:
+        """Whether this is a pointer type."""
+        return isinstance(self, CPtr)
+
+    @property
+    def is_array(self) -> bool:
+        """Whether this is an array type."""
+        return isinstance(self, CArray)
+
+    @property
+    def is_struct(self) -> bool:
+        """Whether this is a struct type."""
+        return isinstance(self, CStruct)
+
+    @property
+    def is_void(self) -> bool:
+        """Whether this is void."""
+        return isinstance(self, CVoid)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """Integer or floating type."""
+        return self.is_integer or self.is_float
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CType) and self.to_ir() is other.to_ir() and (
+            not (self.is_integer and other.is_integer)
+            or self.signed == other.signed  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+@dataclass(frozen=True)
+class CVoid(CType):
+    """The C ``void`` type."""
+    def to_ir(self) -> Type:
+        """Lowers to IR ``void``."""
+        return VOID
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class CInt(CType):
+    """A fixed-width integer with signedness."""
+    bits: int
+    signed: bool = True
+
+    def to_ir(self) -> Type:
+        """Lowers to ``iN``."""
+        return IntType(self.bits)
+
+    def __str__(self) -> str:
+        names = {8: "char", 16: "short", 32: "int", 64: "long"}
+        base = names.get(self.bits, f"int{self.bits}")
+        return base if self.signed else f"unsigned {base}"
+
+
+@dataclass(frozen=True)
+class CFloat(CType):
+    """``float`` or ``double``."""
+    bits: int
+
+    def to_ir(self) -> Type:
+        """Lowers to ``float``/``double``."""
+        return FloatType(self.bits)
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+@dataclass(frozen=True)
+class CPtr(CType):
+    """Pointer to another C type (``void*`` lowers to ``i8*``)."""
+    to: CType
+
+    def to_ir(self) -> Type:
+        """Lowers to a typed IR pointer."""
+        inner = self.to.to_ir()
+        if inner.is_void:
+            from ..ir.types import I8
+
+            inner = I8  # void* is modelled as i8*
+        return PointerType(inner)
+
+    def __str__(self) -> str:
+        return f"{self.to}*"
+
+
+@dataclass(frozen=True)
+class CArray(CType):
+    """Fixed-length array."""
+    element: CType
+    count: int
+
+    def to_ir(self) -> Type:
+        """Lowers to ``[N x elem]``."""
+        return ArrayType(self.element.to_ir(), self.count)
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.count}]"
+
+
+class CStruct(CType):
+    """A named struct with ordered (name, type) fields."""
+
+    def __init__(self, name: str, fields: Optional[List[Tuple[str, CType]]] = None):
+        self.name = name
+        self.fields: List[Tuple[str, CType]] = fields or []
+        self._ir: Optional[StructType] = None
+
+    def set_fields(self, fields: List[Tuple[str, CType]]) -> None:
+        """Install (or replace) the ordered field list."""
+        self.fields = fields
+        self._ir = None
+
+    def field_index(self, name: str) -> int:
+        """Position of the named field."""
+        for i, (field_name, _) in enumerate(self.fields):
+            if field_name == name:
+                return i
+        raise KeyError(f"struct {self.name} has no field {name!r}")
+
+    def field_type(self, name: str) -> CType:
+        """Type of the named field."""
+        return self.fields[self.field_index(name)][1]
+
+    def to_ir(self) -> StructType:
+        """The interned named IR struct for this C struct."""
+        if self._ir is None:
+            self._ir = StructType([t.to_ir() for _, t in self.fields], self.name)
+        return self._ir
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CStruct) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+
+INT = CInt(32, True)
+UINT = CInt(32, False)
+CHAR = CInt(8, True)
+UCHAR = CInt(8, False)
+SHORT = CInt(16, True)
+LONG = CInt(64, True)
+ULONG = CInt(64, False)
+FLOAT = CFloat(32)
+DOUBLE = CFloat(64)
+VOIDT = CVoid()
+
+
+def usual_arithmetic_conversion(a: CType, b: CType) -> CType:
+    """Result type of a binary arithmetic op on ``a`` and ``b``."""
+    if a.is_float or b.is_float:
+        bits = max(
+            a.bits if a.is_float else 0,
+            b.bits if b.is_float else 0,
+        )
+        return CFloat(max(bits, 32))
+    assert a.is_integer and b.is_integer
+    bits = max(a.bits, b.bits, 32)  # integer promotion to at least int
+    signed = True
+    if (a.bits >= bits and not a.signed) or (b.bits >= bits and not b.signed):
+        signed = False
+    return CInt(bits, signed)

@@ -1,0 +1,91 @@
+"""LLVM-like typed SSA intermediate representation.
+
+Public surface::
+
+    from repro.ir import (
+        Module, Function, BasicBlock, IRBuilder,
+        parse_module, print_module, verify_module, Machine,
+    )
+"""
+
+from .builder import IRBuilder
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+    BINARY_OPCODES,
+    CAST_OPCODES,
+    COMMUTATIVE_OPCODES,
+)
+from .interp import Machine, StepLimitExceeded, TrapError, run_function
+from .module import BasicBlock, Function, Module
+from .parser import ParseError, parse_function, parse_module
+from .printer import print_function, print_module
+from .types import (
+    ArrayType,
+    DataLayout,
+    DEFAULT_LAYOUT,
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I16,
+    I32,
+    I64,
+    I8,
+    IntType,
+    LABEL,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+    ptr,
+    types_equivalent,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantAggregate,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantZero,
+    GlobalVariable,
+    UndefValue,
+    Value,
+    const_float,
+    const_int,
+    neutral_element,
+    zero_constant_for,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Alloca", "Argument", "ArrayType", "BasicBlock", "BinaryOp", "Br",
+    "BINARY_OPCODES", "CAST_OPCODES", "COMMUTATIVE_OPCODES",
+    "Call", "Cast", "Constant", "ConstantAggregate", "ConstantFloat",
+    "ConstantInt", "ConstantNull", "ConstantZero", "DataLayout",
+    "DEFAULT_LAYOUT", "F32", "F64", "FCmp", "FloatType", "Function",
+    "FunctionType", "GetElementPtr", "GlobalVariable", "I1", "I16", "I32",
+    "I64", "I8", "ICmp", "IRBuilder", "Instruction", "IntType", "LABEL",
+    "Load", "Machine", "Module", "ParseError", "Phi", "PointerType", "Ret",
+    "Select", "StepLimitExceeded", "Store", "StructType", "TrapError",
+    "Type", "UndefValue", "Unreachable", "VOID", "Value",
+    "VerificationError", "const_float", "const_int", "neutral_element",
+    "parse_function", "parse_module", "print_function", "print_module",
+    "ptr", "run_function", "types_equivalent", "verify_function",
+    "verify_module", "zero_constant_for",
+]

@@ -1,0 +1,561 @@
+"""Reference interpreter for the IR.
+
+Executes functions over a byte-addressed memory with the same data
+layout the compiler assumes.  It is the semantic oracle of the project:
+every transform is validated by running the original and transformed
+function on identical inputs and comparing
+
+* the returned value,
+* the trace of external (declared) calls and their arguments,
+* the final contents of globals and caller-provided buffers.
+
+It also counts dynamically executed instructions, which serves as the
+performance proxy for the Section V-D experiment.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    ArrayType,
+    DataLayout,
+    DEFAULT_LAYOUT,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+)
+from .values import (
+    Argument,
+    ConstantAggregate,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantZero,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+
+class TrapError(Exception):
+    """Runtime fault: bad memory access, division by zero, etc."""
+
+
+class StepLimitExceeded(TrapError):
+    """The configured dynamic instruction budget was exhausted."""
+
+
+def _wrap_signed(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if bits > 1 and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _as_unsigned(value: int, bits: int) -> int:
+    return value & ((1 << bits) - 1)
+
+
+def _round_float(value: float, bits: int) -> float:
+    if bits == 32:
+        try:
+            return struct.unpack("<f", struct.pack("<f", value))[0]
+        except (OverflowError, ValueError):
+            return float("inf") if value > 0 else float("-inf")
+    return value
+
+
+ExternHandler = Callable[["Machine", Sequence[object]], object]
+
+
+class Machine:
+    """Execution state: memory, globals, extern handlers, counters."""
+
+    def __init__(
+        self,
+        module: Module,
+        layout: DataLayout = DEFAULT_LAYOUT,
+        step_limit: int = 5_000_000,
+    ) -> None:
+        self.module = module
+        self.layout = layout
+        self.step_limit = step_limit
+        self.steps = 0
+        self.memory = bytearray(64)  # address 0..63 reserved (null page)
+        self.extern_handlers: Dict[str, ExternHandler] = {}
+        self.extern_trace: List[Tuple[str, Tuple[object, ...]]] = []
+        #: (function name, block name) -> number of times entered.
+        self.block_counts: Dict[Tuple[str, str], int] = {}
+        #: Optional per-executed-instruction callback (e.g. an i-cache
+        #: simulator's fetch hook).
+        self.instruction_hook = None
+        self.global_addresses: Dict[str, int] = {}
+        self._function_addresses: Dict[int, Function] = {}
+        self._allocate_globals()
+
+    # ----- memory ----------------------------------------------------------
+
+    def alloc(self, size: int, align: int = 16) -> int:
+        """Bump-allocate ``size`` bytes, returning the address."""
+        addr = (len(self.memory) + align - 1) // align * align
+        self.memory.extend(b"\0" * (addr + max(size, 1) - len(self.memory)))
+        return addr
+
+    def _check_range(self, addr: int, size: int) -> None:
+        # Addresses 0..63 form the trap page (null and near-null).
+        if addr < 64 or addr + size > len(self.memory):
+            raise TrapError(f"out-of-bounds access at {addr} size {size}")
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read raw bytes (bounds-checked)."""
+        self._check_range(addr, size)
+        return bytes(self.memory[addr : addr + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Write raw bytes (bounds-checked)."""
+        self._check_range(addr, len(data))
+        self.memory[addr : addr + len(data)] = data
+
+    def read_value(self, addr: int, ty: Type) -> object:
+        """Read one typed value from memory."""
+        size = self.layout.size_of(ty)
+        raw = self.read_bytes(addr, size)
+        if isinstance(ty, IntType):
+            return _wrap_signed(int.from_bytes(raw, "little"), ty.bits)
+        if isinstance(ty, FloatType):
+            fmt = "<f" if ty.bits == 32 else "<d"
+            return struct.unpack(fmt, raw)[0]
+        if isinstance(ty, PointerType):
+            return int.from_bytes(raw, "little")
+        raise TrapError(f"cannot load type {ty}")
+
+    def write_value(self, addr: int, ty: Type, value: object) -> None:
+        """Write one typed value to memory."""
+        size = self.layout.size_of(ty)
+        if isinstance(ty, IntType):
+            raw = _as_unsigned(int(value), size * 8).to_bytes(size, "little")
+            self.write_bytes(addr, raw)
+            return
+        if isinstance(ty, FloatType):
+            fmt = "<f" if ty.bits == 32 else "<d"
+            self.write_bytes(addr, struct.pack(fmt, value))
+            return
+        if isinstance(ty, PointerType):
+            self.write_bytes(addr, int(value).to_bytes(8, "little"))
+            return
+        raise TrapError(f"cannot store type {ty}")
+
+    # ----- globals ----------------------------------------------------------
+
+    def _allocate_globals(self) -> None:
+        for gv in self.module.globals:
+            size = self.layout.size_of(gv.value_type)
+            addr = self.alloc(size, self.layout.align_of(gv.value_type))
+            self.global_addresses[gv.name] = addr
+            if gv.initializer is not None:
+                self._write_initializer(addr, gv.value_type, gv.initializer)
+        next_fn_addr = 8
+        for fn in self.module.functions:
+            self._function_addresses[next_fn_addr] = fn
+            fn._interp_address = next_fn_addr  # type: ignore[attr-defined]
+            next_fn_addr += 8
+
+    def _write_initializer(self, addr: int, ty: Type, init) -> None:
+        if isinstance(init, (ConstantZero, UndefValue)):
+            return  # memory is zeroed already
+        if isinstance(init, ConstantInt):
+            self.write_value(addr, ty, init.value)
+            return
+        if isinstance(init, ConstantFloat):
+            self.write_value(addr, ty, init.value)
+            return
+        if isinstance(init, ConstantNull):
+            return
+        if isinstance(init, ConstantAggregate):
+            if isinstance(ty, ArrayType):
+                elem_size = self.layout.size_of(ty.element)
+                for i, element in enumerate(init.elements):
+                    self._write_initializer(addr + i * elem_size, ty.element, element)
+                return
+            if isinstance(ty, StructType):
+                for i, element in enumerate(init.elements):
+                    offset = self.layout.field_offset(ty, i)
+                    self._write_initializer(addr + offset, ty.fields[i], element)
+                return
+        raise TrapError(f"unsupported initializer for {ty}")
+
+    def global_contents(self) -> Dict[str, bytes]:
+        """Snapshot of every global's bytes (for differential tests)."""
+        result = {}
+        for gv in self.module.globals:
+            addr = self.global_addresses[gv.name]
+            size = self.layout.size_of(gv.value_type)
+            result[gv.name] = self.read_bytes(addr, size)
+        return result
+
+    # ----- externs -----------------------------------------------------------
+
+    def register_extern(self, name: str, handler: ExternHandler) -> None:
+        """Install a Python handler for a declared function."""
+        self.extern_handlers[name] = handler
+
+    def _call_extern(self, fn: Function, args: Sequence[object]) -> object:
+        self.extern_trace.append((fn.name, tuple(args)))
+        handler = self.extern_handlers.get(fn.name)
+        if handler is not None:
+            return handler(self, args)
+        ret = fn.return_type
+        if ret.is_void:
+            return None
+        # Deterministic opaque default: a value derived from the inputs.
+        seed = hash((fn.name, tuple(args))) & 0x7FFFFFFF
+        if isinstance(ret, IntType):
+            return _wrap_signed(seed, ret.bits)
+        if isinstance(ret, FloatType):
+            return _round_float(float(seed % 1000), ret.bits)
+        if isinstance(ret, PointerType):
+            return 0
+        raise TrapError(f"extern {fn.name} returns unsupported type {ret}")
+
+    # ----- execution ----------------------------------------------------------
+
+    def call(self, fn: Function, args: Sequence[object]) -> object:
+        """Execute ``fn`` with Python-level argument values."""
+        if fn.is_declaration:
+            return self._call_extern(fn, args)
+        if len(args) != len(fn.arguments):
+            raise TrapError(
+                f"@{fn.name} expects {len(fn.arguments)} args, got {len(args)}"
+            )
+        env: Dict[int, object] = {}
+        for formal, actual in zip(fn.arguments, args):
+            env[id(formal)] = actual
+
+        block = fn.entry
+        prev_block: Optional[BasicBlock] = None
+        while True:
+            key = (fn.name, block.name)
+            self.block_counts[key] = self.block_counts.get(key, 0) + 1
+            # Evaluate phis atomically with respect to each other.
+            phis = block.phis()
+            if phis:
+                phi_values = []
+                for phi in phis:
+                    incoming = phi.incoming_for(prev_block)
+                    if incoming is None:
+                        raise TrapError(
+                            f"phi {phi.short_name()} has no incoming for "
+                            f"%{prev_block.name if prev_block else '<entry>'}"
+                        )
+                    phi_values.append(self._eval(incoming, env))
+                    self._tick(phi)
+                for phi, value in zip(phis, phi_values):
+                    env[id(phi)] = value
+
+            for inst in block.instructions[block.first_non_phi_index():]:
+                self._tick(inst)
+                if isinstance(inst, Ret):
+                    if inst.return_value is None:
+                        return None
+                    return self._eval(inst.return_value, env)
+                if isinstance(inst, Br):
+                    if inst.is_conditional:
+                        cond = self._eval(inst.condition, env)
+                        target = inst.successors()[0 if cond else 1]
+                    else:
+                        target = inst.successors()[0]
+                    prev_block = block
+                    block = target
+                    break
+                if isinstance(inst, Unreachable):
+                    raise TrapError("executed unreachable")
+                result = self._execute(inst, env)
+                if not inst.type.is_void:
+                    env[id(inst)] = result
+            else:
+                raise TrapError(f"block %{block.name} fell through")
+
+    def _tick(self, inst: Optional[Instruction] = None) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise StepLimitExceeded(f"exceeded {self.step_limit} steps")
+        if self.instruction_hook is not None and inst is not None:
+            self.instruction_hook(inst)
+
+    def _eval(self, value: Value, env: Dict[int, object]) -> object:
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, (ConstantNull, UndefValue)):
+            return 0
+        if isinstance(value, Function):
+            return value._interp_address  # type: ignore[attr-defined]
+        if isinstance(value, GlobalVariable):
+            return self.global_addresses[value.name]
+        if isinstance(value, (Instruction, Argument)):
+            if id(value) not in env:
+                raise TrapError(f"use of undefined value {value.short_name()}")
+            return env[id(value)]
+        raise TrapError(f"cannot evaluate {value!r}")
+
+    def _execute(self, inst: Instruction, env: Dict[int, object]) -> object:
+        if isinstance(inst, BinaryOp):
+            a = self._eval(inst.operands[0], env)
+            b = self._eval(inst.operands[1], env)
+            return self._binop(inst.opcode, inst.type, a, b)
+        if isinstance(inst, ICmp):
+            return self._icmp(inst, env)
+        if isinstance(inst, FCmp):
+            return self._fcmp(inst, env)
+        if isinstance(inst, Select):
+            cond = self._eval(inst.operands[0], env)
+            return self._eval(inst.operands[1 if cond else 2], env)
+        if isinstance(inst, Cast):
+            return self._cast(inst, env)
+        if isinstance(inst, GetElementPtr):
+            return self._gep(inst, env)
+        if isinstance(inst, Load):
+            addr = self._eval(inst.pointer, env)
+            return self.read_value(addr, inst.type)
+        if isinstance(inst, Store):
+            value = self._eval(inst.value, env)
+            addr = self._eval(inst.pointer, env)
+            self.write_value(addr, inst.value.type, value)
+            return None
+        if isinstance(inst, Alloca):
+            size = self.layout.size_of(inst.allocated_type)
+            return self.alloc(size, self.layout.align_of(inst.allocated_type))
+        if isinstance(inst, Call):
+            callee = inst.callee
+            if not isinstance(callee, Function):
+                addr = self._eval(callee, env)
+                callee = self._function_addresses.get(addr)
+                if callee is None:
+                    raise TrapError(f"indirect call to invalid address {addr}")
+            args = [self._eval(a, env) for a in inst.args]
+            return self.call(callee, args)
+        raise TrapError(f"cannot execute {inst!r}")
+
+    def _binop(self, opcode: str, ty: Type, a: object, b: object) -> object:
+        if isinstance(ty, IntType):
+            bits = ty.bits
+            ua = _as_unsigned(int(a), bits)
+            ub = _as_unsigned(int(b), bits)
+            if opcode == "add":
+                return _wrap_signed(int(a) + int(b), bits)
+            if opcode == "sub":
+                return _wrap_signed(int(a) - int(b), bits)
+            if opcode == "mul":
+                return _wrap_signed(int(a) * int(b), bits)
+            if opcode == "sdiv":
+                if b == 0:
+                    raise TrapError("sdiv by zero")
+                q = abs(int(a)) // abs(int(b))
+                if (int(a) < 0) != (int(b) < 0):
+                    q = -q
+                return _wrap_signed(q, bits)
+            if opcode == "udiv":
+                if ub == 0:
+                    raise TrapError("udiv by zero")
+                return _wrap_signed(ua // ub, bits)
+            if opcode == "srem":
+                if b == 0:
+                    raise TrapError("srem by zero")
+                r = abs(int(a)) % abs(int(b))
+                return _wrap_signed(-r if int(a) < 0 else r, bits)
+            if opcode == "urem":
+                if ub == 0:
+                    raise TrapError("urem by zero")
+                return _wrap_signed(ua % ub, bits)
+            if opcode == "and":
+                return _wrap_signed(ua & ub, bits)
+            if opcode == "or":
+                return _wrap_signed(ua | ub, bits)
+            if opcode == "xor":
+                return _wrap_signed(ua ^ ub, bits)
+            if opcode == "shl":
+                return _wrap_signed(ua << (ub % bits), bits)
+            if opcode == "lshr":
+                return _wrap_signed(ua >> (ub % bits), bits)
+            if opcode == "ashr":
+                return _wrap_signed(int(a) >> (ub % bits), bits)
+            raise TrapError(f"bad int opcode {opcode}")
+        if isinstance(ty, FloatType):
+            fa, fb = float(a), float(b)
+            if opcode == "fadd":
+                result = fa + fb
+            elif opcode == "fsub":
+                result = fa - fb
+            elif opcode == "fmul":
+                result = fa * fb
+            elif opcode == "fdiv":
+                if fb == 0.0:
+                    result = float("inf") if fa > 0 else float("-inf") if fa < 0 else float("nan")
+                else:
+                    result = fa / fb
+            elif opcode == "frem":
+                import math
+
+                result = math.fmod(fa, fb) if fb != 0.0 else float("nan")
+            else:
+                raise TrapError(f"bad float opcode {opcode}")
+            return _round_float(result, ty.bits)
+        raise TrapError(f"binary op on {ty}")
+
+    def _icmp(self, inst: ICmp, env: Dict[int, object]) -> int:
+        a = self._eval(inst.operands[0], env)
+        b = self._eval(inst.operands[1], env)
+        ty = inst.operands[0].type
+        bits = ty.bits if isinstance(ty, IntType) else 64
+        sa, sb = int(a), int(b)
+        ua, ub = _as_unsigned(sa, bits), _as_unsigned(sb, bits)
+        pred = inst.predicate
+        table = {
+            "eq": sa == sb,
+            "ne": sa != sb,
+            "slt": sa < sb,
+            "sle": sa <= sb,
+            "sgt": sa > sb,
+            "sge": sa >= sb,
+            "ult": ua < ub,
+            "ule": ua <= ub,
+            "ugt": ua > ub,
+            "uge": ua >= ub,
+        }
+        return 1 if table[pred] else 0
+
+    def _fcmp(self, inst: FCmp, env: Dict[int, object]) -> int:
+        a = float(self._eval(inst.operands[0], env))
+        b = float(self._eval(inst.operands[1], env))
+        unordered = a != a or b != b
+        pred = inst.predicate
+        if pred == "ord":
+            return 0 if unordered else 1
+        if pred == "uno":
+            return 1 if unordered else 0
+        if unordered:
+            return 0
+        table = {
+            "oeq": a == b,
+            "one": a != b,
+            "olt": a < b,
+            "ole": a <= b,
+            "ogt": a > b,
+            "oge": a >= b,
+        }
+        return 1 if table[pred] else 0
+
+    def _cast(self, inst: Cast, env: Dict[int, object]) -> object:
+        value = self._eval(inst.operands[0], env)
+        src = inst.operands[0].type
+        dst = inst.type
+        op = inst.opcode
+        if op == "trunc":
+            return _wrap_signed(int(value), dst.bits)
+        if op == "zext":
+            return _wrap_signed(_as_unsigned(int(value), src.bits), dst.bits)
+        if op == "sext":
+            return _wrap_signed(int(value), dst.bits)
+        if op == "bitcast":
+            if isinstance(src, PointerType) and isinstance(dst, PointerType):
+                return value
+            raw = self._bits_of(value, src)
+            return self._value_of(raw, dst)
+        if op == "ptrtoint":
+            return _wrap_signed(int(value), dst.bits)
+        if op == "inttoptr":
+            return _as_unsigned(int(value), 64)
+        if op in ("sitofp", "uitofp"):
+            if op == "uitofp":
+                value = _as_unsigned(int(value), src.bits)
+            return _round_float(float(int(value)), dst.bits)
+        if op in ("fptosi", "fptoui"):
+            try:
+                result = int(float(value))
+            except (OverflowError, ValueError):
+                result = 0
+            return _wrap_signed(result, dst.bits)
+        if op == "fpext":
+            return float(value)
+        if op == "fptrunc":
+            return _round_float(float(value), dst.bits)
+        raise TrapError(f"bad cast {op}")
+
+    def _bits_of(self, value: object, ty: Type) -> int:
+        if isinstance(ty, IntType):
+            return _as_unsigned(int(value), ty.bits)
+        if isinstance(ty, FloatType):
+            fmt = "<f" if ty.bits == 32 else "<d"
+            return int.from_bytes(struct.pack(fmt, float(value)), "little")
+        if isinstance(ty, PointerType):
+            return int(value)
+        raise TrapError(f"bitcast of {ty}")
+
+    def _value_of(self, raw: int, ty: Type) -> object:
+        if isinstance(ty, IntType):
+            return _wrap_signed(raw, ty.bits)
+        if isinstance(ty, FloatType):
+            size = ty.bits // 8
+            fmt = "<f" if ty.bits == 32 else "<d"
+            return struct.unpack(fmt, raw.to_bytes(size, "little"))[0]
+        if isinstance(ty, PointerType):
+            return raw
+        raise TrapError(f"bitcast to {ty}")
+
+    def _gep(self, inst: GetElementPtr, env: Dict[int, object]) -> int:
+        addr = int(self._eval(inst.pointer, env))
+        indices = inst.indices
+        first = int(self._eval(indices[0], env))
+        addr += first * self.layout.size_of(inst.source_type)
+        ty = inst.source_type
+        for idx in indices[1:]:
+            index = int(self._eval(idx, env))
+            if isinstance(ty, ArrayType):
+                addr += index * self.layout.size_of(ty.element)
+                ty = ty.element
+            elif isinstance(ty, StructType):
+                addr += self.layout.field_offset(ty, index)
+                ty = ty.fields[index]
+            else:
+                raise TrapError(f"gep into {ty}")
+        return addr
+
+
+def run_function(
+    module: Module,
+    name: str,
+    args: Sequence[object] = (),
+    externs: Optional[Dict[str, ExternHandler]] = None,
+    step_limit: int = 5_000_000,
+) -> Tuple[object, Machine]:
+    """Convenience wrapper: build a machine, run ``@name``, return both."""
+    machine = Machine(module, step_limit=step_limit)
+    for extern_name, handler in (externs or {}).items():
+        machine.register_extern(extern_name, handler)
+    fn = module.get_function(name)
+    if fn is None:
+        raise KeyError(f"no function @{name}")
+    result = machine.call(fn, args)
+    return result, machine

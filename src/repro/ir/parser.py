@@ -1,0 +1,660 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+Implements a hand-written lexer and recursive-descent parser for the
+LLVM-flavoured syntax.  Forward references (phi operands, branch
+targets, values used before their definition line) are resolved through
+placeholder values that are patched once the function body is complete.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+    BINARY_OPCODES,
+    CAST_OPCODES,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+from .values import (
+    Constant,
+    ConstantAggregate,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantZero,
+    UndefValue,
+    Value,
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r\n]+)
+    | (?P<comment>;[^\n]*)
+    | (?P<local>%[A-Za-z0-9._$-]+)
+    | (?P<global>@[A-Za-z0-9._$-]+)
+    | (?P<float>-?\d+\.\d+(e[+-]?\d+)?)
+    | (?P<int>-?\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9._]*)
+    | (?P<ellipsis>\.\.\.)
+    | (?P<punct>[()\[\]{}<>,=:*])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind},{self.text!r})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup
+        text = match.group()
+        line += text.count("\n")
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line))
+        pos = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Forward(Value):
+    """Placeholder for a value referenced before its definition."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(VOID, name)
+
+
+class Parser:
+    """Parses a whole module.  Use :func:`parse_module` instead."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = _tokenize(source)
+        self.pos = 0
+        self.module = Module()
+
+    # ----- token helpers --------------------------------------------------
+
+    @property
+    def tok(self) -> _Token:
+        """The current token."""
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        """Consume and return the current token."""
+        token = self.tok
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        """Consume the token if it matches; else None."""
+        token = self.tok
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        """Consume a required token or raise ParseError."""
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise ParseError(f"expected {want!r}, got {self.tok.text!r}", self.tok.line)
+        return token
+
+    def error(self, message: str) -> ParseError:
+        """A ParseError at the current position."""
+        return ParseError(message, self.tok.line)
+
+    # ----- types ------------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        """Parse a type (with pointer suffixes)."""
+        ty = self._parse_base_type()
+        while self.accept("punct", "*"):
+            ty = PointerType(ty)
+        return ty
+
+    def _parse_base_type(self) -> Type:
+        token = self.tok
+        if token.kind == "ident":
+            text = token.text
+            if text == "void":
+                self.advance()
+                return VOID
+            if text == "float":
+                self.advance()
+                return FloatType(32)
+            if text == "double":
+                self.advance()
+                return FloatType(64)
+            match = re.fullmatch(r"i(\d+)", text)
+            if match:
+                self.advance()
+                return IntType(int(match.group(1)))
+            raise self.error(f"unknown type {text!r}")
+        if token.kind == "local" and token.text.startswith("%struct."):
+            self.advance()
+            name = token.text[len("%struct."):]
+            struct = StructType.get_named(name)
+            if struct is None:
+                struct = StructType((), name)
+            return struct
+        if self.accept("punct", "["):
+            count = int(self.expect("int").text)
+            self.expect("ident", "x")
+            element = self.parse_type()
+            self.expect("punct", "]")
+            return ArrayType(element, count)
+        if self.accept("punct", "{"):
+            fields = []
+            if not self.accept("punct", "}"):
+                fields.append(self.parse_type())
+                while self.accept("punct", ","):
+                    fields.append(self.parse_type())
+                self.expect("punct", "}")
+            return StructType(fields)
+        raise self.error(f"expected type, got {token.text!r}")
+
+    # ----- module level -------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        """Parse the whole module."""
+        self._prescan_signatures()
+        while self.tok.kind != "eof":
+            if self.tok.kind == "local" and self.tok.text.startswith("%struct."):
+                self._parse_struct_def()
+            elif self.tok.kind == "global":
+                self._parse_global()
+            elif self.tok.kind == "ident" and self.tok.text == "define":
+                self._parse_define()
+            elif self.tok.kind == "ident" and self.tok.text == "declare":
+                self._parse_declare()
+            else:
+                raise self.error(f"unexpected top-level token {self.tok.text!r}")
+        return self.module
+
+    def _prescan_signatures(self) -> None:
+        """Register struct names and function signatures before bodies.
+
+        Allows a function to call another one defined later in the file
+        and lets types reference named structs defined anywhere.
+        """
+        saved = self.pos
+        # First register all struct definitions (their bodies may be
+        # needed to parse function signatures).
+        i = 0
+        while i < len(self.tokens):
+            token = self.tokens[i]
+            if (
+                token.kind == "local"
+                and token.text.startswith("%struct.")
+                and i + 2 < len(self.tokens)
+                and self.tokens[i + 1].text == "="
+                and self.tokens[i + 2].text == "type"
+            ):
+                self.pos = i
+                self._parse_struct_def()
+                i = self.pos
+                continue
+            i += 1
+        # Then register every define/declare signature.
+        i = 0
+        while i < len(self.tokens):
+            token = self.tokens[i]
+            if token.kind == "ident" and token.text in ("define", "declare"):
+                self.pos = i + 1
+                return_type = self.parse_type()
+                name = self.expect("global").text[1:]
+                self.expect("punct", "(")
+                params: List[Type] = []
+                vararg = False
+                arg_names: List[str] = []
+                if not self.accept("punct", ")"):
+                    while True:
+                        if self.accept("ellipsis"):
+                            vararg = True
+                            break
+                        params.append(self.parse_type())
+                        if self.tok.kind == "local":
+                            arg_names.append(self.advance().text[1:])
+                        if not self.accept("punct", ","):
+                            break
+                    self.expect("punct", ")")
+                if self.module.get_function(name) is None:
+                    self.module.add_function(
+                        name, FunctionType(return_type, params, vararg), arg_names
+                    )
+                i = self.pos
+                continue
+            i += 1
+        self.pos = saved
+
+    def _parse_struct_def(self) -> None:
+        token = self.advance()
+        name = token.text[len("%struct."):]
+        self.expect("punct", "=")
+        self.expect("ident", "type")
+        self.expect("punct", "{")
+        fields = []
+        if not self.accept("punct", "}"):
+            fields.append(self.parse_type())
+            while self.accept("punct", ","):
+                fields.append(self.parse_type())
+            self.expect("punct", "}")
+        struct = StructType(fields, name)
+        self.module.register_struct(struct)
+
+    def _parse_global(self) -> None:
+        name = self.advance().text[1:]
+        self.expect("punct", "=")
+        external = bool(self.accept("ident", "external"))
+        is_const = False
+        if self.accept("ident", "constant"):
+            is_const = True
+        else:
+            self.expect("ident", "global")
+        value_type = self.parse_type()
+        initializer: Optional[Constant] = None
+        if not external:
+            initializer = self.parse_constant(value_type)
+        self.module.add_global(name, value_type, initializer, is_const)
+
+    def parse_constant(self, ty: Type) -> Constant:
+        """Parse a constant of the given type."""
+        token = self.tok
+        if token.kind == "int":
+            self.advance()
+            if not isinstance(ty, IntType):
+                raise self.error(f"integer literal for non-integer type {ty}")
+            return ConstantInt(ty, int(token.text))
+        if token.kind == "float":
+            self.advance()
+            return ConstantFloat(ty, float(token.text))
+        if token.kind == "ident":
+            if token.text in ("true", "false"):
+                self.advance()
+                return ConstantInt(IntType(1), 1 if token.text == "true" else 0)
+            if token.text == "undef":
+                self.advance()
+                return UndefValue(ty)
+            if token.text == "null":
+                self.advance()
+                return ConstantNull(ty)
+            if token.text == "zeroinitializer":
+                self.advance()
+                return ConstantZero(ty)
+        if token.kind == "punct" and token.text == "[":
+            self.advance()
+            elements = []
+            if not self.accept("punct", "]"):
+                while True:
+                    elem_ty = self.parse_type()
+                    elements.append(self.parse_constant(elem_ty))
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", "]")
+            return ConstantAggregate(ty, elements)
+        if token.kind == "punct" and token.text == "{":
+            self.advance()
+            elements = []
+            if not self.accept("punct", "}"):
+                while True:
+                    elem_ty = self.parse_type()
+                    elements.append(self.parse_constant(elem_ty))
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", "}")
+            return ConstantAggregate(ty, elements)
+        raise self.error(f"expected constant, got {token.text!r}")
+
+    def _parse_declare(self) -> None:
+        self.expect("ident", "declare")
+        return_type = self.parse_type()
+        name = self.expect("global").text[1:]
+        self.expect("punct", "(")
+        params: List[Type] = []
+        vararg = False
+        if not self.accept("punct", ")"):
+            while True:
+                if self.accept("ellipsis"):
+                    vararg = True
+                    break
+                params.append(self.parse_type())
+                if self.tok.kind == "local":
+                    self.advance()
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        fn = self.module.get_function(name)
+        if fn is None:
+            fn = self.module.add_function(
+                name, FunctionType(return_type, params, vararg)
+            )
+        while self.tok.kind == "ident" and self.tok.text in ("readnone", "readonly"):
+            fn.attributes.add(self.advance().text)
+
+    def _parse_define(self) -> None:
+        self.expect("ident", "define")
+        return_type = self.parse_type()
+        name = self.expect("global").text[1:]
+        self.expect("punct", "(")
+        params: List[Type] = []
+        arg_names: List[str] = []
+        if not self.accept("punct", ")"):
+            while True:
+                params.append(self.parse_type())
+                arg_tok = self.expect("local")
+                arg_names.append(arg_tok.text[1:])
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        fn = self.module.get_function(name)
+        if fn is None:
+            fn = self.module.add_function(
+                name, FunctionType(return_type, params), arg_names
+            )
+        self.expect("punct", "{")
+        self._parse_body(fn)
+        self.expect("punct", "}")
+
+    # ----- function body ---------------------------------------------------
+
+    def _parse_body(self, fn: Function) -> None:
+        values: Dict[str, Value] = {f"%{a.name}": a for a in fn.arguments}
+        forwards: Dict[str, _Forward] = {}
+
+        def lookup_block(label: str) -> BasicBlock:
+            key = f"%{label}"
+            existing = values.get(key)
+            if isinstance(existing, BasicBlock):
+                return existing
+            if key in forwards:
+                placeholder = forwards[key]
+            else:
+                placeholder = _Forward(label)
+                forwards[key] = placeholder
+            return placeholder  # type: ignore[return-value]
+
+        def lookup_local(name: str) -> Value:
+            if name in values:
+                return values[name]
+            if name in forwards:
+                return forwards[name]
+            placeholder = _Forward(name[1:])
+            forwards[name] = placeholder
+            return placeholder
+
+        def define(name: str, value: Value) -> None:
+            if name in values:
+                raise self.error(f"redefinition of {name}")
+            values[name] = value
+            if name in forwards:
+                forwards.pop(name).replace_all_uses_with(value)
+
+        block: Optional[BasicBlock] = None
+        while not (self.tok.kind == "punct" and self.tok.text == "}"):
+            # A label introduces a new block: `name:`
+            if (
+                self.tok.kind in ("ident", "int")
+                and self.tokens[self.pos + 1].kind == "punct"
+                and self.tokens[self.pos + 1].text == ":"
+            ):
+                label = self.advance().text
+                self.advance()
+                block = fn.add_block(label)
+                define(f"%{label}", block)
+                continue
+            if block is None:
+                block = fn.add_block("entry")
+                define("%entry", block)
+            self._parse_instruction(fn, block, lookup_local, lookup_block, define)
+
+        unresolved = [name for name in forwards]
+        if unresolved:
+            raise self.error(f"unresolved references: {', '.join(unresolved)}")
+
+    def _parse_operand(self, ty: Type, lookup_local) -> Value:
+        token = self.tok
+        if token.kind == "local":
+            self.advance()
+            return lookup_local(token.text)
+        if token.kind == "global":
+            self.advance()
+            name = token.text[1:]
+            target = self.module.get_global(name) or self.module.get_function(name)
+            if target is None:
+                raise self.error(f"unknown global @{name}")
+            return target
+        return self.parse_constant(ty)
+
+    def _parse_instruction(self, fn, block, lookup_local, lookup_block, define) -> None:
+        name: Optional[str] = None
+        if self.tok.kind == "local":
+            name = self.advance().text
+            self.expect("punct", "=")
+        inst = self._parse_instruction_rhs(fn, lookup_local, lookup_block)
+        if name is not None:
+            inst.name = name[1:]
+            define(name, inst)
+        block.append(inst)
+
+    def _parse_instruction_rhs(self, fn, lookup_local, lookup_block):
+        token = self.tok
+        if token.kind != "ident":
+            raise self.error(f"expected instruction, got {token.text!r}")
+        op = token.text
+
+        if op in BINARY_OPCODES:
+            self.advance()
+            ty = self.parse_type()
+            lhs = self._parse_operand(ty, lookup_local)
+            self.expect("punct", ",")
+            rhs = self._parse_operand(ty, lookup_local)
+            return BinaryOp(op, self._coerce(lhs, ty), self._coerce(rhs, ty))
+
+        if op == "icmp" or op == "fcmp":
+            self.advance()
+            predicate = self.expect("ident").text
+            ty = self.parse_type()
+            lhs = self._parse_operand(ty, lookup_local)
+            self.expect("punct", ",")
+            rhs = self._parse_operand(ty, lookup_local)
+            cls = ICmp if op == "icmp" else FCmp
+            return cls(predicate, self._coerce(lhs, ty), self._coerce(rhs, ty))
+
+        if op == "select":
+            self.advance()
+            cond_ty = self.parse_type()
+            cond = self._parse_operand(cond_ty, lookup_local)
+            self.expect("punct", ",")
+            a_ty = self.parse_type()
+            a = self._parse_operand(a_ty, lookup_local)
+            self.expect("punct", ",")
+            b_ty = self.parse_type()
+            b = self._parse_operand(b_ty, lookup_local)
+            return Select(cond, self._coerce(a, a_ty), self._coerce(b, b_ty))
+
+        if op in CAST_OPCODES:
+            self.advance()
+            from_ty = self.parse_type()
+            value = self._parse_operand(from_ty, lookup_local)
+            self.expect("ident", "to")
+            to_ty = self.parse_type()
+            return Cast(op, self._coerce(value, from_ty), to_ty)
+
+        if op == "getelementptr":
+            self.advance()
+            source_type = self.parse_type()
+            self.expect("punct", ",")
+            ptr_ty = self.parse_type()
+            pointer = self._parse_operand(ptr_ty, lookup_local)
+            indices = []
+            index_types = []
+            while self.accept("punct", ","):
+                idx_ty = self.parse_type()
+                indices.append(self._parse_operand(idx_ty, lookup_local))
+                index_types.append(idx_ty)
+            gep = GetElementPtr.__new__(GetElementPtr)
+            result = GetElementPtr._result_type(source_type, indices)
+            from .instructions import Instruction as _I
+            _I.__init__(gep, result)
+            gep.source_type = source_type
+            gep.add_operand(self._coerce(pointer, ptr_ty))
+            for idx in indices:
+                gep.add_operand(idx)
+            return gep
+
+        if op == "load":
+            self.advance()
+            ty = self.parse_type()
+            self.expect("punct", ",")
+            ptr_ty = self.parse_type()
+            pointer = self._parse_operand(ptr_ty, lookup_local)
+            return Load(ty, self._coerce(pointer, ptr_ty))
+
+        if op == "store":
+            self.advance()
+            val_ty = self.parse_type()
+            value = self._parse_operand(val_ty, lookup_local)
+            self.expect("punct", ",")
+            ptr_ty = self.parse_type()
+            pointer = self._parse_operand(ptr_ty, lookup_local)
+            return Store(self._coerce(value, val_ty), self._coerce(pointer, ptr_ty))
+
+        if op == "call":
+            self.advance()
+            self.parse_type()  # return type (redundant with callee)
+            callee_tok = self.expect("global")
+            callee = self.module.get_function(callee_tok.text[1:])
+            if callee is None:
+                raise self.error(f"unknown function {callee_tok.text}")
+            self.expect("punct", "(")
+            args = []
+            if not self.accept("punct", ")"):
+                while True:
+                    arg_ty = self.parse_type()
+                    args.append(
+                        self._coerce(self._parse_operand(arg_ty, lookup_local), arg_ty)
+                    )
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", ")")
+            return Call(callee, args)
+
+        if op == "phi":
+            self.advance()
+            ty = self.parse_type()
+            phi = Phi(ty)
+            while True:
+                self.expect("punct", "[")
+                value = self._parse_operand(ty, lookup_local)
+                self.expect("punct", ",")
+                label = self.expect("local").text[1:]
+                self.expect("punct", "]")
+                phi.add_incoming(self._coerce(value, ty), lookup_block(label))
+                if not self.accept("punct", ","):
+                    break
+            return phi
+
+        if op == "br":
+            self.advance()
+            if self.accept("ident", "label"):
+                label = self.expect("local").text[1:]
+                return Br(lookup_block(label))
+            cond_ty = self.parse_type()
+            cond = self._parse_operand(cond_ty, lookup_local)
+            self.expect("punct", ",")
+            self.expect("ident", "label")
+            t = self.expect("local").text[1:]
+            self.expect("punct", ",")
+            self.expect("ident", "label")
+            f = self.expect("local").text[1:]
+            return Br(cond, lookup_block(t), lookup_block(f))
+
+        if op == "ret":
+            self.advance()
+            if self.accept("ident", "void"):
+                return Ret()
+            ty = self.parse_type()
+            value = self._parse_operand(ty, lookup_local)
+            return Ret(self._coerce(value, ty))
+
+        if op == "unreachable":
+            self.advance()
+            return Unreachable()
+
+        if op == "alloca":
+            self.advance()
+            ty = self.parse_type()
+            return Alloca(ty)
+
+        raise self.error(f"unknown instruction {op!r}")
+
+    @staticmethod
+    def _coerce(value: Value, ty: Type) -> Value:
+        """Give forward placeholders their real type once it is known."""
+        if isinstance(value, _Forward) and value.type.is_void:
+            value.type = ty
+        return value
+
+
+def parse_module(source: str) -> Module:
+    """Parse IR text into a :class:`Module`."""
+    return Parser(source).parse_module()
+
+
+def parse_function(source: str) -> Function:
+    """Parse IR text expected to contain exactly one function definition."""
+    module = parse_module(source)
+    defs = [f for f in module.functions if not f.is_declaration]
+    if len(defs) != 1:
+        raise ValueError("expected exactly one function definition")
+    return defs[0]

@@ -1,0 +1,205 @@
+"""Textual printer for the IR (LLVM-flavoured syntax).
+
+The printed form round-trips through :mod:`repro.ir.parser`.  Printing
+never mutates the IR: anonymous or duplicate names are resolved through
+a local renaming map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import (
+    Argument,
+    ConstantAggregate,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantZero,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+
+class _Namer:
+    """Assigns unique printable names without touching the IR."""
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+        self._taken: set = set()
+        self._counter = 0
+
+    def name_of(self, value: Value) -> str:
+        key = id(value)
+        if key in self._names:
+            return self._names[key]
+        base = value.name
+        candidate = base
+        while not candidate or candidate in self._taken:
+            candidate = f"{base}.{self._counter}" if base else str(self._counter)
+            self._counter += 1
+        self._taken.add(candidate)
+        self._names[key] = candidate
+        return candidate
+
+
+def format_value(value: Value, namer: _Namer) -> str:
+    """Operand reference without its type (``%x``, ``@g``, ``42``...)."""
+    if isinstance(value, (ConstantInt, ConstantFloat, UndefValue, ConstantNull,
+                          ConstantZero, ConstantAggregate)):
+        return _format_constant(value, namer)
+    if isinstance(value, (GlobalVariable, Function)):
+        return f"@{value.name}"
+    if isinstance(value, (Argument, Instruction, BasicBlock)):
+        return f"%{namer.name_of(value)}"
+    raise ValueError(f"cannot format value {value!r}")
+
+
+def _format_constant(value: Value, namer: _Namer) -> str:
+    if isinstance(value, ConstantInt):
+        if value.type.bits == 1:
+            return "true" if value.value else "false"
+        return str(value.value)
+    if isinstance(value, ConstantFloat):
+        text = repr(value.value)
+        return text
+    if isinstance(value, UndefValue):
+        return "undef"
+    if isinstance(value, ConstantNull):
+        return "null"
+    if isinstance(value, ConstantZero):
+        return "zeroinitializer"
+    if isinstance(value, ConstantAggregate):
+        inner = ", ".join(
+            f"{e.type} {_format_constant(e, namer)}" for e in value.elements
+        )
+        if value.type.is_array:
+            return f"[{inner}]"
+        return f"{{ {inner} }}"
+    raise ValueError(f"not a constant: {value!r}")
+
+
+def _typed(value: Value, namer: _Namer) -> str:
+    return f"{value.type} {format_value(value, namer)}"
+
+
+def format_instruction(inst: Instruction, namer: _Namer) -> str:
+    """One line of IR text for ``inst`` (no leading indent)."""
+    def v(x: Value) -> str:
+        return format_value(x, namer)
+
+    name = f"%{namer.name_of(inst)}" if not inst.type.is_void else None
+
+    if isinstance(inst, BinaryOp):
+        a, b = inst.operands
+        return f"{name} = {inst.opcode} {a.type} {v(a)}, {v(b)}"
+    if isinstance(inst, ICmp):
+        a, b = inst.operands
+        return f"{name} = icmp {inst.predicate} {a.type} {v(a)}, {v(b)}"
+    if isinstance(inst, FCmp):
+        a, b = inst.operands
+        return f"{name} = fcmp {inst.predicate} {a.type} {v(a)}, {v(b)}"
+    if isinstance(inst, Select):
+        c, a, b = inst.operands
+        return f"{name} = select {_typed(c, namer)}, {_typed(a, namer)}, {_typed(b, namer)}"
+    if isinstance(inst, Cast):
+        (a,) = inst.operands
+        return f"{name} = {inst.opcode} {a.type} {v(a)} to {inst.type}"
+    if isinstance(inst, GetElementPtr):
+        parts = [f"{inst.source_type}", _typed(inst.pointer, namer)]
+        parts += [_typed(i, namer) for i in inst.indices]
+        return f"{name} = getelementptr {', '.join(parts)}"
+    if isinstance(inst, Load):
+        return f"{name} = load {inst.type}, {_typed(inst.pointer, namer)}"
+    if isinstance(inst, Store):
+        return f"store {_typed(inst.value, namer)}, {_typed(inst.pointer, namer)}"
+    if isinstance(inst, Call):
+        args = ", ".join(_typed(a, namer) for a in inst.args)
+        callee = v(inst.callee)
+        if inst.type.is_void:
+            return f"call void {callee}({args})"
+        return f"{name} = call {inst.type} {callee}({args})"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(
+            f"[ {v(val)}, %{namer.name_of(block)} ]" for val, block in inst.incoming
+        )
+        return f"{name} = phi {inst.type} {pairs}"
+    if isinstance(inst, Br):
+        if inst.is_conditional:
+            c = inst.condition
+            t, f = inst.successors()
+            return (
+                f"br i1 {v(c)}, label %{namer.name_of(t)}, label %{namer.name_of(f)}"
+            )
+        (target,) = inst.successors()
+        return f"br label %{namer.name_of(target)}"
+    if isinstance(inst, Ret):
+        if inst.return_value is None:
+            return "ret void"
+        return f"ret {_typed(inst.return_value, namer)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    if isinstance(inst, Alloca):
+        return f"{name} = alloca {inst.allocated_type}"
+    raise ValueError(f"cannot print instruction {inst!r}")
+
+
+def print_function(fn: Function) -> str:
+    """Render one function as parseable IR text."""
+    namer = _Namer()
+    for arg in fn.arguments:
+        namer.name_of(arg)
+    params = ", ".join(
+        f"{arg.type} %{namer.name_of(arg)}" for arg in fn.arguments
+    )
+    if fn.is_declaration:
+        proto = ", ".join(str(t) for t in fn.function_type.params)
+        attrs = (" " + " ".join(sorted(fn.attributes))) if fn.attributes else ""
+        return f"declare {fn.return_type} @{fn.name}({proto}){attrs}"
+    lines = [f"define {fn.return_type} @{fn.name}({params}) {{"]
+    for i, block in enumerate(fn.blocks):
+        if i > 0:
+            lines.append("")
+        lines.append(f"{namer.name_of(block)}:")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst, namer)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render the whole module as parseable IR text."""
+    chunks: List[str] = []
+    structs = dict(module.struct_types)
+    for name, struct in sorted(structs.items()):
+        chunks.append(f"%struct.{name} = type {struct.body_str()}")
+    namer = _Namer()
+    for gv in module.globals:
+        kind = "constant" if gv.is_constant_global else "global"
+        if gv.initializer is not None:
+            init = _format_constant(gv.initializer, namer)
+            chunks.append(f"@{gv.name} = {kind} {gv.value_type} {init}")
+        else:
+            chunks.append(f"@{gv.name} = external {kind} {gv.value_type}")
+    for fn in module.functions:
+        chunks.append(print_function(fn))
+    return "\n\n".join(chunks) + "\n"

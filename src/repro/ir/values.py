@@ -1,0 +1,288 @@
+"""Value hierarchy of the SSA IR.
+
+Everything an instruction can reference is a :class:`Value`: constants,
+function arguments, global variables, basic blocks (as branch targets),
+functions (as callees) and other instructions.  Values that reference
+operands are :class:`User` subclasses and maintain explicit use-def
+chains, mirroring LLVM's design so that transforms can ask "who uses
+this value" in O(uses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+from .types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instructions import Instruction
+
+
+class Use:
+    """A single operand slot: ``user.operands[index] is value``."""
+
+    __slots__ = ("user", "index")
+
+    def __init__(self, user: "User", index: int) -> None:
+        self.user = user
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Use({self.user!r}[{self.index}])"
+
+
+class Value:
+    """Base class for everything that can be an operand."""
+
+    def __init__(self, ty: Type, name: str = "") -> None:
+        self.type = ty
+        self.name = name
+        self.uses: List[Use] = []
+
+    @property
+    def users(self) -> List["User"]:
+        """Distinct users of this value, in first-use order."""
+        seen = []
+        for use in self.uses:
+            if use.user not in seen:
+                seen.append(use.user)
+        return seen
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Rewrite every operand slot referencing ``self`` to ``new``."""
+        if new is self:
+            return
+        for use in list(self.uses):
+            use.user.set_operand(use.index, new)
+
+    def is_constant(self) -> bool:
+        """Whether this value is a compile-time constant."""
+        return isinstance(self, Constant)
+
+    def short_name(self) -> str:
+        """Printable handle (``%x``, ``@g``, a literal, ...)."""
+        return f"%{self.name}" if self.name else "%<unnamed>"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.short_name()}:{self.type}>"
+
+
+class User(Value):
+    """A value that references operands (instructions, const exprs)."""
+
+    def __init__(self, ty: Type, name: str = "") -> None:
+        super().__init__(ty, name)
+        self.operands: List[Value] = []
+
+    def add_operand(self, value: Value) -> None:
+        """Append an operand, recording the use."""
+        index = len(self.operands)
+        self.operands.append(value)
+        value.uses.append(Use(self, index))
+
+    def set_operand(self, index: int, value: Value) -> None:
+        """Replace operand ``index``, updating use lists."""
+        old = self.operands[index]
+        if old is value:
+            return
+        old.uses = [u for u in old.uses if not (u.user is self and u.index == index)]
+        self.operands[index] = value
+        value.uses.append(Use(self, index))
+
+    def drop_all_references(self) -> None:
+        """Detach this user from all of its operands."""
+        for index, old in enumerate(self.operands):
+            old.uses = [
+                u for u in old.uses if not (u.user is self and u.index == index)
+            ]
+        self.operands = []
+
+    def operand_iter(self) -> Iterator[Value]:
+        """Iterate operands."""
+        return iter(self.operands)
+
+
+class Constant(Value):
+    """Base class of compile-time constants."""
+
+
+class ConstantInt(Constant):
+    """An integer constant of a specific width, stored in signed form."""
+
+    def __init__(self, ty: IntType, value: int) -> None:
+        super().__init__(ty)
+        masked = value & ty.mask
+        if masked >= (1 << (ty.bits - 1)) and ty.bits > 1:
+            masked -= 1 << ty.bits
+        if ty.bits == 1:
+            masked = masked & 1
+        self.value = masked
+
+    def short_name(self) -> str:
+        """The literal text (``true``/``false`` for i1)."""
+        if self.type.bits == 1:
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.type is self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class ConstantFloat(Constant):
+    """A floating point constant."""
+
+    def __init__(self, ty: FloatType, value: float) -> None:
+        super().__init__(ty)
+        self.value = float(value)
+
+    def short_name(self) -> str:
+        """The float literal text."""
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantFloat)
+            and other.type is self.type
+            and (
+                other.value == self.value
+                or (other.value != other.value and self.value != self.value)
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class UndefValue(Constant):
+    """An unspecified value of a given type."""
+
+    def short_name(self) -> str:
+        """Always ``undef``."""
+        return "undef"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UndefValue) and other.type is self.type
+
+    def __hash__(self) -> int:
+        return hash((UndefValue, self.type))
+
+
+class ConstantNull(Constant):
+    """The null pointer of a given pointer type."""
+
+    def short_name(self) -> str:
+        """Always ``null``."""
+        return "null"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantNull) and other.type is self.type
+
+    def __hash__(self) -> int:
+        return hash((ConstantNull, self.type))
+
+
+class ConstantAggregate(Constant):
+    """A constant array or struct, used for global initializers."""
+
+    def __init__(self, ty: Type, elements: Sequence[Constant]) -> None:
+        super().__init__(ty)
+        self.elements: List[Constant] = list(elements)
+
+    def short_name(self) -> str:
+        """The aggregate literal text."""
+        inner = ", ".join(f"{e.type} {e.short_name()}" for e in self.elements)
+        return f"[{inner}]" if self.type.is_array else f"{{{inner}}}"
+
+
+class ConstantZero(Constant):
+    """``zeroinitializer`` for any sized type."""
+
+    def short_name(self) -> str:
+        """Always ``zeroinitializer``."""
+        return "zeroinitializer"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, ty: Type, name: str, index: int) -> None:
+        super().__init__(ty, name)
+        self.index = index
+
+
+class GlobalVariable(Constant):
+    """A module-level variable.  Its value is the *address* (a pointer)."""
+
+    def __init__(
+        self,
+        name: str,
+        value_type: Type,
+        initializer: Optional[Constant] = None,
+        is_constant: bool = False,
+    ) -> None:
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_constant_global = is_constant
+
+    def short_name(self) -> str:
+        """Printable reference (``@name``)."""
+        return f"@{self.name}"
+
+
+def const_int(ty: IntType, value: int) -> ConstantInt:
+    """Create (or reuse) an integer constant."""
+    return ConstantInt(ty, value)
+
+
+def const_float(ty: FloatType, value: float) -> ConstantFloat:
+    """Create a floating point constant."""
+    return ConstantFloat(ty, value)
+
+
+def neutral_element(opcode: str, ty: Type) -> Optional[Constant]:
+    """The neutral (identity) element of a binary opcode, if it has one.
+
+    Used both by reduction-tree lowering (accumulator initial value) and
+    by the neutral-element alignment rule of Section IV-C3.
+    """
+    if isinstance(ty, IntType):
+        if opcode in ("add", "sub", "or", "xor", "shl", "lshr", "ashr"):
+            return ConstantInt(ty, 0)
+        if opcode in ("mul", "sdiv", "udiv"):
+            return ConstantInt(ty, 1)
+        if opcode == "and":
+            return ConstantInt(ty, ty.mask)
+    if isinstance(ty, FloatType):
+        if opcode in ("fadd", "fsub"):
+            return ConstantFloat(ty, 0.0)
+        if opcode in ("fmul", "fdiv"):
+            return ConstantFloat(ty, 1.0)
+    return None
+
+
+def zero_constant_for(ty: Type) -> Constant:
+    """A zero-filled constant of any sized type."""
+    if isinstance(ty, IntType):
+        return ConstantInt(ty, 0)
+    if isinstance(ty, FloatType):
+        return ConstantFloat(ty, 0.0)
+    if isinstance(ty, PointerType):
+        return ConstantNull(ty)
+    if isinstance(ty, (ArrayType, StructType)):
+        return ConstantZero(ty)
+    raise ValueError(f"no zero constant for {ty}")

@@ -1,0 +1,168 @@
+"""IR verifier: structural and SSA well-formedness checks.
+
+Run after every transform in tests (and optionally between passes via
+the pass manager) to catch IR corruption early.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import (
+    BinaryOp,
+    Br,
+    Call,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+)
+from .module import Function, Module
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify_function(fn: Function) -> None:
+    """Raise :class:`VerificationError` if ``fn`` is malformed."""
+    errors: List[str] = []
+
+    if fn.is_declaration:
+        return
+    if not fn.blocks:
+        errors.append("function has no blocks")
+
+    for block in fn.blocks:
+        if block.parent is not fn:
+            errors.append(f"block %{block.name} has wrong parent")
+        if block.terminator is None:
+            errors.append(f"block %{block.name} lacks a terminator")
+        seen_non_phi = False
+        for inst in block.instructions:
+            if inst.parent is not block:
+                errors.append(f"instruction {inst!r} has wrong parent block")
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    errors.append(
+                        f"phi {inst.short_name()} not at start of %{block.name}"
+                    )
+            else:
+                seen_non_phi = True
+            if inst.is_terminator and inst is not block.instructions[-1]:
+                errors.append(f"terminator mid-block in %{block.name}")
+
+    # Use-def chain consistency.
+    for block in fn.blocks:
+        for inst in block.instructions:
+            for index, op in enumerate(inst.operands):
+                found = any(
+                    u.user is inst and u.index == index for u in op.uses
+                )
+                if not found:
+                    errors.append(
+                        f"operand {index} of {inst!r} missing from use list"
+                    )
+
+    # Phi incoming edges match predecessors.
+    from ..analysis.domtree import DominatorTree
+
+    domtree = DominatorTree(fn)
+    for block in fn.blocks:
+        if not domtree.is_reachable(block):
+            continue
+        preds = block.predecessors()
+        for phi in block.phis():
+            incoming_blocks = [b for _, b in phi.incoming]
+            for pred in preds:
+                if pred not in incoming_blocks:
+                    errors.append(
+                        f"phi {phi.short_name()} in %{block.name} missing "
+                        f"incoming for %{pred.name}"
+                    )
+            for b in incoming_blocks:
+                if b not in preds:
+                    errors.append(
+                        f"phi {phi.short_name()} in %{block.name} has spurious "
+                        f"incoming %{b.name}"
+                    )
+
+    # SSA dominance.
+    for block in fn.blocks:
+        if not domtree.is_reachable(block):
+            continue
+        for inst in block.instructions:
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    if op.parent is None:
+                        errors.append(
+                            f"{inst!r} uses detached instruction {op!r}"
+                        )
+                    elif not domtree.dominates(op, inst):
+                        errors.append(
+                            f"{op.short_name()} does not dominate its use in "
+                            f"{inst!r} (block %{block.name})"
+                        )
+
+    # Basic type sanity.
+    for block in fn.blocks:
+        for inst in block.instructions:
+            _check_types(inst, errors)
+
+    # Return types.
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, Ret):
+            if fn.return_type.is_void:
+                if term.return_value is not None:
+                    errors.append("ret with value in void function")
+            elif term.return_value is None:
+                errors.append("ret void in non-void function")
+            elif term.return_value.type is not fn.return_type:
+                errors.append(
+                    f"ret type {term.return_value.type} != {fn.return_type}"
+                )
+
+    if errors:
+        raise VerificationError(
+            f"function @{fn.name}:\n  " + "\n  ".join(errors[:20])
+        )
+
+
+def _check_types(inst: Instruction, errors: List[str]) -> None:
+    if isinstance(inst, BinaryOp):
+        a, b = inst.operands
+        if a.type is not b.type or a.type is not inst.type:
+            errors.append(f"binary op type mismatch: {inst!r}")
+    elif isinstance(inst, Store):
+        if not inst.pointer.type.is_pointer:
+            errors.append(f"store to non-pointer: {inst!r}")
+        elif inst.pointer.type.pointee is not inst.value.type:
+            errors.append(f"store type mismatch: {inst!r}")
+    elif isinstance(inst, Load):
+        if not inst.pointer.type.is_pointer:
+            errors.append(f"load from non-pointer: {inst!r}")
+        elif inst.pointer.type.pointee is not inst.type:
+            errors.append(f"load type mismatch: {inst!r}")
+    elif isinstance(inst, Call):
+        fnty = inst.function_type
+        if not fnty.vararg and len(inst.args) != len(fnty.params):
+            errors.append(f"call arity mismatch: {inst!r}")
+        for arg, param in zip(inst.args, fnty.params):
+            if arg.type is not param:
+                errors.append(f"call arg type mismatch: {inst!r}")
+    elif isinstance(inst, Phi):
+        for value, _ in inst.incoming:
+            if value.type is not inst.type:
+                errors.append(f"phi incoming type mismatch: {inst!r}")
+    elif isinstance(inst, Br):
+        if inst.is_conditional and inst.condition.type.is_integer:
+            if inst.condition.type.bits != 1:
+                errors.append(f"branch condition not i1: {inst!r}")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``."""
+    for fn in module.functions:
+        verify_function(fn)

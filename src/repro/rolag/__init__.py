@@ -1,0 +1,60 @@
+"""RoLAG: loop rolling for straight-line code (the paper's contribution).
+
+Public surface::
+
+    from repro.rolag import (
+        RolagConfig, RolagStats,
+        roll_loops_in_function, roll_loops_in_module,
+    )
+"""
+
+from .alignment import (
+    AlignmentGraph,
+    AlignNode,
+    BinOpNeutralNode,
+    IdenticalNode,
+    JointNode,
+    MatchNode,
+    MinMaxReductionNode,
+    MismatchNode,
+    PtrSeqNode,
+    RecurrenceNode,
+    ReductionNode,
+    SequenceNode,
+)
+from .loopaware import try_loop_aware_reroll
+from .codegen import RolledLoop, generate_rolled_loop
+from .config import RolagConfig, RolagStats
+from .pipeline import roll_loops_in_function, roll_loops_in_module
+from .profitability import ProfitabilityReport, estimate
+from .scheduling import Schedule, analyze_scheduling
+from .seeds import SeedGroup, collect_seed_groups, find_joinable_groups
+
+__all__ = [
+    "AlignNode",
+    "AlignmentGraph",
+    "BinOpNeutralNode",
+    "IdenticalNode",
+    "JointNode",
+    "MatchNode",
+    "MinMaxReductionNode",
+    "MismatchNode",
+    "ProfitabilityReport",
+    "PtrSeqNode",
+    "RecurrenceNode",
+    "ReductionNode",
+    "RolagConfig",
+    "RolagStats",
+    "RolledLoop",
+    "Schedule",
+    "SeedGroup",
+    "SequenceNode",
+    "analyze_scheduling",
+    "collect_seed_groups",
+    "estimate",
+    "find_joinable_groups",
+    "generate_rolled_loop",
+    "roll_loops_in_function",
+    "try_loop_aware_reroll",
+    "roll_loops_in_module",
+]

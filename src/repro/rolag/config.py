@@ -1,0 +1,97 @@
+"""Configuration and statistics for the RoLAG pipeline."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class RolagConfig:
+    """Tuning knobs for loop rolling.
+
+    The ``enable_*`` flags switch the special alignment-node kinds of
+    paper Section IV-C on and off, enabling the Fig. 19 ablation
+    ("if we disable the special nodes, RoLAG can only profitably reroll
+    19 loops, instead of 84").
+    """
+
+    #: Minimum number of lanes (loop iterations) in a seed group.
+    min_lanes: int = 2
+    #: Monotonic integer sequence nodes (Section IV-C1).
+    enable_sequences: bool = True
+    #: Neutral pointer operations / strided pointer offsets (IV-C2).
+    enable_gep_neutral: bool = True
+    #: Neutral elements + commutativity of binary operators (IV-C3).
+    enable_binop_neutral: bool = True
+    enable_commutative_reordering: bool = True
+    #: Chained dependences lowered to loop-carried phis (IV-C4).
+    enable_recurrence: bool = True
+    #: Reduction-tree rolling (IV-C5); floats additionally need fast_math.
+    enable_reduction: bool = True
+    #: Min/max compare+select chain rolling (the Fig. 20b extension).
+    enable_minmax: bool = True
+    #: Joining alternating seed groups under one loop (IV-C6).
+    enable_joint: bool = True
+    #: Allow re-association of floating point reductions.
+    fast_math: bool = False
+    #: Re-roll in place when the block is itself a partially-unrolled
+    #: counted loop (the paper's Section V-C "loop aware" improvement);
+    #: falls back to the general inner-loop codegen when inapplicable.
+    loop_aware: bool = False
+    #: Retry failed/unprofitable groups on contiguous halves.
+    try_subgroups: bool = True
+    #: Count constant mismatch arrays (rodata) against profitability.
+    count_const_data: bool = True
+    #: Optional block-execution profile, as produced by
+    #: :attr:`repro.ir.Machine.block_counts`: blocks executed at least
+    #: ``hot_block_threshold`` times are skipped, implementing the
+    #: paper's Section V-D suggestion of using profile information "to
+    #: disable RoLAG on hot basic blocks".
+    profile: Optional[Dict[Tuple[str, str], int]] = None
+    hot_block_threshold: int = 100
+
+    def all_special_disabled(self) -> "RolagConfig":
+        """A copy with every special node kind switched off."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            enable_sequences=False,
+            enable_gep_neutral=False,
+            enable_binop_neutral=False,
+            enable_commutative_reordering=False,
+            enable_recurrence=False,
+            enable_reduction=False,
+            enable_minmax=False,
+            enable_joint=False,
+        )
+
+
+@dataclass
+class RolagStats:
+    """Aggregated behaviour of the pass, used by the evaluation harness."""
+
+    #: Seed groups for which an alignment graph was built.
+    attempted: int = 0
+    #: Groups rejected by the scheduling analysis.
+    schedule_rejected: int = 0
+    #: Groups rejected by the profitability analysis.
+    unprofitable: int = 0
+    #: Successfully rolled loops.
+    rolled: int = 0
+    #: Node-kind histogram over *profitable* alignment graphs
+    #: (reproduces the Fig. 16 / Fig. 19 breakdowns).
+    node_counts: Counter = field(default_factory=Counter)
+    #: (function name, estimated bytes saved) per rolled loop.
+    savings: List[Tuple[str, int]] = field(default_factory=list)
+
+    def merge(self, other: "RolagStats") -> None:
+        """Fold another stats object into this one."""
+        self.attempted += other.attempted
+        self.schedule_rejected += other.schedule_rejected
+        self.unprofitable += other.unprofitable
+        self.rolled += other.rolled
+        self.node_counts.update(other.node_counts)
+        self.savings.extend(other.savings)

@@ -1,0 +1,240 @@
+"""The RollLoop driver (paper Fig. 5).
+
+For every basic block: collect seed groups, optionally join alternating
+groups, build the alignment graph, run the scheduling analysis, decide
+profitability against the code-size cost model, and generate the rolled
+loop when it wins.  Newly created loop blocks are themselves skipped
+(rolling a rolled loop again is never profitable and would not
+terminate).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..analysis.alias import AliasAnalysis
+from ..analysis.costmodel import CodeSizeCostModel
+from ..analysis.deps import DependenceGraph
+from ..ir.module import BasicBlock, Function, Module
+from .alignment import AlignmentGraph
+from .codegen import RolledLoop, generate_rolled_loop
+from .config import RolagConfig, RolagStats
+from .profitability import estimate
+from .scheduling import analyze_scheduling
+from .seeds import SeedGroup, collect_seed_groups, find_joinable_groups
+
+
+def roll_loops_in_function(
+    fn: Function,
+    config: Optional[RolagConfig] = None,
+    cost_model: Optional[CodeSizeCostModel] = None,
+    stats: Optional[RolagStats] = None,
+) -> int:
+    """Run RoLAG over every block of ``fn``; returns rolled-loop count."""
+    if fn.is_declaration:
+        return 0
+    config = config or RolagConfig()
+    cost_model = cost_model or CodeSizeCostModel()
+    stats = stats if stats is not None else RolagStats()
+
+    rolled = 0
+    work: List[BasicBlock] = list(fn.blocks)
+    processed: set = set()
+    while work:
+        block = work.pop(0)
+        if id(block) in processed or block.parent is not fn:
+            continue
+        processed.add(id(block))
+        result = _roll_block(block, config, cost_model, stats)
+        if result is not None:
+            rolled += 1
+            # The preheader (same block object) may still hold seeds
+            # ahead of the rolled region; the exit holds the tail.
+            # Re-scan both, but never the new loop block.
+            processed.add(id(result.loop))
+            processed.discard(id(block))
+            work.append(block)
+            work.append(result.exit)
+    return rolled
+
+
+def _roll_block(
+    block: BasicBlock,
+    config: RolagConfig,
+    cost_model: CodeSizeCostModel,
+    stats: RolagStats,
+) -> Optional[RolledLoop]:
+    """Try to roll one loop out of ``block`` (first profitable group)."""
+    fn = block.parent
+    if fn is None:
+        return None
+    if config.profile is not None:
+        count = config.profile.get((fn.name, block.name), 0)
+        if count >= config.hot_block_threshold:
+            return None  # hot block: size win not worth the slowdown
+    groups = collect_seed_groups(block, config)
+    if not groups:
+        return None
+
+    aa = AliasAnalysis(fn)
+    deps = DependenceGraph(block, aa)
+
+    joint_clusters: List[List[SeedGroup]] = []
+    in_cluster: set = set()
+    if config.enable_joint:
+        joint_clusters = find_joinable_groups(block, groups)
+        for cluster in joint_clusters:
+            for member in cluster:
+                in_cluster.add(id(member))
+
+    candidates: List[Tuple[str, object]] = []
+    for cluster in joint_clusters:
+        candidates.append(("joint", cluster))
+    for group in groups:
+        if id(group) not in in_cluster:
+            candidates.append((group.kind, group))
+
+    for kind, payload in candidates:
+        result = _try_candidate(
+            block, kind, payload, config, cost_model, stats, aa, deps
+        )
+        if result is not None:
+            return result
+
+    return None
+
+
+def _try_candidate(
+    block: BasicBlock,
+    kind: str,
+    payload,
+    config: RolagConfig,
+    cost_model: CodeSizeCostModel,
+    stats: RolagStats,
+    aa: AliasAnalysis,
+    deps: DependenceGraph,
+) -> Optional[RolledLoop]:
+    attempt = _attempt(
+        block, kind, payload, config, cost_model, stats, aa, deps
+    )
+    if attempt is not None:
+        return attempt
+    if not config.try_subgroups:
+        return None
+    if kind in ("store", "call") and isinstance(payload, SeedGroup):
+        insts = payload.instructions
+        # A group holding two alternating sub-patterns (two stores to
+        # the same array per source iteration, e.g. TSVC s222): split
+        # into the even/odd interleaved subsequences and roll them as a
+        # joint group.
+        if config.enable_joint and len(insts) >= 2 * config.min_lanes:
+            if len(insts) % 2 == 0:
+                evens = SeedGroup(kind, list(insts[0::2]))
+                odds = SeedGroup(kind, list(insts[1::2]))
+                result = _attempt(
+                    block, "joint", [evens, odds], config, cost_model,
+                    stats, aa, deps,
+                )
+                if result is not None:
+                    return result
+        # Retry on contiguous halves.
+        if len(insts) >= 2 * config.min_lanes:
+            mid = len(insts) // 2
+            for half in (insts[:mid], insts[mid:]):
+                if len(half) < config.min_lanes:
+                    continue
+                sub = SeedGroup(kind, list(half))
+                result = _try_candidate(
+                    block, kind, sub, config, cost_model, stats, aa, deps
+                )
+                if result is not None:
+                    return result
+    return None
+
+
+def _attempt(
+    block: BasicBlock,
+    kind: str,
+    payload,
+    config: RolagConfig,
+    cost_model: CodeSizeCostModel,
+    stats: RolagStats,
+    aa: AliasAnalysis,
+    deps: DependenceGraph,
+) -> Optional[RolledLoop]:
+    ag = AlignmentGraph(block, config)
+    if kind == "joint":
+        root = ag.build_joint([g.instructions for g in payload])
+    elif kind == "reduction":
+        group: SeedGroup = payload
+        root = ag.build_reduction(
+            group.reduction_root,
+            group.reduction_internal,
+            group.reduction_leaves,
+        )
+    elif kind == "minmax":
+        group = payload
+        root = ag.build_minmax_reduction(
+            group.minmax_links,
+            group.reduction_leaves,
+            group.minmax_init,
+            group.minmax_predicate,
+            group.minmax_cmp_leaf_first,
+            group.minmax_select_leaf_first,
+        )
+    else:
+        group = payload
+        root = ag.build_from_seeds(group.instructions)
+    if root is None:
+        return None
+
+    stats.attempted += 1
+    schedule = analyze_scheduling(ag, aa, deps)
+    if schedule is None:
+        stats.schedule_rejected += 1
+        return None
+
+    report = estimate(ag, cost_model, config)
+
+    if config.loop_aware:
+        # In-place rerolling deletes lanes 1..n-1 outright, so it is
+        # profitable whenever it applies; try it before the general
+        # (new inner loop) code generator.
+        from .loopaware import try_loop_aware_reroll
+
+        removed = try_loop_aware_reroll(ag)
+        if removed is not None:
+            stats.rolled += 1
+            stats.node_counts.update(ag.node_histogram())
+            fn_name = block.parent.name if block.parent else "?"
+            stats.savings.append((fn_name, max(report.estimated_saving, 0)))
+            return RolledLoop(
+                preheader=block,
+                loop=block,
+                exit=block,
+                lane_count=ag.roots[0].lane_count,
+            )
+
+    if not report.profitable:
+        stats.unprofitable += 1
+        return None
+
+    result = generate_rolled_loop(ag, schedule)
+    stats.rolled += 1
+    stats.node_counts.update(ag.node_histogram())
+    fn_name = block.parent.name if block.parent else "?"
+    stats.savings.append((fn_name, report.estimated_saving))
+    return result
+
+
+def roll_loops_in_module(
+    module: Module,
+    config: Optional[RolagConfig] = None,
+    cost_model: Optional[CodeSizeCostModel] = None,
+    stats: Optional[RolagStats] = None,
+) -> int:
+    """Run RoLAG over every function in ``module``."""
+    total = 0
+    for fn in module.functions:
+        total += roll_loops_in_function(fn, config, cost_model, stats)
+    return total

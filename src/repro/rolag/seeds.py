@@ -1,0 +1,361 @@
+"""Seed collection (paper Section IV-A).
+
+Scans a basic block and groups instructions likely to head isomorphic
+code: store instructions grouped by (base object, stored type),
+function calls grouped by callee, and reduction-tree roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.alias import underlying_object
+from ..ir.instructions import (
+    BinaryOp,
+    Call,
+    FCmp,
+    ICmp,
+    Instruction,
+    Select,
+    Store,
+)
+from ..ir.module import BasicBlock
+from ..ir.values import Value
+from .config import RolagConfig
+
+
+@dataclass
+class SeedGroup:
+    """One candidate group of seed instructions."""
+
+    kind: str  # "store" | "call" | "reduction" | "minmax"
+    instructions: List[Instruction]
+    #: For reductions: the tree root and internal nodes.
+    reduction_root: Optional[BinaryOp] = None
+    reduction_internal: List[BinaryOp] = field(default_factory=list)
+    reduction_leaves: List[Value] = field(default_factory=list)
+    #: For min/max chains: the (cmp, select) links in chain order plus
+    #: the chain-start accumulator and the recognised orientation.
+    minmax_links: List[Tuple[Instruction, Instruction]] = field(
+        default_factory=list
+    )
+    minmax_init: Optional[Value] = None
+    minmax_predicate: str = ""
+    minmax_cmp_leaf_first: bool = True
+    minmax_select_leaf_first: bool = True
+
+    @property
+    def size(self) -> int:
+        """Number of lanes this group would roll into."""
+        if self.kind in ("reduction", "minmax"):
+            return len(self.reduction_leaves)
+        return len(self.instructions)
+
+    def first_position(self, block: BasicBlock) -> int:
+        """Block index of the group's earliest seed."""
+        index = {id(inst): i for i, inst in enumerate(block.instructions)}
+        if self.kind == "reduction":
+            return index.get(id(self.reduction_root), 0)
+        if self.kind == "minmax":
+            return index.get(id(self.minmax_links[-1][1]), 0)
+        return min(index.get(id(inst), 0) for inst in self.instructions)
+
+
+def collect_seed_groups(
+    block: BasicBlock, config: Optional[RolagConfig] = None
+) -> List[SeedGroup]:
+    """All seed groups of ``block``, ordered by first occurrence."""
+    config = config or RolagConfig()
+    groups: List[SeedGroup] = []
+
+    store_groups: Dict[Tuple[int, str], List[Instruction]] = {}
+    call_groups: Dict[int, List[Instruction]] = {}
+    store_order: List[Tuple[int, str]] = []
+    call_order: List[int] = []
+
+    for inst in block.instructions:
+        if isinstance(inst, Store):
+            key = (id(underlying_object(inst.pointer)), str(inst.value.type))
+            if key not in store_groups:
+                store_groups[key] = []
+                store_order.append(key)
+            store_groups[key].append(inst)
+        elif isinstance(inst, Call):
+            key = id(inst.callee)
+            if key not in call_groups:
+                call_groups[key] = []
+                call_order.append(key)
+            call_groups[key].append(inst)
+
+    for key in store_order:
+        insts = store_groups[key]
+        if len(insts) >= config.min_lanes:
+            groups.append(SeedGroup("store", insts))
+    for key in call_order:
+        insts = call_groups[key]
+        if len(insts) >= config.min_lanes:
+            groups.append(SeedGroup("call", insts))
+
+    if config.enable_reduction:
+        groups.extend(collect_reduction_seeds(block, config))
+    if config.enable_minmax:
+        groups.extend(collect_minmax_seeds(block, config))
+
+    groups.sort(key=lambda g: g.first_position(block))
+    return groups
+
+
+def _match_minmax_link(
+    sel: Instruction, block: BasicBlock
+) -> Optional[Tuple[Instruction, Value, Value]]:
+    """Match ``select (cmp x, y), x, y``; returns (cmp, arm0, arm1)."""
+    if not isinstance(sel, Select):
+        return None
+    cond = sel.operands[0]
+    if not isinstance(cond, (ICmp, FCmp)) or cond.parent is not block:
+        return None
+    if len(cond.uses) != 1:
+        return None
+    arm0, arm1 = sel.operands[1], sel.operands[2]
+    if {id(cond.operands[0]), id(cond.operands[1])} != {id(arm0), id(arm1)}:
+        return None
+    if arm0 is arm1:
+        return None
+    return cond, arm0, arm1
+
+
+def collect_minmax_seeds(
+    block: BasicBlock, config: RolagConfig
+) -> List[SeedGroup]:
+    """Find min/max compare+select chains (the Fig. 20b extension)."""
+    groups: List[SeedGroup] = []
+    in_chain: set = set()
+
+    for inst in reversed(block.instructions):
+        if id(inst) in in_chain:
+            continue
+        matched = _match_minmax_link(inst, block)
+        if matched is None:
+            continue
+        # A chain root is not itself the accumulator arm of a link.
+        is_root = True
+        for use in inst.uses:
+            user = use.user
+            if (
+                isinstance(user, Select)
+                and user.parent is block
+                and _match_minmax_link(user, block) is not None
+                and inst in (user.operands[1], user.operands[2])
+            ):
+                is_root = False
+                break
+        if not is_root:
+            continue
+
+        chain = _collect_minmax_chain(inst, block)
+        if chain is None:
+            continue
+        links, leaves, init, pred, cmp_leaf_first, select_leaf_first = chain
+        if len(leaves) < max(3, config.min_lanes):
+            continue
+        for cmp, sel in links:
+            in_chain.add(id(cmp))
+            in_chain.add(id(sel))
+        groups.append(
+            SeedGroup(
+                "minmax",
+                [inst],
+                reduction_leaves=leaves,
+                minmax_links=links,
+                minmax_init=init,
+                minmax_predicate=pred,
+                minmax_cmp_leaf_first=cmp_leaf_first,
+                minmax_select_leaf_first=select_leaf_first,
+            )
+        )
+    return groups
+
+
+def _collect_minmax_chain(root: Select, block: BasicBlock):
+    """Walk a select chain accumulator-wards from its root.
+
+    Returns (links, leaves, init, predicate, cmp_leaf_first,
+    select_leaf_first) with links/leaves in execution order, or None.
+    """
+    matched = _match_minmax_link(root, block)
+    if matched is None:
+        return None
+    cond, arm0, arm1 = matched
+
+    def is_link(value: Value, consumer_sel, consumer_cmp) -> bool:
+        """Whether ``value`` is a chain link feeding only its consumer.
+
+        A link's value is consumed twice by the next link: once by its
+        compare and once as a select arm.
+        """
+        if not (isinstance(value, Select) and value.parent is block):
+            return False
+        if _match_minmax_link(value, block) is None:
+            return False
+        return all(
+            u.user is consumer_sel or u.user is consumer_cmp
+            for u in value.uses
+        )
+
+    # Orientation from the root: exactly one arm continues the chain.
+    continuations = [
+        arm for arm in (arm0, arm1) if is_link(arm, root, cond)
+    ]
+    if len(continuations) != 1:
+        return None
+    select_leaf_first = continuations[0] is arm1
+    predicate = cond.predicate
+    links_rev: List[Tuple[Instruction, Instruction]] = []
+    leaves_rev: List[Value] = []
+    cmp_leaf_first: Optional[bool] = None
+
+    cursor: Value = root
+    while True:
+        matched = _match_minmax_link(cursor, block)
+        if matched is None:
+            return None
+        cond, arm0, arm1 = matched
+        if cond.predicate != predicate:
+            return None
+        leaf = arm0 if select_leaf_first else arm1
+        acc = arm1 if select_leaf_first else arm0
+        this_cmp_leaf_first = cond.operands[0] is leaf
+        if not this_cmp_leaf_first and cond.operands[1] is not leaf:
+            return None
+        if cmp_leaf_first is None:
+            cmp_leaf_first = this_cmp_leaf_first
+        elif cmp_leaf_first != this_cmp_leaf_first:
+            return None
+        links_rev.append((cond, cursor))
+        leaves_rev.append(leaf)
+        if is_link(acc, cursor, cond):
+            cursor = acc
+            continue
+        init = acc
+        break
+
+    links = list(reversed(links_rev))
+    leaves = list(reversed(leaves_rev))
+    return links, leaves, init, predicate, cmp_leaf_first, select_leaf_first
+
+
+def collect_reduction_seeds(
+    block: BasicBlock, config: RolagConfig
+) -> List[SeedGroup]:
+    """Find maximal reduction trees rooted in ``block`` (IV-C5)."""
+    groups: List[SeedGroup] = []
+    in_some_tree: set = set()
+
+    for inst in reversed(block.instructions):
+        if not isinstance(inst, BinaryOp) or id(inst) in in_some_tree:
+            continue
+        if not inst.is_associative:
+            continue
+        if inst.opcode.startswith("f") and not config.fast_math:
+            continue
+        # A root is not consumed by a same-opcode binop in this block.
+        is_root = True
+        for use in inst.uses:
+            user = use.user
+            if (
+                isinstance(user, BinaryOp)
+                and user.opcode == inst.opcode
+                and user.parent is block
+            ):
+                is_root = False
+                break
+        if not is_root:
+            continue
+        internal, leaves = _collect_tree(inst, block)
+        if len(leaves) < max(3, config.min_lanes):
+            continue
+        for node in internal:
+            in_some_tree.add(id(node))
+        groups.append(
+            SeedGroup(
+                "reduction",
+                [inst],
+                reduction_root=inst,
+                reduction_internal=internal,
+                reduction_leaves=leaves,
+            )
+        )
+    return groups
+
+
+def _collect_tree(
+    root: BinaryOp, block: BasicBlock
+) -> Tuple[List[BinaryOp], List[Value]]:
+    """Internal nodes and leaves of the reduction tree under ``root``.
+
+    Leaves are returned left to right, matching source order for
+    left-leaning accumulation chains (``a0 + a1 + a2``).
+    """
+    internal: List[BinaryOp] = []
+    leaves: List[Value] = []
+
+    def visit(value: Value) -> None:
+        if (
+            isinstance(value, BinaryOp)
+            and value.opcode == root.opcode
+            and value.parent is block
+            and (value is root or len(value.uses) == 1)
+        ):
+            internal.append(value)
+            visit(value.operands[0])
+            visit(value.operands[1])
+        else:
+            leaves.append(value)
+
+    visit(root)
+    return internal, leaves
+
+
+def find_joinable_groups(
+    block: BasicBlock, groups: Sequence[SeedGroup]
+) -> List[List[SeedGroup]]:
+    """Partition seed groups into alternating runs (paper IV-C6).
+
+    Two groups join when they have the same lane count and their seeds
+    interleave in block position: ``a0 b0 a1 b1 ... an bn``.
+    """
+    index = {id(inst): i for i, inst in enumerate(block.instructions)}
+
+    def positions(group: SeedGroup) -> List[int]:
+        return [index[id(inst)] for inst in group.instructions]
+
+    joinable: List[List[SeedGroup]] = []
+    used: set = set()
+    ordered = [g for g in groups if g.kind != "reduction"]
+    for i, group in enumerate(ordered):
+        if id(group) in used:
+            continue
+        cluster = [group]
+        for other in ordered[i + 1:]:
+            if id(other) in used or other.size != group.size:
+                continue
+            if _interleaves(positions_list=[positions(g) for g in cluster + [other]]):
+                cluster.append(other)
+                used.add(id(other))
+        if len(cluster) > 1:
+            used.add(id(group))
+            joinable.append(cluster)
+    return joinable
+
+
+def _interleaves(positions_list: List[List[int]]) -> bool:
+    """All groups' k-th seeds fall between every (k)-th and (k+1)-th."""
+    lanes = len(positions_list[0])
+    # Sort groups by their first position to get intra-iteration order.
+    ordered = sorted(positions_list, key=lambda p: p[0])
+    flattened: List[int] = []
+    for lane in range(lanes):
+        for group_positions in ordered:
+            flattened.append(group_positions[lane])
+    return flattened == sorted(flattened)

@@ -1,0 +1,27 @@
+"""IR-to-IR transformations: cleanups, unrolling, and the reroll baseline."""
+
+from .constfold import fold_constants
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+from .ifconvert import convert_ifs
+from .mem2reg import promote_memory_to_registers
+from .pass_manager import PassManager, default_cleanup_pipeline
+from .reroll import RerollStats, reroll_loops, try_reroll_loop
+from .simplifycfg import simplify_cfg
+from .unroll import unroll_counted_loop, unroll_loops
+
+__all__ = [
+    "PassManager",
+    "convert_ifs",
+    "RerollStats",
+    "default_cleanup_pipeline",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "fold_constants",
+    "promote_memory_to_registers",
+    "reroll_loops",
+    "simplify_cfg",
+    "try_reroll_loop",
+    "unroll_counted_loop",
+    "unroll_loops",
+]

@@ -1,0 +1,165 @@
+"""Constant folding and trivial algebraic simplification.
+
+Folds instructions whose operands are all constants and applies a small
+set of identities (x+0, x*1, x*0, x-x, ...).  Kept deliberately modest:
+it models the cleanups clang runs before ``-Os`` codegen and gives the
+TSVC experiment realistic pre-rolled IR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.instructions import BinaryOp, Cast, ICmp, Instruction, Phi, Select
+from ..ir.module import Function
+from ..ir.types import IntType
+from ..ir.values import ConstantFloat, ConstantInt, Value
+
+
+def _fold_int_binop(opcode: str, ty: IntType, a: int, b: int) -> Optional[int]:
+    bits = ty.bits
+    mask = (1 << bits) - 1
+    ua, ub = a & mask, b & mask
+    if opcode == "add":
+        return a + b
+    if opcode == "sub":
+        return a - b
+    if opcode == "mul":
+        return a * b
+    if opcode == "and":
+        return ua & ub
+    if opcode == "or":
+        return ua | ub
+    if opcode == "xor":
+        return ua ^ ub
+    if opcode == "shl":
+        return ua << (ub % bits)
+    if opcode == "lshr":
+        return ua >> (ub % bits)
+    if opcode == "ashr":
+        return a >> (ub % bits)
+    if opcode == "sdiv" and b != 0:
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    if opcode == "udiv" and ub != 0:
+        return ua // ub
+    if opcode == "srem" and b != 0:
+        r = abs(a) % abs(b)
+        return -r if a < 0 else r
+    if opcode == "urem" and ub != 0:
+        return ua % ub
+    return None
+
+
+def _simplify(inst: Instruction) -> Optional[Value]:
+    """A simpler value equivalent to ``inst``, or None."""
+    if isinstance(inst, BinaryOp):
+        lhs, rhs = inst.operands
+        ty = inst.type
+        if (
+            isinstance(ty, IntType)
+            and isinstance(lhs, ConstantInt)
+            and isinstance(rhs, ConstantInt)
+        ):
+            folded = _fold_int_binop(inst.opcode, ty, lhs.value, rhs.value)
+            if folded is not None:
+                return ConstantInt(ty, folded)
+        if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+            table = {
+                "fadd": lhs.value + rhs.value,
+                "fsub": lhs.value - rhs.value,
+                "fmul": lhs.value * rhs.value,
+            }
+            if inst.opcode in table:
+                return ConstantFloat(ty, table[inst.opcode])
+        if isinstance(ty, IntType):
+            zero = ConstantInt(ty, 0)
+            if inst.opcode == "add":
+                if rhs == zero:
+                    return lhs
+                if lhs == zero:
+                    return rhs
+            if inst.opcode == "sub" and rhs == zero:
+                return lhs
+            if inst.opcode == "mul":
+                one = ConstantInt(ty, 1)
+                if rhs == one:
+                    return lhs
+                if lhs == one:
+                    return rhs
+                if rhs == zero or lhs == zero:
+                    return zero
+            if inst.opcode in ("and", "or") and lhs is rhs:
+                return lhs
+            if inst.opcode == "xor" and lhs is rhs:
+                return zero
+            if inst.opcode in ("shl", "lshr", "ashr") and rhs == zero:
+                return lhs
+            if inst.opcode == "or" and rhs == zero:
+                return lhs
+            if inst.opcode == "xor" and rhs == zero:
+                return lhs
+        return None
+    if isinstance(inst, ICmp):
+        lhs, rhs = inst.operands
+        if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+            a, b = lhs.value, rhs.value
+            bits = lhs.type.bits
+            mask = (1 << bits) - 1
+            ua, ub = a & mask, b & mask
+            table = {
+                "eq": a == b, "ne": a != b,
+                "slt": a < b, "sle": a <= b, "sgt": a > b, "sge": a >= b,
+                "ult": ua < ub, "ule": ua <= ub, "ugt": ua > ub, "uge": ua >= ub,
+            }
+            return ConstantInt(IntType(1), 1 if table[inst.predicate] else 0)
+        return None
+    if isinstance(inst, Select):
+        cond = inst.operands[0]
+        if isinstance(cond, ConstantInt):
+            return inst.operands[1 if cond.value else 2]
+        if inst.operands[1] is inst.operands[2]:
+            return inst.operands[1]
+        return None
+    if isinstance(inst, Cast):
+        value = inst.operands[0]
+        if isinstance(value, ConstantInt) and isinstance(inst.type, IntType):
+            if inst.opcode in ("trunc", "sext"):
+                return ConstantInt(inst.type, value.value)
+            if inst.opcode == "zext":
+                return ConstantInt(inst.type, value.value & value.type.mask)
+        return None
+    if isinstance(inst, Phi):
+        candidates = [v for v, _ in inst.incoming if v is not inst]
+        if not candidates:
+            return None
+        first = candidates[0]
+        for v in candidates[1:]:
+            same = v is first or (
+                isinstance(v, (ConstantInt, ConstantFloat))
+                and isinstance(first, (ConstantInt, ConstantFloat))
+                and v == first
+            )
+            if not same:
+                return None
+        return first
+    return None
+
+
+def fold_constants(fn: Function) -> int:
+    """Constant-fold and simplify; returns the number of rewrites."""
+    if fn.is_declaration:
+        return 0
+    rewrites = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                replacement = _simplify(inst)
+                if replacement is not None and replacement is not inst:
+                    inst.replace_all_uses_with(replacement)
+                    inst.erase_from_parent()
+                    rewrites += 1
+                    changed = True
+    return rewrites

@@ -1,0 +1,55 @@
+"""Dead code elimination.
+
+Removes instructions with no uses and no side effects, dead allocas
+(including their stores when nothing ever loads from them is *not*
+assumed -- only fully unused allocas go), and unreachable blocks.
+"""
+
+from __future__ import annotations
+
+
+from ..analysis.domtree import DominatorTree
+from ..ir.instructions import Alloca, Call, Instruction
+from ..ir.module import Function
+
+
+def _removable(inst: Instruction) -> bool:
+    if inst.uses:
+        return False
+    if isinstance(inst, Call):
+        return inst.is_readnone() or inst.is_readonly()
+    if isinstance(inst, Alloca):
+        return True
+    return not inst.has_side_effects()
+
+
+def eliminate_dead_code(fn: Function) -> int:
+    """Iteratively remove dead instructions; returns removal count."""
+    if fn.is_declaration:
+        return 0
+    removed = 0
+
+    # Remove unreachable blocks first.
+    domtree = DominatorTree(fn)
+    for block in list(fn.blocks):
+        if not domtree.is_reachable(block):
+            for succ in block.successors():
+                for phi in succ.phis():
+                    phi.remove_incoming(block)
+            for inst in list(block.instructions):
+                inst.erase_from_parent()
+                removed += 1
+            block.erase_from_parent()
+
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for inst in reversed(list(block.instructions)):
+                if inst.is_terminator:
+                    continue
+                if _removable(inst):
+                    inst.erase_from_parent()
+                    removed += 1
+                    changed = True
+    return removed

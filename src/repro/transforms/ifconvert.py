@@ -1,0 +1,195 @@
+"""If-conversion: turn small branches into ``select`` instructions.
+
+Clang performs this at -Os (via SimplifyCFG's speculation folds), and
+the paper's Fig. 20b relies on it: a ``if (a[i] > max) max = a[i]``
+body "is lowered to a select instruction", which is what makes min/max
+reductions reachable for a single-block technique.
+
+Two shapes are handled:
+
+*triangle*::
+
+        A: br c, T, M          A: ...T's code...
+        T: <pure code> br M    ->  %phi = select c, vT, vA
+        M: phi [vT,T],[vA,A]       br M
+
+*diamond*::
+
+        A: br c, T, F
+        T: <pure> br M         ->  A: ...T+F code... select per phi
+        F: <pure> br M
+        M: phi [vT,T],[vF,F]
+
+Only *speculatable* instructions may move: pure arithmetic, compares,
+casts, selects and address computations.  Loads, stores, calls and
+integer division (trap hazards / side effects) block the conversion,
+and each side is limited to a small instruction budget as a size
+guard.
+"""
+
+from __future__ import annotations
+
+
+from ..ir.instructions import (
+    BinaryOp,
+    Br,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Select,
+)
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Value
+
+#: Maximum instructions speculated per side (an -Os style limit).
+SPECULATION_BUDGET = 6
+
+_TRAPPING_BINOPS = frozenset({"sdiv", "udiv", "srem", "urem"})
+
+
+def _speculatable(inst: Instruction) -> bool:
+    if isinstance(inst, BinaryOp):
+        return inst.opcode not in _TRAPPING_BINOPS
+    return isinstance(inst, (ICmp, FCmp, Select, Cast, GetElementPtr))
+
+
+def _side_ok(block: BasicBlock) -> bool:
+    body = block.instructions[:-1]
+    if len(body) > SPECULATION_BUDGET:
+        return False
+    term = block.terminator
+    if not isinstance(term, Br) or term.is_conditional:
+        return False
+    return all(_speculatable(inst) for inst in body)
+
+
+def _hoist(block: BasicBlock, before: Instruction) -> None:
+    """Move every non-terminator of ``block`` before ``before``."""
+    for inst in list(block.instructions[:-1]):
+        inst.move_before(before)
+
+
+def convert_ifs(fn: Function) -> int:
+    """Run if-conversion to a fixed point; returns conversion count."""
+    if fn.is_declaration:
+        return 0
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in list(fn.blocks):
+            term = block.terminator
+            if not isinstance(term, Br) or not term.is_conditional:
+                continue
+            cond = term.condition
+            true_block, false_block = term.successors()
+            if true_block is false_block or true_block is block:
+                continue
+
+            if _try_triangle(block, cond, true_block, false_block, True):
+                changed = True
+                total += 1
+                continue
+            if _try_triangle(block, cond, false_block, true_block, False):
+                changed = True
+                total += 1
+                continue
+            if _try_diamond(block, cond, true_block, false_block):
+                changed = True
+                total += 1
+    return total
+
+
+def _single_pred(block: BasicBlock) -> bool:
+    return len(block.predecessors()) == 1
+
+
+def _try_triangle(
+    block: BasicBlock,
+    cond: Value,
+    side: BasicBlock,
+    merge: BasicBlock,
+    side_on_true: bool,
+) -> bool:
+    """``block -> side -> merge`` with a direct ``block -> merge`` edge."""
+    if side is merge or not _single_pred(side):
+        return False
+    if not _side_ok(side):
+        return False
+    if side.successors() != [merge]:
+        return False
+    if block not in merge.predecessors():
+        return False
+    # The merge phis must distinguish exactly these two incoming edges.
+    for phi in merge.phis():
+        if phi.incoming_for(side) is None or phi.incoming_for(block) is None:
+            return False
+
+    term = block.terminator
+    _hoist(side, term)
+    for phi in merge.phis():
+        side_value = phi.incoming_for(side)
+        direct_value = phi.incoming_for(block)
+        if side_on_true:
+            select = Select(cond, side_value, direct_value)
+        else:
+            select = Select(cond, direct_value, side_value)
+        select.name = block.parent.next_name("ifcvt")
+        select.move_before(term)
+        phi.remove_incoming(side)
+        # Retarget the remaining (block) incoming to the select.
+        for index, (value, pred) in enumerate(phi.incoming):
+            if pred is block:
+                phi.set_incoming_value(index, select)
+
+    term.erase_from_parent()
+    new_term = Br(merge)
+    block.append(new_term)
+    side.erase_from_parent()
+    return True
+
+
+def _try_diamond(
+    block: BasicBlock,
+    cond: Value,
+    true_block: BasicBlock,
+    false_block: BasicBlock,
+) -> bool:
+    if not (_single_pred(true_block) and _single_pred(false_block)):
+        return False
+    if not (_side_ok(true_block) and _side_ok(false_block)):
+        return False
+    t_succ = true_block.successors()
+    f_succ = false_block.successors()
+    if len(t_succ) != 1 or t_succ != f_succ:
+        return False
+    merge = t_succ[0]
+    if merge in (block, true_block, false_block):
+        return False
+    for phi in merge.phis():
+        if (
+            phi.incoming_for(true_block) is None
+            or phi.incoming_for(false_block) is None
+        ):
+            return False
+
+    term = block.terminator
+    _hoist(true_block, term)
+    _hoist(false_block, term)
+    for phi in merge.phis():
+        tv = phi.incoming_for(true_block)
+        fv = phi.incoming_for(false_block)
+        select = Select(cond, tv, fv)
+        select.name = block.parent.next_name("ifcvt")
+        select.move_before(term)
+        phi.remove_incoming(true_block)
+        phi.remove_incoming(false_block)
+        phi.add_incoming(select, block)
+
+    term.erase_from_parent()
+    block.append(Br(merge))
+    true_block.erase_from_parent()
+    false_block.erase_from_parent()
+    return True

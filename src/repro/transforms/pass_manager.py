@@ -1,0 +1,73 @@
+"""A small pass manager.
+
+Runs a named pipeline of function passes over a module, optionally
+verifying the IR after each pass (the default in tests).  Function
+passes are callables ``(Function) -> int`` returning a change count,
+matching every transform in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_function
+
+FunctionPass = Callable[[Function], int]
+
+
+@dataclass
+class PassManager:
+    """Sequences function passes, with per-pass change accounting."""
+
+    verify: bool = True
+    passes: List[Tuple[str, FunctionPass]] = field(default_factory=list)
+    changes: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, fn_pass: FunctionPass) -> "PassManager":
+        """Append a named pass to the pipeline."""
+        self.passes.append((name, fn_pass))
+        return self
+
+    def run_function(self, fn: Function) -> int:
+        """Run the pipeline over one function; returns total changes."""
+        total = 0
+        for name, fn_pass in self.passes:
+            changed = fn_pass(fn)
+            self.changes[name] = self.changes.get(name, 0) + changed
+            total += changed
+            if self.verify and changed:
+                verify_function(fn)
+        return total
+
+    def run(self, module: Module) -> int:
+        """Run the pipeline over every defined function."""
+        total = 0
+        for fn in module.functions:
+            if not fn.is_declaration:
+                total += self.run_function(fn)
+        return total
+
+
+def default_cleanup_pipeline(verify: bool = True) -> PassManager:
+    """The -Os style cleanup pipeline: mem2reg + scalar cleanups."""
+    from .constfold import fold_constants
+    from .cse import eliminate_common_subexpressions
+    from .dce import eliminate_dead_code
+    from .ifconvert import convert_ifs
+    from .mem2reg import promote_memory_to_registers
+    from .simplifycfg import simplify_cfg
+
+    pm = PassManager(verify=verify)
+    pm.add("mem2reg", promote_memory_to_registers)
+    pm.add("constfold", fold_constants)
+    pm.add("cse", eliminate_common_subexpressions)
+    pm.add("dce", eliminate_dead_code)
+    pm.add("simplifycfg", simplify_cfg)
+    pm.add("ifconvert", convert_ifs)
+    pm.add("simplifycfg2", simplify_cfg)
+    pm.add("constfold2", fold_constants)
+    pm.add("cse2", eliminate_common_subexpressions)
+    pm.add("dce2", eliminate_dead_code)
+    return pm

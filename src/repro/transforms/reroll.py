@@ -1,0 +1,329 @@
+"""LLVM-style loop rerolling (the baseline of the paper).
+
+Reimplements the algorithm of paper Section II / LLVM's
+``LoopRerollPass``: for each single-block counted loop it looks for a
+basic induction variable, treats the unrolled increments
+``iv+u, iv+2u, ...`` as the roots of the unrolled iterations, collects
+each root's def-use DAG in block order, requires *exact* instruction
+equivalence and *full* block coverage, and only then rewrites the loop
+to a unit-step rolled form.  Unrolled reduction chains hanging off an
+accumulator phi are recognised, mirroring LLVM's support for simple
+reductions.
+
+All the restrictions of the original are kept on purpose -- they are
+exactly what RoLAG removes: single-block loops only, exact opcode and
+type matching, full coverage (no partial rerolling), and no handling of
+straight-line code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.loopinfo import CountedLoop, find_loops, match_counted_loop
+from ..ir.instructions import (
+    BinaryOp,
+    Call,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Phi,
+)
+from ..ir.module import BasicBlock, Function
+from ..ir.types import IntType
+from ..ir.values import ConstantInt, Value
+
+
+@dataclass
+class RerollStats:
+    """Counts how often the baseline fired (for the evaluation tables)."""
+
+    attempted: int = 0
+    rerolled: int = 0
+
+
+def _same_shape(a: Instruction, b: Instruction) -> bool:
+    """Exact structural equivalence required by the baseline."""
+    if type(a) is not type(b):
+        return False
+    if a.opcode != b.opcode:
+        return False
+    if a.type is not b.type:
+        return False
+    if isinstance(a, ICmp) and a.predicate != b.predicate:
+        return False
+    if isinstance(a, FCmp) and a.predicate != b.predicate:
+        return False
+    if isinstance(a, GetElementPtr) and a.source_type is not b.source_type:
+        return False
+    if isinstance(a, Call) and a.callee is not b.callee:
+        return False
+    if len(a.operands) != len(b.operands):
+        return False
+    return True
+
+
+def _match_reduction_chain(
+    phi: Phi, block: BasicBlock, count: int
+) -> Optional[List[BinaryOp]]:
+    """Match ``phi -> c1 -> c2 -> ... -> cm`` accumulator chains.
+
+    Returns the chain in execution order (c1 first) when it has exactly
+    ``count`` links of one associative opcode; ``None`` otherwise.
+    """
+    latch_value = phi.incoming_for(block)
+    if not isinstance(latch_value, BinaryOp) or latch_value.parent is not block:
+        return None
+    opcode = latch_value.opcode
+    if not latch_value.is_associative:
+        return None
+
+    chain_rev: List[BinaryOp] = []
+    cursor: Value = latch_value
+    while cursor is not phi:
+        if not isinstance(cursor, BinaryOp) or cursor.opcode != opcode:
+            return None
+        if cursor.parent is not block:
+            return None
+        chain_rev.append(cursor)
+        lhs, rhs = cursor.operands
+        next_cursor = None
+        for candidate in (lhs, rhs):
+            if candidate is phi or (
+                isinstance(candidate, BinaryOp)
+                and candidate.opcode == opcode
+                and candidate.parent is block
+            ):
+                if next_cursor is not None:
+                    return None  # ambiguous chain
+                next_cursor = candidate
+        if next_cursor is None:
+            return None
+        cursor = next_cursor
+        if len(chain_rev) > count:
+            return None
+
+    chain = list(reversed(chain_rev))
+    if len(chain) != count:
+        return None
+    # Interior links must feed only the next link.
+    for link in chain[:-1]:
+        if len(link.uses) != 1:
+            return None
+    return chain
+
+
+def _chain_data_operand(link: BinaryOp, prev: Value) -> Value:
+    lhs, rhs = link.operands
+    return rhs if lhs is prev else lhs
+
+
+def try_reroll_loop(counted: CountedLoop) -> bool:
+    """Attempt to reroll one partially-unrolled counted loop."""
+    block = counted.block
+    iv = counted.iv
+    iv_next = counted.iv_next
+    cmp = counted.cmp
+    term = block.terminator
+    if not isinstance(iv.type, IntType):
+        return False
+
+    latch_ids = {id(iv_next), id(cmp), id(term)}
+
+    # 1. Find the unrolled increments add(iv, c) with constant c.
+    increments: Dict[int, BinaryOp] = {}
+    for use in iv.uses:
+        user = use.user
+        if (
+            isinstance(user, BinaryOp)
+            and user.opcode == "add"
+            and user.parent is block
+            and id(user) not in latch_ids
+        ):
+            lhs, rhs = user.operands
+            const = None
+            if lhs is iv and isinstance(rhs, ConstantInt):
+                const = rhs.value
+            elif rhs is iv and isinstance(lhs, ConstantInt):
+                const = lhs.value
+            if const is not None and const > 0:
+                if const in increments:
+                    return False  # ambiguous duplicated increment
+                increments[const] = user
+
+    if not increments:
+        return False
+    unit = min(increments)
+    count = len(increments) + 1
+    expected = {unit * k for k in range(1, count)}
+    if set(increments) != expected:
+        return False
+    if counted.step != unit * count:
+        return False
+
+    # 2. Reduction chains for every non-induction phi.
+    chains: List[Tuple[Phi, List[BinaryOp]]] = []
+    chain_ids: Set[int] = set()
+    for phi in block.phis():
+        if phi is iv:
+            continue
+        chain = _match_reduction_chain(phi, block, count)
+        if chain is None:
+            return False
+        chains.append((phi, chain))
+        chain_ids |= {id(link) for link in chain}
+
+    # 3. Build the root list: iteration 0 is rooted at iv itself.
+    roots: List[Value] = [iv] + [increments[unit * k] for k in range(1, count)]
+
+    # 4. Collect the DAG of each root, in block order.
+    exclude = set(latch_ids) | {id(r) for r in roots if isinstance(r, Instruction)}
+    exclude |= chain_ids
+    groups: List[List[Instruction]] = []
+    for root in roots:
+        seeds = []
+        for use in root.uses:
+            user = use.user
+            if (
+                isinstance(user, Instruction)
+                and user.parent is block
+                and id(user) not in exclude
+            ):
+                seeds.append(user)
+        seen: Set[int] = {id(s) for s in seeds}
+        work = list(seeds)
+        while work:
+            inst = work.pop()
+            for use in inst.uses:
+                user = use.user
+                if not isinstance(user, Instruction):
+                    continue
+                if user.parent is not block:
+                    continue
+                if id(user) in exclude or id(user) in seen:
+                    continue
+                seen.add(id(user))
+                work.append(user)
+        groups.append([inst for inst in block.instructions if id(inst) in seen])
+
+    # 5. Exact correspondence between groups.
+    size = len(groups[0])
+    if size == 0 or any(len(g) != size for g in groups):
+        return False
+
+    mappings: List[Dict[int, Value]] = [dict()]  # identity for group 0
+    for g in range(1, count):
+        mapping: Dict[int, Value] = {id(roots[g]): iv}
+        for a, b in zip(groups[0], groups[g]):
+            if not _same_shape(a, b):
+                return False
+            for op_a, op_b in zip(a.operands, b.operands):
+                if op_a is op_b:
+                    continue  # loop-invariant operand
+                if op_b is roots[g] and op_a is iv:
+                    continue
+                if (
+                    isinstance(op_b, Instruction)
+                    and id(op_b) in mapping
+                    and mapping[id(op_b)] is op_a
+                ):
+                    continue
+                if (
+                    isinstance(op_a, ConstantInt)
+                    and isinstance(op_b, ConstantInt)
+                    and op_a.value == op_b.value
+                ):
+                    continue
+                return False
+            mapping[id(b)] = a
+        mappings.append(mapping)
+
+    # 6. Chain data operands must correspond across iterations.
+    for phi, chain in chains:
+        prev: Value = phi
+        data0 = _chain_data_operand(chain[0], phi)
+        for g in range(1, count):
+            data_g = _chain_data_operand(chain[g], chain[g - 1])
+            if data_g is data0:
+                continue
+            if (
+                isinstance(data_g, Instruction)
+                and id(data_g) in mappings[g]
+                and mappings[g][id(data_g)] is data0
+            ):
+                continue
+            return False
+
+    # 7. Full coverage of the block.
+    covered: Set[int] = set(latch_ids) | chain_ids
+    covered |= {id(r) for r in roots if isinstance(r, Instruction)}
+    for group in groups:
+        covered |= {id(inst) for inst in group}
+    for inst in block.instructions:
+        if isinstance(inst, Phi):
+            continue  # iv and accumulator phis are allowed
+        if id(inst) not in covered:
+            return False
+
+    # 8. Values of iterations 1..n-1 must not escape the block.
+    for g in range(1, count):
+        for inst in groups[g]:
+            for use in inst.uses:
+                user = use.user
+                if not isinstance(user, Instruction) or user.parent is not block:
+                    return False
+        root = roots[g]
+        if isinstance(root, Instruction):
+            for use in root.uses:
+                user = use.user
+                if not isinstance(user, Instruction) or user.parent is not block:
+                    return False
+
+    # 9. Rewrite.  Reduction chains first: retarget phi and external uses
+    #    of the last link to the first link, then drop links 2..m.
+    for phi, chain in chains:
+        first, last = chain[0], chain[-1]
+        for use in list(last.uses):
+            user = use.user
+            if user is phi:
+                user.set_operand(use.index, first)
+            elif isinstance(user, Instruction) and user.parent is not block:
+                user.set_operand(use.index, first)
+        for link in reversed(chain[1:]):
+            if link.uses:
+                return False  # should not happen; bail safely
+            link.erase_from_parent()
+
+    for g in range(count - 1, 0, -1):
+        for inst in reversed(groups[g]):
+            inst.erase_from_parent()
+        root = roots[g]
+        if isinstance(root, Instruction):
+            root.erase_from_parent()
+
+    lhs, rhs = iv_next.operands
+    if isinstance(rhs, ConstantInt):
+        iv_next.set_operand(1, ConstantInt(iv.type, unit))
+    else:
+        iv_next.set_operand(0, ConstantInt(iv.type, unit))
+    return True
+
+
+def reroll_loops(fn: Function, stats: Optional[RerollStats] = None) -> int:
+    """Run the baseline reroller over every loop of ``fn``."""
+    if fn.is_declaration:
+        return 0
+    rerolled = 0
+    for loop in find_loops(fn):
+        counted = match_counted_loop(loop)
+        if counted is None:
+            continue
+        if stats is not None:
+            stats.attempted += 1
+        if try_reroll_loop(counted):
+            rerolled += 1
+            if stats is not None:
+                stats.rerolled += 1
+    return rerolled

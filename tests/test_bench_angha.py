@@ -1,0 +1,126 @@
+"""Tests for the synthetic corpus generator and the full-program builder."""
+
+import pytest
+
+from repro.bench import angha, programs
+from repro.bench.objsize import function_size, measure_module
+from repro.ir import Machine, verify_module
+from repro.rolag import roll_loops_in_module
+
+
+class TestCorpusGenerator:
+    def test_deterministic(self):
+        c1 = angha.generate_corpus(count=20, seed=5)
+        c2 = angha.generate_corpus(count=20, seed=5)
+        assert [f.source for f in c1] == [f.source for f in c2]
+        assert [f.family for f in c1] == [f.family for f in c2]
+
+    def test_seed_changes_output(self):
+        c1 = angha.generate_corpus(count=20, seed=5)
+        c2 = angha.generate_corpus(count=20, seed=6)
+        assert [f.source for f in c1] != [f.source for f in c2]
+
+    def test_all_families_reachable(self):
+        corpus = angha.generate_corpus(count=150, seed=11)
+        families = {f.family for f in corpus}
+        assert families == set(angha.FAMILIES)
+
+    def test_modules_verify(self):
+        for cf in angha.generate_corpus(count=40, seed=3):
+            verify_module(cf.module)
+            assert cf.module.get_function(cf.name) is not None
+
+    def test_custom_weights(self):
+        corpus = angha.generate_corpus(
+            count=30,
+            seed=1,
+            weights={name: 0.0 for name in angha.FAMILIES} | {"tiny": 1.0},
+        )
+        assert all(f.family == "tiny" for f in corpus)
+
+    def test_rollable_families_roll(self):
+        # At least one instance of each rollable family must actually
+        # be rolled by RoLAG (the generator exists to exercise it).
+        corpus = angha.generate_corpus(count=200, seed=13)
+        rolled_families = set()
+        for cf in corpus:
+            if roll_loops_in_module(cf.module):
+                rolled_families.add(cf.family)
+        for family in (
+            "field_copy", "call_sequence", "chained_calls",
+            "dot_product", "array_init", "alternating", "elementwise",
+        ):
+            assert family in rolled_families, family
+
+    def test_nonrollable_families_do_not_roll(self):
+        corpus = angha.generate_corpus(
+            count=30,
+            seed=17,
+            weights={name: 0.0 for name in angha.FAMILIES}
+            | {"tiny": 0.5, "irregular": 0.5},
+        )
+        for cf in corpus:
+            assert roll_loops_in_module(cf.module) == 0, cf.source
+
+
+class TestFieldCopySemantics:
+    def test_field_copy_is_a_memcpy(self):
+        corpus = angha.generate_corpus(
+            count=1,
+            seed=99,
+            weights={name: 0.0 for name in angha.FAMILIES}
+            | {"field_copy": 1.0},
+        )
+        cf = corpus[0]
+        fields = cf.source.count("dst->")
+        module = cf.module
+
+        def run(mod):
+            machine = Machine(mod)
+            dst = machine.alloc(4 * fields)
+            src = machine.alloc(4 * fields)
+            from repro.ir import I32
+
+            for i in range(fields):
+                machine.write_value(src + 4 * i, I32, i * 3 + 1)
+            machine.call(mod.get_function(cf.name), [dst, src, 7])
+            return machine.read_bytes(dst, 4 * fields)
+
+        before = run(module)
+        rolled = roll_loops_in_module(module)
+        assert rolled >= 1
+        after = run(module)
+        assert before == after
+
+
+class TestPrograms:
+    def test_program_specs_cover_table1(self):
+        names = {spec.name for spec in programs.PROGRAMS}
+        for expected in (
+            "typeset", "sha", "ghostscript", "tiff2rgba",
+            "657.xz_s", "511.povray_r", "526.blender_r",
+        ):
+            assert expected in names
+        assert len(programs.PROGRAMS) == 21
+
+    def test_build_small_program(self):
+        spec = programs.PROGRAMS[1]  # sha: smallest
+        module = programs.build_program(spec, scale=0.5)
+        verify_module(module)
+        report = measure_module(module)
+        assert report.text > 0
+
+    def test_function_count_scales_with_kb(self):
+        big = programs.PROGRAMS[-1]  # blender
+        small = programs.PROGRAMS[1]  # sha
+        assert programs.function_count_for(big) > programs.function_count_for(
+            small
+        )
+
+    def test_program_build_deterministic(self):
+        spec = programs.PROGRAMS[3]
+        m1 = programs.build_program(spec, scale=0.4)
+        m2 = programs.build_program(spec, scale=0.4)
+        from repro.ir import print_module
+
+        assert print_module(m1) == print_module(m2)

@@ -1,0 +1,95 @@
+"""Tests for the experiment harness and the stride-split joint path."""
+
+import pytest
+
+from tests.helpers import execute, ints_to_bytes
+
+from repro.bench import run_tsvc_experiment, tsvc
+from repro.bench.harness import TsvcKernelResult
+from repro.ir import parse_module, verify_module
+from repro.rolag import RolagStats, roll_loops_in_function
+
+
+class TestHarnessDataclasses:
+    def test_kernel_result_reductions(self):
+        r = TsvcKernelResult(
+            name="k", base_size=100, llvm_size=80, rolag_size=60,
+            oracle_size=50, llvm_rolled=1, rolag_rolled=1,
+            steps_base=100, steps_rolag=200,
+        )
+        assert r.llvm_reduction == 20.0
+        assert r.rolag_reduction == 40.0
+        assert r.oracle_reduction == 50.0
+        assert r.performance_ratio == 0.5
+
+    def test_performance_ratio_without_dynamic(self):
+        r = TsvcKernelResult("k", 10, 10, 10, 10, 0, 0)
+        assert r.performance_ratio == 1.0
+
+    def test_experiment_on_subset(self):
+        exp = run_tsvc_experiment(kernels=["s000", "s276"])
+        assert len(exp.results) == 2
+        by_name = {r.name: r for r in exp.results}
+        assert by_name["s000"].rolag_rolled == 1
+        assert by_name["s276"].rolag_rolled == 0  # conditional body
+
+    def test_suite_has_exactly_151_kernels(self):
+        # Matching the paper's TSVC population.
+        assert len(tsvc.kernel_names()) == 151
+
+
+class TestStrideSplitJoint:
+    def _two_patterns_per_iteration(self):
+        """Stores to one array alternating between two shapes."""
+        lines = ["define void @f(i32* %p, i32* %q) {", "entry:"]
+        for i in range(4):
+            # Pattern A: p[2i] = q[i] + 5
+            lines.append(f"  %qa{i} = getelementptr i32, i32* %q, i64 {i}")
+            lines.append(f"  %va{i} = load i32, i32* %qa{i}")
+            lines.append(f"  %sa{i} = add i32 %va{i}, 5")
+            lines.append(f"  %pa{i} = getelementptr i32, i32* %p, i64 {2 * i}")
+            lines.append(f"  store i32 %sa{i}, i32* %pa{i}")
+            # Pattern B: p[2i+1] = q[i] * 3
+            lines.append(f"  %vb{i} = load i32, i32* %qa{i}")
+            lines.append(f"  %sb{i} = mul i32 %vb{i}, 3")
+            lines.append(
+                f"  %pb{i} = getelementptr i32, i32* %p, i64 {2 * i + 1}"
+            )
+            lines.append(f"  store i32 %sb{i}, i32* %pb{i}")
+        lines += ["  ret void", "}"]
+        return "\n".join(lines)
+
+    def test_even_odd_split_rolls(self):
+        src = self._two_patterns_per_iteration()
+        module = parse_module(src)
+        stats = RolagStats()
+        rolled = roll_loops_in_function(
+            module.get_function("f"), stats=stats
+        )
+        verify_module(module)
+        assert rolled == 1
+        assert stats.node_counts.get("joint", 0) == 1
+
+        before = execute(
+            parse_module(src), "f",
+            buffer_specs=[ints_to_bytes([0] * 8), ints_to_bytes([4, 5, 6, 7])],
+        )
+        after = execute(
+            module, "f",
+            buffer_specs=[ints_to_bytes([0] * 8), ints_to_bytes([4, 5, 6, 7])],
+        )
+        assert before.same_behaviour(after), before.explain_difference(after)
+
+    def test_s222_improved_by_split(self):
+        from repro.bench.objsize import function_size
+        from repro.rolag import RolagConfig, roll_loops_in_module
+
+        base = tsvc.build_unrolled_kernel("s222")
+        base_size = function_size(base.get_function("s222"))
+        module = tsvc.build_unrolled_kernel("s222")
+        rolled = roll_loops_in_module(
+            module, config=RolagConfig(fast_math=True)
+        )
+        verify_module(module)
+        assert rolled >= 2  # the split a-group plus the e-group
+        assert function_size(module.get_function("s222")) < base_size * 0.6

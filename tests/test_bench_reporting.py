@@ -1,0 +1,149 @@
+"""Tests for the reporting helpers, the size metric, and the pass manager."""
+
+import pytest
+
+from repro.analysis import CodeSizeCostModel
+from repro.bench import (
+    SizeReport,
+    ascii_curve,
+    format_table,
+    function_size,
+    histogram,
+    measure_module,
+    reduction_percent,
+)
+from repro.ir import parse_module
+from repro.transforms import PassManager, default_cleanup_pipeline
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["Name", "Value"], [("a", 1), ("longer", 123456)]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("Name")
+        widths = {len(line) for line in lines}
+        assert len(widths) <= 2  # header may differ by trailing spaces
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+
+class TestAsciiCurve:
+    def test_empty(self):
+        assert ascii_curve([]) == "(empty series)"
+
+    def test_contains_extremes(self):
+        curve = ascii_curve([50.0] * 10 + [0.0] * 10, height=8, width=20)
+        assert "50.0" in curve
+        assert "*" in curve
+
+    def test_negative_values(self):
+        curve = ascii_curve([10.0, 5.0, -20.0])
+        assert "-20.0" in curve
+
+    def test_label(self):
+        curve = ascii_curve([1.0], label="hello")
+        assert curve.splitlines()[0] == "hello"
+
+    def test_downsampling_long_series(self):
+        curve = ascii_curve(list(float(x) for x in range(1000)), width=40)
+        # Must not exceed requested width (plus the axis prefix).
+        for line in curve.splitlines():
+            assert len(line) <= 40 + 10
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert histogram({}) == "(no data)"
+
+    def test_sorted_by_count(self):
+        text = histogram({"small": 1, "big": 100, "mid": 10})
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert lines[0].split()[0] == "big"
+        assert lines[-1].split()[0] == "small"
+
+    def test_percentages_sum(self):
+        text = histogram({"a": 50, "b": 50})
+        assert "50.0%" in text
+
+
+class TestObjSize:
+    MODULE = """
+@G = global [4 x i32] zeroinitializer
+
+declare void @ext()
+
+define void @f() {
+entry:
+  ret void
+}
+
+define i32 @g(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+"""
+
+    def test_measure_module(self):
+        m = parse_module(self.MODULE)
+        report = measure_module(m)
+        assert set(report.per_function) == {"f", "g"}
+        assert report.text == sum(report.per_function.values())
+        assert report.data == 16
+        assert report.total == report.text + report.data
+
+    def test_function_size_matches_cost_model(self):
+        m = parse_module(self.MODULE)
+        cm = CodeSizeCostModel()
+        assert function_size(m.get_function("g"), cm) == cm.function_cost(
+            m.get_function("g")
+        )
+
+    def test_reduction_percent(self):
+        assert reduction_percent(100, 80) == 20.0
+        assert reduction_percent(100, 120) == -20.0
+        assert reduction_percent(0, 0) == 0.0
+
+
+class TestPassManager:
+    def test_change_accounting(self):
+        m = parse_module(
+            """
+define i32 @f() {
+entry:
+  %a = add i32 2, 3
+  %dead = mul i32 %a, 0
+  ret i32 %a
+}
+"""
+        )
+        pm = default_cleanup_pipeline()
+        changed = pm.run(m)
+        assert changed > 0
+        assert pm.changes.get("constfold", 0) + pm.changes.get(
+            "constfold2", 0
+        ) >= 1
+
+    def test_verify_catches_broken_pass(self):
+        from repro.ir import VerificationError
+
+        def breaker(fn):
+            # Remove the terminator: invalid IR.
+            fn.entry.instructions.pop()
+            return 1
+
+        m = parse_module("define void @f() {\nentry:\n  ret void\n}")
+        pm = PassManager(verify=True)
+        pm.add("breaker", breaker)
+        with pytest.raises(VerificationError):
+            pm.run(m)
+
+    def test_declarations_skipped(self):
+        m = parse_module("declare void @x()")
+        pm = default_cleanup_pipeline()
+        assert pm.run(m) == 0

@@ -1,0 +1,132 @@
+"""Tests for the TSVC benchmark substrate."""
+
+import pytest
+
+from repro.bench import tsvc
+from repro.bench.objsize import function_size
+from repro.ir import Machine, verify_module
+from repro.rolag import RolagConfig, roll_loops_in_module
+from repro.transforms import reroll_loops
+
+
+#: A spread of kernels covering the major pattern categories.
+SAMPLE = [
+    "s000", "vpv", "vdotr", "vsumr", "s112", "s121", "s451", "s452",
+    "s453", "s3113", "s276", "s1281", "s4114", "s491", "s2102", "s122",
+]
+
+
+class TestKernelConstruction:
+    def test_all_kernels_compile(self):
+        for name in tsvc.kernel_names():
+            module = tsvc.build_kernel(name)
+            verify_module(module)
+            assert module.get_function(name) is not None
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_unrolled_kernels_verify(self, name):
+        module = tsvc.build_unrolled_kernel(name)
+        verify_module(module)
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_unroll_preserves_kernel_semantics(self, name):
+        rolled = tsvc.build_kernel(name)
+        unrolled = tsvc.build_unrolled_kernel(name)
+
+        def run(module):
+            machine = Machine(module)
+            tsvc.init_machine(machine)
+            result = machine.call(module.get_function(name), [])
+            return result, machine.global_contents()
+
+        r0, g0 = run(rolled)
+        r1, g1 = run(unrolled)
+        assert r0 == r1
+        assert g0 == g1
+
+    def test_unroll_actually_unrolls_most_kernels(self):
+        from repro.ir import Store
+
+        unrollable = 0
+        for name in tsvc.kernel_names():
+            rolled = tsvc.build_kernel(name)
+            unrolled = tsvc.build_unrolled_kernel(name)
+            before = sum(
+                1 for f in rolled.functions for i in f.instructions()
+            )
+            after = sum(
+                1 for f in unrolled.functions for i in f.instructions()
+            )
+            if after > before * 2:
+                unrollable += 1
+        # Multi-block kernels (conditionals) cannot unroll; most can.
+        assert unrollable > len(tsvc.kernel_names()) * 0.6
+
+
+class TestKernelTransformSafety:
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_rolag_preserves_semantics(self, name):
+        base = tsvc.build_unrolled_kernel(name)
+        transformed = tsvc.build_unrolled_kernel(name)
+        roll_loops_in_module(transformed, config=RolagConfig(fast_math=True))
+        verify_module(transformed)
+
+        def run(module):
+            machine = Machine(module)
+            tsvc.init_machine(machine)
+            result = machine.call(module.get_function(name), [])
+            contents = {
+                k: v
+                for k, v in machine.global_contents().items()
+                if not k.startswith("__rolag")
+            }
+            return result, contents
+
+        r0, g0 = run(base)
+        r1, g1 = run(transformed)
+        assert r0 == r1, name
+        assert g0 == g1, name
+
+    @pytest.mark.parametrize("name", SAMPLE)
+    def test_reroll_preserves_semantics(self, name):
+        base = tsvc.build_unrolled_kernel(name)
+        transformed = tsvc.build_unrolled_kernel(name)
+        for fn in transformed.functions:
+            if not fn.is_declaration:
+                reroll_loops(fn)
+        verify_module(transformed)
+
+        def run(module):
+            machine = Machine(module)
+            tsvc.init_machine(machine)
+            result = machine.call(module.get_function(name), [])
+            return result, machine.global_contents()
+
+        r0, g0 = run(base)
+        r1, g1 = run(transformed)
+        assert r0 == r1, name
+        assert g0 == g1, name
+
+
+class TestExperimentShapes:
+    def test_small_experiment_shape(self):
+        from repro.bench import run_tsvc_experiment
+
+        exp = run_tsvc_experiment(kernels=SAMPLE, measure_dynamic=True)
+        assert exp.rolag_kernels >= exp.llvm_kernels
+        for r in exp.results:
+            # The oracle is never worse than the unrolled baseline.
+            assert r.oracle_size <= r.base_size
+            # Transforms never increase the measured size above base.
+            assert r.llvm_size <= r.base_size
+            # Rolled loops execute at least as many instructions.
+            if r.rolag_rolled:
+                assert r.steps_rolag >= r.steps_base
+
+    def test_llvm_beats_or_ties_rolag_when_both_fire(self):
+        from repro.bench import run_tsvc_experiment
+
+        exp = run_tsvc_experiment(kernels=SAMPLE)
+        both = [r for r in exp.results if r.llvm_rolled and r.rolag_rolled]
+        for r in both:
+            assert r.llvm_size <= r.rolag_size + 2, r.name

@@ -1,0 +1,145 @@
+"""Tests for the command-line driver."""
+
+import os
+
+import pytest
+
+from repro.cli import build_arg_parser, load_module, main
+
+
+C_SOURCE = """
+int table[8];
+void fill(void) {
+  table[0] = 5; table[1] = 10; table[2] = 15; table[3] = 20;
+  table[4] = 25; table[5] = 30; table[6] = 35; table[7] = 40;
+}
+int add2(int a, int b) { return a + b; }
+"""
+
+LL_SOURCE = """
+define void @f(i32* %p) {
+entry:
+  %p0 = getelementptr i32, i32* %p, i64 0
+  store i32 1, i32* %p0
+  %p1 = getelementptr i32, i32* %p, i64 1
+  store i32 1, i32* %p1
+  %p2 = getelementptr i32, i32* %p, i64 2
+  store i32 1, i32* %p2
+  %p3 = getelementptr i32, i32* %p, i64 3
+  store i32 1, i32* %p3
+  %p4 = getelementptr i32, i32* %p, i64 4
+  store i32 1, i32* %p4
+  ret void
+}
+"""
+
+LOOP_SOURCE = """
+int a[24];
+void init(void) {
+  for (int i = 0; i < 24; i++) a[i] = i * 3;
+}
+"""
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(C_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def ll_file(tmp_path):
+    path = tmp_path / "prog.ll"
+    path.write_text(LL_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    path = tmp_path / "loop.c"
+    path.write_text(LOOP_SOURCE)
+    return str(path)
+
+
+class TestLoading:
+    def test_load_c(self, c_file):
+        module = load_module(c_file, optimize=True)
+        assert module.get_function("fill") is not None
+
+    def test_load_ll(self, ll_file):
+        module = load_module(ll_file, optimize=True)
+        assert module.get_function("f") is not None
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/x.c", "--size"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestActions:
+    def test_roll_and_size(self, c_file, capsys):
+        assert main([c_file, "--roll", "--size"]) == 0
+        out = capsys.readouterr().out
+        assert "RoLAG rolled 1 loop(s)" in out
+        assert "fill" in out
+        assert "text:" in out
+
+    def test_roll_stats(self, c_file, capsys):
+        assert main([c_file, "--roll", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "node" in out
+
+    def test_roll_ll_input(self, ll_file, capsys):
+        assert main([ll_file, "--roll", "--emit-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "rolag.loop" in out
+
+    def test_unroll_then_reroll(self, loop_file, capsys):
+        assert main([loop_file, "--unroll", "8", "--reroll", "--size"]) == 0
+        out = capsys.readouterr().out
+        assert "unrolled 1 loop(s)" in out
+        assert "rerolled 1 loop(s)" in out
+
+    def test_unroll_then_roll_loop_aware(self, loop_file, capsys):
+        assert main(
+            [loop_file, "--unroll", "8", "--roll", "--loop-aware", "--size"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "RoLAG rolled 1 loop(s)" in out
+
+    def test_run_function(self, c_file, capsys):
+        assert main([c_file, "--run", "add2", "40", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "returned 42" in out
+        assert "instructions executed" in out
+
+    def test_run_after_roll_same_result(self, c_file, capsys):
+        main([c_file, "--run", "add2", "1", "2"])
+        plain = capsys.readouterr().out
+        main([c_file, "--roll", "--run", "add2", "1", "2"])
+        rolled = capsys.readouterr().out
+        assert "returned 3" in plain
+        assert "returned 3" in rolled
+
+    def test_run_unknown_function(self, c_file, capsys):
+        assert main([c_file, "--run", "nope"]) == 1
+
+    def test_no_special_nodes_flag(self, c_file, capsys):
+        assert main([c_file, "--roll", "--no-special-nodes"]) == 0
+
+    def test_emit_ir_parses_back(self, c_file, capsys):
+        assert main([c_file, "--roll", "--emit-ir"]) == 0
+        out = capsys.readouterr().out
+        ir_text = out[out.index("@table") :]
+        from repro.ir import parse_module, verify_module
+
+        verify_module(parse_module(ir_text))
+
+
+class TestArgParser:
+    def test_help_mentions_all_actions(self):
+        parser = build_arg_parser()
+        text = parser.format_help()
+        for flag in ("--roll", "--reroll", "--unroll", "--size", "--run",
+                     "--loop-aware", "--emit-ir"):
+            assert flag in text

@@ -1,0 +1,361 @@
+"""Mini-C frontend tests: lexer, parser, lowering, execution."""
+
+import struct
+
+import pytest
+
+from repro.frontend import CParseError, LexError, compile_c, parse, tokenize
+from repro.frontend.ctypes import CInt, CPtr, usual_arithmetic_conversion, INT, LONG, UINT, FLOAT, DOUBLE
+from repro.ir import I32, Machine, run_function, verify_module
+from repro.analysis import find_loops, match_counted_loop
+
+
+def run_c(source, fn, args=(), externs=None):
+    module = compile_c(source)
+    return run_function(module, fn, args, externs)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("int x = 42; // comment\nx += 1;")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert ("keyword", "int") in kinds
+        assert ("int", "42") in kinds
+        assert ("op", "+=") in kinds
+        assert not any(t.kind == "comment" for t in tokens)
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 2.0f .25 1e3 3f")
+        assert [t.kind for t in tokens[:-1]] == ["float"] * 5
+
+    def test_block_comments(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_char_literals(self):
+        tokens = tokenize("'a' '\\n'")
+        assert [t.kind for t in tokens[:-1]] == ["char", "char"]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("int x = `;")
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <<= b >> c <= d")
+        texts = [t.text for t in tokens[:-1]]
+        assert "<<=" in texts
+        assert ">>" in texts
+        assert "<=" in texts
+
+
+class TestParserStructure:
+    def test_function_and_globals(self):
+        unit = parse("int g = 5;\nint f(int x) { return x + g; }")
+        assert len(unit.items) == 2
+
+    def test_struct_definition(self):
+        unit = parse("struct p { int x; int y; };\nint f(struct p *q) { return q->x; }")
+        assert unit.items[0].name == "p"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CParseError):
+            parse("int f() { return 1 }")
+
+    def test_operator_precedence(self):
+        # 2 + 3 * 4 == 14, (2 + 3) * 4 == 20
+        assert run_c("int f() { return 2 + 3 * 4; }", "f")[0] == 14
+        assert run_c("int f() { return (2 + 3) * 4; }", "f")[0] == 20
+        assert run_c("int f() { return 1 << 2 + 1; }", "f")[0] == 8
+        assert run_c("int f() { return 10 - 4 - 3; }", "f")[0] == 3
+
+
+class TestArithmeticConversions:
+    def test_usual_conversions(self):
+        assert usual_arithmetic_conversion(INT, LONG) == LONG
+        assert usual_arithmetic_conversion(INT, DOUBLE) == DOUBLE
+        assert usual_arithmetic_conversion(FLOAT, INT) == FLOAT
+        assert usual_arithmetic_conversion(CInt(8, True), CInt(16, True)) == INT
+
+    def test_signed_division(self):
+        assert run_c("int f(int a, int b) { return a / b; }", "f", [-7, 2])[0] == -3
+        assert run_c("int f(int a, int b) { return a % b; }", "f", [-7, 2])[0] == -1
+
+    def test_unsigned_division(self):
+        src = "unsigned f(unsigned a, unsigned b) { return a / b; }"
+        assert run_c(src, "f", [8, 2])[0] == 4
+
+    def test_float_arithmetic(self):
+        src = "double f(double x) { return x * 2.5 + 1.0; }"
+        assert run_c(src, "f", [2.0])[0] == 6.0
+
+    def test_int_float_mixing(self):
+        src = "double f(int x) { return x / 2.0; }"
+        assert run_c(src, "f", [5])[0] == 2.5
+
+    def test_char_promotion(self):
+        src = "int f(char c) { return c + 1; }"
+        assert run_c(src, "f", [-5])[0] == -4
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int f(int x) { if (x > 0) return 1; else return -1; }"
+        assert run_c(src, "f", [5])[0] == 1
+        assert run_c(src, "f", [-5])[0] == -1
+
+    def test_while_loop(self):
+        src = """
+int f(int n) {
+  int acc = 0;
+  int i = 0;
+  while (i < n) { acc += i; i++; }
+  return acc;
+}
+"""
+        assert run_c(src, "f", [10])[0] == 45
+
+    def test_for_loop(self):
+        src = "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }"
+        assert run_c(src, "f", [100])[0] == 5050
+
+    def test_do_while(self):
+        src = "int f(int n) { int i = 0; do { i++; } while (i < n); return i; }"
+        assert run_c(src, "f", [5])[0] == 5
+        assert run_c(src, "f", [0])[0] == 1  # executes at least once
+
+    def test_break_continue(self):
+        src = """
+int f(void) {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i == 3) continue;
+    if (i == 7) break;
+    s += i;
+  }
+  return s;
+}
+"""
+        assert run_c(src, "f")[0] == 0 + 1 + 2 + 4 + 5 + 6
+
+    def test_short_circuit(self):
+        src = """
+int g;
+int touch(int v) { g = v; return v; }
+int f(int x) { return x != 0 && touch(9) != 0; }
+"""
+        module = compile_c(src)
+        result, mach = run_function(module, "f", [0])
+        assert result == 0
+        assert struct.unpack("<i", mach.global_contents()["g"])[0] == 0
+        result, mach = run_function(module, "f", [1])
+        assert result == 1
+        assert struct.unpack("<i", mach.global_contents()["g"])[0] == 9
+
+    def test_ternary(self):
+        src = "int f(int x) { return x > 0 ? x : -x; }"
+        assert run_c(src, "f", [-9])[0] == 9
+        assert run_c(src, "f", [4])[0] == 4
+
+    def test_nested_loops(self):
+        src = """
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      acc += i * j;
+  return acc;
+}
+"""
+        assert run_c(src, "f", [4])[0] == sum(i * j for i in range(4) for j in range(4))
+
+    def test_rotated_loop_is_single_block(self):
+        # The whole point of loop rotation: simple counted loops must
+        # arrive as single-block loops matched by the counted matcher.
+        src = """
+int a[32];
+void f(void) { for (int i = 0; i < 32; i++) a[i] = i; }
+"""
+        module = compile_c(src)
+        fn = module.get_function("f")
+        loops = find_loops(fn)
+        assert len(loops) == 1
+        counted = match_counted_loop(loops[0])
+        assert counted is not None
+        assert counted.trip_count() == 32
+
+
+class TestPointersArraysStructs:
+    def test_array_indexing(self):
+        src = """
+int a[8];
+int f(void) {
+  for (int i = 0; i < 8; i++) a[i] = i * i;
+  return a[5];
+}
+"""
+        assert run_c(src, "f")[0] == 25
+
+    def test_pointer_parameters(self):
+        src = "int f(int *p) { return p[0] + p[1]; }"
+        module = compile_c(src)
+        mach = Machine(module)
+        buf = mach.alloc(8)
+        mach.write_value(buf, I32, 30)
+        mach.write_value(buf + 4, I32, 12)
+        assert mach.call(module.get_function("f"), [buf]) == 42
+
+    def test_pointer_arithmetic(self):
+        src = "int f(int *p) { int *q = p + 2; return *q; }"
+        module = compile_c(src)
+        mach = Machine(module)
+        buf = mach.alloc(12)
+        mach.write_value(buf + 8, I32, 77)
+        assert mach.call(module.get_function("f"), [buf]) == 77
+
+    def test_address_of(self):
+        src = """
+int f(int x) {
+  int y = x;
+  int *p = &y;
+  *p = *p + 1;
+  return y;
+}
+"""
+        assert run_c(src, "f", [10])[0] == 11
+
+    def test_struct_members(self):
+        src = """
+struct point { int x; int y; };
+int f(struct point *p) { return p->x * p->y; }
+"""
+        module = compile_c(src)
+        mach = Machine(module)
+        buf = mach.alloc(8)
+        mach.write_value(buf, I32, 6)
+        mach.write_value(buf + 4, I32, 7)
+        assert mach.call(module.get_function("f"), [buf]) == 42
+
+    def test_local_struct(self):
+        src = """
+struct point { int x; int y; };
+int f(int a, int b) {
+  struct point p;
+  p.x = a;
+  p.y = b;
+  return p.x + p.y;
+}
+"""
+        assert run_c(src, "f", [20, 22])[0] == 42
+
+    def test_global_initializer_list(self):
+        src = """
+int table[5] = {10, 20, 30, 40, 50};
+int f(int i) { return table[i]; }
+"""
+        assert run_c(src, "f", [3])[0] == 40
+
+    def test_local_array_initializer(self):
+        src = """
+int f(void) {
+  int t[4] = {1, 2, 3, 4};
+  return t[0] + t[3];
+}
+"""
+        assert run_c(src, "f")[0] == 5
+
+    def test_array_parameter_decay(self):
+        src = "int f(int a[], int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+        module = compile_c(src)
+        mach = Machine(module)
+        buf = mach.alloc(16)
+        for i in range(4):
+            mach.write_value(buf + 4 * i, I32, i + 1)
+        assert mach.call(module.get_function("f"), [buf, 4]) == 10
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = "int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }"
+        assert run_c(src, "fact", [6])[0] == 720
+
+    def test_mutual_recursion(self):
+        src = """
+int odd(int n);
+int even(int n) { return n == 0 ? 1 : odd(n - 1); }
+int odd(int n) { return n == 0 ? 0 : even(n - 1); }
+"""
+        assert run_c(src, "even", [10])[0] == 1
+        assert run_c(src, "odd", [10])[0] == 0
+
+    def test_extern_call(self):
+        src = """
+extern int getval(int k);
+int f(void) { return getval(1) + getval(2); }
+"""
+        result, mach = run_c(
+            src, "f", externs={"getval": lambda m, a: a[0] * 100}
+        )
+        assert result == 300
+
+    def test_void_function(self):
+        src = """
+int g;
+void set(int v) { g = v; }
+int f(void) { set(7); return g; }
+"""
+        assert run_c(src, "f")[0] == 7
+
+    def test_implicit_declaration(self):
+        src = "int f(int x) { return mystery(x); }"
+        result, _ = run_c(src, "f", [5], externs={"mystery": lambda m, a: a[0] * 2})
+        assert result == 10
+
+
+class TestCasts:
+    def test_explicit_casts(self):
+        assert run_c("int f(double d) { return (int)d; }", "f", [3.9])[0] == 3
+        assert run_c("double f(int i) { return (double)i / 2; }", "f", [7])[0] == 3.5
+        assert run_c("int f(int x) { return (char)x; }", "f", [0x181])[0] == -127
+
+    def test_pointer_cast(self):
+        src = """
+int f(int *p) {
+  char *c = (char*)p;
+  return c[0];
+}
+"""
+        module = compile_c(src)
+        mach = Machine(module)
+        buf = mach.alloc(4)
+        mach.write_value(buf, I32, 0x12345678)
+        assert mach.call(module.get_function("f"), [buf]) == 0x78
+
+
+class TestCleanupQuality:
+    def test_mem2reg_ran(self):
+        src = "int f(int x) { int y = x + 1; int z = y * 2; return z; }"
+        module = compile_c(src)
+        fn = module.get_function("f")
+        from repro.ir import Alloca
+
+        assert not any(isinstance(i, Alloca) for i in fn.instructions())
+
+    def test_constant_folding_ran(self):
+        src = "int f(void) { return 2 + 3 * 4; }"
+        module = compile_c(src)
+        fn = module.get_function("f")
+        assert len(fn.entry.instructions) == 1
+
+    def test_verifies(self):
+        src = """
+int a[16]; int b[16];
+int mixed(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > b[i]) s += a[i]; else s -= b[i];
+  }
+  return s;
+}
+"""
+        module = compile_c(src)
+        verify_module(module)

@@ -1,0 +1,273 @@
+"""Frontend edge cases: trickier C constructs and diagnostics."""
+
+import pytest
+
+from repro.frontend import CParseError, LowerError, compile_c
+from repro.ir import I32, I64, Machine, run_function, verify_module
+
+
+def run_c(source, fn, args=(), externs=None):
+    module = compile_c(source)
+    return run_function(module, fn, args, externs)
+
+
+class TestExpressions:
+    def test_comma_operator(self):
+        src = "int f(int x) { int y; y = (x = x + 1, x * 2); return y; }"
+        assert run_c(src, "f", [5])[0] == 12
+
+    def test_chained_assignment_like(self):
+        src = "int f(void) { int a; int b; a = b = 7; return a + b; }"
+        assert run_c(src, "f")[0] == 14
+
+    @pytest.mark.parametrize("op,expected", [
+        ("+=", 15), ("-=", 5), ("*=", 50), ("/=", 2), ("%=", 0),
+        ("&=", 0), ("|=", 15), ("^=", 15), ("<<=", 320), (">>=", 0),
+    ])
+    def test_compound_assignments(self, op, expected):
+        src = f"int f(void) {{ int x = 10; x {op} 5; return x; }}"
+        assert run_c(src, "f")[0] == expected
+
+    def test_pre_vs_post_increment(self):
+        assert run_c("int f(void) { int x = 5; int y = x++; return y * 100 + x; }",
+                     "f")[0] == 506
+        assert run_c("int f(void) { int x = 5; int y = ++x; return y * 100 + x; }",
+                     "f")[0] == 606
+
+    def test_pointer_increment(self):
+        src = """
+int f(int *p) {
+  int *q = p;
+  q++;
+  return *q;
+}
+"""
+        module = compile_c(src)
+        machine = Machine(module)
+        buf = machine.alloc(8)
+        machine.write_value(buf + 4, I32, 99)
+        assert machine.call(module.get_function("f"), [buf]) == 99
+
+    def test_negative_literals_and_unary(self):
+        assert run_c("int f(void) { return -(-5); }", "f")[0] == 5
+        assert run_c("int f(void) { return ~0; }", "f")[0] == -1
+        assert run_c("int f(int x) { return !x; }", "f", [0])[0] == 1
+        assert run_c("int f(int x) { return !x; }", "f", [3])[0] == 0
+
+    def test_hex_literals(self):
+        assert run_c("int f(void) { return 0xFF + 0x10; }", "f")[0] == 271
+
+    def test_char_arithmetic(self):
+        assert run_c("int f(void) { return 'A' + 1; }", "f")[0] == 66
+
+    def test_nested_ternary(self):
+        src = "int f(int x) { return x > 10 ? 2 : x > 5 ? 1 : 0; }"
+        assert run_c(src, "f", [11])[0] == 2
+        assert run_c(src, "f", [7])[0] == 1
+        assert run_c(src, "f", [2])[0] == 0
+
+    def test_logical_or_short_circuit(self):
+        src = """
+int g;
+int touch(void) { g = 1; return 1; }
+int f(int x) { return x != 0 || touch() != 0; }
+"""
+        module = compile_c(src)
+        import struct
+
+        result, machine = run_function(module, "f", [5])
+        assert result == 1
+        assert struct.unpack("<i", machine.global_contents()["g"])[0] == 0
+
+
+class TestTypesAndConversions:
+    def test_long_arithmetic(self):
+        src = "long f(long a, long b) { return a * b; }"
+        assert run_c(src, "f", [3_000_000_000, 2])[0] == 6_000_000_000
+
+    def test_int_truncation_on_assign(self):
+        src = "int f(long x) { int y = x; return y; }"
+        assert run_c(src, "f", [0x1_0000_0005])[0] == 5
+
+    def test_unsigned_right_shift(self):
+        src = "unsigned f(unsigned x) { return x >> 1; }"
+        assert run_c(src, "f", [-2])[0] == 0x7FFFFFFF
+
+    def test_signed_right_shift(self):
+        src = "int f(int x) { return x >> 1; }"
+        assert run_c(src, "f", [-2])[0] == -1
+
+    def test_unsigned_comparison(self):
+        src = "int f(unsigned a, unsigned b) { return a < b; }"
+        assert run_c(src, "f", [-1, 0])[0] == 0  # 0xffffffff < 0 is false
+
+    def test_float_to_int_truncates(self):
+        assert run_c("int f(float x) { return (int)x; }", "f", [3.99])[0] == 3
+        assert run_c("int f(float x) { return (int)x; }", "f", [-3.99])[0] == -3
+
+    def test_double_float_mixing(self):
+        src = "double f(float a, double b) { return a + b; }"
+        result, _ = run_c(src, "f", [0.5, 0.25])
+        assert result == 0.75
+
+    def test_void_pointer(self):
+        src = """
+int f(void *p) {
+  int *q = (int*)p;
+  return *q;
+}
+"""
+        module = compile_c(src)
+        machine = Machine(module)
+        buf = machine.alloc(4)
+        machine.write_value(buf, I32, 31)
+        assert machine.call(module.get_function("f"), [buf]) == 31
+
+
+class TestStructsAndArrays:
+    def test_nested_struct(self):
+        src = """
+struct inner { int a; int b; };
+struct outer { int tag; struct inner data; };
+
+int f(struct outer *o) { return o->data.b; }
+"""
+        module = compile_c(src)
+        machine = Machine(module)
+        buf = machine.alloc(12)
+        machine.write_value(buf + 8, I32, 77)
+        assert machine.call(module.get_function("f"), [buf]) == 77
+
+    def test_2d_array_layout(self):
+        src = """
+int grid[3][4];
+void set(void) {
+  for (int i = 0; i < 3; i++)
+    for (int j = 0; j < 4; j++)
+      grid[i][j] = i * 10 + j;
+}
+int get(int i, int j) { return grid[i][j]; }
+"""
+        module = compile_c(src)
+        machine = Machine(module)
+        machine.call(module.get_function("set"), [])
+        assert machine.call(module.get_function("get"), [2, 3]) == 23
+        # Row-major layout: grid[1][0] at byte 16.
+        assert machine.read_value(
+            machine.global_addresses["grid"] + 16, I32
+        ) == 10
+
+    def test_array_in_struct(self):
+        src = """
+struct buf { int len; int data[4]; };
+int f(struct buf *b, int i) { return b->data[i]; }
+"""
+        module = compile_c(src)
+        machine = Machine(module)
+        addr = machine.alloc(20)
+        machine.write_value(addr + 4 + 8, I32, 55)  # data[2]
+        assert machine.call(module.get_function("f"), [addr, 2]) == 55
+
+    def test_struct_field_multiple_declarators(self):
+        src = """
+struct p { int x, y; };
+int f(struct p *q) { return q->x + q->y; }
+"""
+        module = compile_c(src)
+        machine = Machine(module)
+        addr = machine.alloc(8)
+        machine.write_value(addr, I32, 1)
+        machine.write_value(addr + 4, I32, 2)
+        assert machine.call(module.get_function("f"), [addr]) == 3
+
+    def test_global_scalar_initializer_expression(self):
+        src = """
+int k = 3 * 4 + 2;
+int f(void) { return k; }
+"""
+        assert run_c(src, "f")[0] == 14
+
+    def test_partial_initializer_list_zero_fills(self):
+        src = """
+int t[6] = {1, 2};
+int f(int i) { return t[i]; }
+"""
+        assert run_c(src, "f", [1])[0] == 2
+        assert run_c(src, "f", [5])[0] == 0
+
+
+class TestDiagnostics:
+    def test_unknown_variable(self):
+        with pytest.raises(LowerError, match="unknown identifier"):
+            compile_c("int f(void) { return nope; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(LowerError, match="break"):
+            compile_c("void f(void) { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(LowerError, match="continue"):
+            compile_c("void f(void) { continue; }")
+
+    def test_member_of_non_struct(self):
+        with pytest.raises(LowerError):
+            compile_c("int f(int x) { return x.field; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(LowerError):
+            compile_c("int f(int x) { return *x; }")
+
+    def test_missing_paren(self):
+        with pytest.raises(CParseError):
+            compile_c("int f(int x { return x; }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(CParseError):
+            compile_c("int f(void) { return 0;")
+
+
+class TestControlFlowEdge:
+    def test_empty_for_components(self):
+        src = """
+int f(int n) {
+  int i = 0;
+  int s = 0;
+  for (;;) {
+    if (i >= n) break;
+    s += i;
+    i++;
+  }
+  return s;
+}
+"""
+        assert run_c(src, "f", [5])[0] == 10
+
+    def test_loop_with_zero_iterations(self):
+        src = "int f(void) { int s = 9; for (int i = 0; i < 0; i++) s = 0; return s; }"
+        assert run_c(src, "f")[0] == 9
+
+    def test_deeply_nested_ifs(self):
+        src = """
+int f(int x) {
+  if (x > 0) { if (x > 10) { if (x > 100) return 3; return 2; } return 1; }
+  return 0;
+}
+"""
+        assert run_c(src, "f", [500])[0] == 3
+        assert run_c(src, "f", [50])[0] == 2
+        assert run_c(src, "f", [5])[0] == 1
+        assert run_c(src, "f", [-5])[0] == 0
+
+    def test_return_in_all_branches(self):
+        src = """
+int f(int x) {
+  if (x > 0) { return 1; } else { return -1; }
+}
+"""
+        assert run_c(src, "f", [9])[0] == 1
+        assert run_c(src, "f", [-9])[0] == -1
+
+    def test_implicit_zero_return(self):
+        # A non-void function falling off the end returns zero.
+        src = "int f(int x) { if (x > 0) return 7; }"
+        assert run_c(src, "f", [-1])[0] == 0

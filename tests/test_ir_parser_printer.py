@@ -1,0 +1,253 @@
+"""Parser/printer round-trip and error handling tests."""
+
+import pytest
+
+from repro.ir import (
+    ParseError,
+    parse_function,
+    parse_module,
+    print_function,
+    print_module,
+    verify_module,
+)
+
+
+GOOD_MODULES = [
+    # Simple arithmetic.
+    """
+define i32 @add1(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+""",
+    # All binary ops.
+    """
+define i32 @ops(i32 %a, i32 %b) {
+entry:
+  %t1 = add i32 %a, %b
+  %t2 = sub i32 %t1, %b
+  %t3 = mul i32 %t2, %b
+  %t4 = sdiv i32 %t3, %b
+  %t5 = udiv i32 %t4, %b
+  %t6 = srem i32 %t5, %b
+  %t7 = urem i32 %t6, %b
+  %t8 = and i32 %t7, %b
+  %t9 = or i32 %t8, %b
+  %t10 = xor i32 %t9, %b
+  %t11 = shl i32 %t10, %b
+  %t12 = lshr i32 %t11, %b
+  %t13 = ashr i32 %t12, %b
+  ret i32 %t13
+}
+""",
+    # Floats, casts, select, comparisons.
+    """
+define double @fops(double %x, float %y) {
+entry:
+  %w = fpext float %y to double
+  %s = fadd double %x, %w
+  %c = fcmp olt double %s, 1.5
+  %r = select i1 %c, double %s, double %x
+  %i = fptosi double %r to i32
+  %b = sitofp i32 %i to double
+  ret double %b
+}
+""",
+    # Memory, globals, structs, geps.
+    """
+%struct.pair = type { i32, i64 }
+
+@G = global [4 x i32] [i32 1, i32 2, i32 3, i32 4]
+
+@P = global %struct.pair zeroinitializer
+
+define i32 @use() {
+entry:
+  %p = getelementptr [4 x i32], [4 x i32]* @G, i64 0, i64 2
+  %v = load i32, i32* %p
+  %f = getelementptr %struct.pair, %struct.pair* @P, i64 0, i64 0
+  store i32 %v, i32* %f
+  ret i32 %v
+}
+""",
+    # Control flow with phis.
+    """
+define i32 @count(i32 %n) {
+entry:
+  %start = icmp slt i32 0, %n
+  br i1 %start, label %loop, label %done
+
+loop:
+  %i = phi i32 [ 0, %entry ], [ %next, %loop ]
+  %next = add i32 %i, 1
+  %c = icmp slt i32 %next, %n
+  br i1 %c, label %loop, label %done
+
+done:
+  %r = phi i32 [ 0, %entry ], [ %next, %loop ]
+  ret i32 %r
+}
+""",
+    # Declarations, calls, void functions, attributes.
+    """
+declare i32 @ext(i32, i32) readnone
+
+declare void @sink(i8*)
+
+define void @caller(i8* %p) {
+entry:
+  %r = call i32 @ext(i32 1, i32 2)
+  call void @sink(i8* %p)
+  ret void
+}
+""",
+    # Allocas, i8/i16 types, undef/null.
+    """
+define i16 @small(i8 %x) {
+entry:
+  %slot = alloca i16
+  %ext = sext i8 %x to i16
+  store i16 %ext, i16* %slot
+  %v = load i16, i16* %slot
+  ret i16 %v
+}
+""",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", GOOD_MODULES)
+    def test_parse_print_fixpoint(self, source):
+        m1 = parse_module(source)
+        verify_module(m1)
+        text1 = print_module(m1)
+        m2 = parse_module(text1)
+        verify_module(m2)
+        text2 = print_module(m2)
+        assert text1 == text2
+
+    def test_forward_function_reference(self):
+        m = parse_module(
+            """
+define i32 @caller() {
+entry:
+  %r = call i32 @callee(i32 7)
+  ret i32 %r
+}
+
+define i32 @callee(i32 %x) {
+entry:
+  ret i32 %x
+}
+"""
+        )
+        verify_module(m)
+        call = m.get_function("caller").entry.instructions[0]
+        assert call.callee is m.get_function("callee")
+
+    def test_forward_value_reference_in_phi(self):
+        m = parse_module(
+            """
+define i32 @f() {
+entry:
+  br label %loop
+
+loop:
+  %x = phi i32 [ 0, %entry ], [ %y, %loop ]
+  %y = add i32 %x, 1
+  %c = icmp slt i32 %y, 5
+  br i1 %c, label %loop, label %out
+
+out:
+  ret i32 %y
+}
+"""
+        )
+        verify_module(m)
+
+    def test_comments_ignored(self):
+        m = parse_module(
+            """
+; a comment
+define void @f() { ; trailing
+entry:
+  ret void ; done
+}
+"""
+        )
+        verify_module(m)
+
+    def test_external_global(self):
+        m = parse_module("@x = external global i32\n")
+        assert m.get_global("x").initializer is None
+
+
+class TestParseErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_module("define void @f() {\nentry:\n  frobnicate\n}")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_module("define wibble @f() {\nentry:\n  ret void\n}")
+
+    def test_unresolved_reference(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "define i32 @f() {\nentry:\n  ret i32 %nope\n}"
+            )
+
+    def test_redefinition(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                """
+define void @f() {
+entry:
+  %x = add i32 1, 2
+  %x = add i32 3, 4
+  ret void
+}
+"""
+            )
+
+    def test_unknown_callee(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "define void @f() {\nentry:\n  call void @nothere()\n  ret void\n}"
+            )
+
+    def test_parse_function_requires_single_def(self):
+        with pytest.raises(ValueError):
+            parse_function("declare void @f()")
+
+
+class TestPrinterDetails:
+    def test_unnamed_values_get_names(self):
+        from repro.ir import FunctionType, IRBuilder, Module, VOID, I32
+
+        m = Module()
+        fn = m.add_function("f", FunctionType(VOID, []))
+        block = fn.add_block("entry")
+        b = IRBuilder(block)
+        x = b.add(b.i32(1), b.i32(2))
+        x.name = ""
+        b.ret()
+        text = print_function(fn)
+        assert "= add i32 1, 2" in text
+        # And it stays parseable.
+        parse_module(text)
+
+    def test_duplicate_names_disambiguated(self):
+        from repro.ir import FunctionType, IRBuilder, Module, VOID
+
+        m = Module()
+        fn = m.add_function("f", FunctionType(VOID, []))
+        block = fn.add_block("entry")
+        b = IRBuilder(block)
+        x = b.add(b.i32(1), b.i32(2), name="v")
+        y = b.add(b.i32(3), b.i32(4), name="v")
+        b.ret()
+        text = print_function(fn)
+        m2 = parse_module(text)
+        verify_module(m2)

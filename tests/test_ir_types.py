@@ -1,0 +1,140 @@
+"""Unit tests for the IR type system and data layout."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    DEFAULT_LAYOUT,
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I16,
+    I32,
+    I64,
+    I8,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+    ptr,
+    types_equivalent,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is IntType(32)
+        assert IntType(32) is I32
+        assert IntType(8) is not IntType(16)
+
+    def test_float_types_are_interned(self):
+        assert FloatType(32) is F32
+        assert FloatType(64) is F64
+
+    def test_pointer_types_are_interned(self):
+        assert PointerType(I32) is PointerType(I32)
+        assert ptr(I32) is PointerType(I32)
+        assert PointerType(I32) is not PointerType(I64)
+
+    def test_array_types_are_interned(self):
+        assert ArrayType(I32, 4) is ArrayType(I32, 4)
+        assert ArrayType(I32, 4) is not ArrayType(I32, 5)
+
+    def test_function_types_are_interned(self):
+        a = FunctionType(I32, [I32, I64])
+        b = FunctionType(I32, [I32, I64])
+        assert a is b
+        assert FunctionType(I32, [I32]) is not a
+
+    def test_named_struct_identity(self):
+        s1 = StructType([I32, I32], "interned_pair")
+        s2 = StructType([I32, I32], "interned_pair")
+        assert s1 is s2
+
+    def test_named_struct_redefinition_rejected(self):
+        StructType([I32], "interned_one")
+        with pytest.raises(ValueError):
+            StructType([I64, I64], "interned_one")
+
+    def test_forward_declared_struct_gets_body(self):
+        fwd = StructType([], "interned_fwd")
+        real = StructType([I32, I64], "interned_fwd")
+        assert fwd is real
+        assert fwd.fields == (I32, I64)
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+
+class TestTypePredicates:
+    def test_first_class(self):
+        assert I32.is_first_class
+        assert ptr(I32).is_first_class
+        assert not VOID.is_first_class
+        assert not FunctionType(VOID, []).is_first_class
+
+    def test_int_bounds(self):
+        assert I8.signed_min == -128
+        assert I8.signed_max == 127
+        assert I8.mask == 0xFF
+        assert I1.mask == 1
+
+
+class TestDataLayout:
+    def test_scalar_sizes(self):
+        assert DEFAULT_LAYOUT.size_of(I8) == 1
+        assert DEFAULT_LAYOUT.size_of(I16) == 2
+        assert DEFAULT_LAYOUT.size_of(I32) == 4
+        assert DEFAULT_LAYOUT.size_of(I64) == 8
+        assert DEFAULT_LAYOUT.size_of(F32) == 4
+        assert DEFAULT_LAYOUT.size_of(F64) == 8
+        assert DEFAULT_LAYOUT.size_of(ptr(I8)) == 8
+
+    def test_array_size(self):
+        assert DEFAULT_LAYOUT.size_of(ArrayType(I32, 10)) == 40
+        assert DEFAULT_LAYOUT.size_of(ArrayType(ArrayType(I8, 3), 2)) == 6
+
+    def test_struct_padding(self):
+        s = StructType([I8, I32])
+        # i8 at 0, padding to 4, i32 at 4 -> size 8, align 4.
+        assert DEFAULT_LAYOUT.size_of(s) == 8
+        assert DEFAULT_LAYOUT.field_offset(s, 0) == 0
+        assert DEFAULT_LAYOUT.field_offset(s, 1) == 4
+
+    def test_struct_tail_padding(self):
+        s = StructType([I64, I8])
+        assert DEFAULT_LAYOUT.size_of(s) == 16
+
+    def test_packed_fields_no_padding(self):
+        s = StructType([I32, I32, I32])
+        assert DEFAULT_LAYOUT.size_of(s) == 12
+        assert DEFAULT_LAYOUT.field_offset(s, 2) == 8
+
+    def test_alignment(self):
+        assert DEFAULT_LAYOUT.align_of(I64) == 8
+        assert DEFAULT_LAYOUT.align_of(ArrayType(I16, 7)) == 2
+        assert DEFAULT_LAYOUT.align_of(StructType([I8, I64])) == 8
+
+
+class TestTypeEquivalence:
+    def test_identical(self):
+        assert types_equivalent(I32, I32)
+
+    def test_same_size_scalars(self):
+        assert types_equivalent(I32, F32)
+        assert types_equivalent(I64, F64)
+        assert not types_equivalent(I32, I64)
+        assert not types_equivalent(I32, F64)
+
+    def test_pointers_equivalent(self):
+        assert types_equivalent(ptr(I32), ptr(F64))
+        assert types_equivalent(ptr(I8), ptr(StructType([I32])))
+
+    def test_aggregates_not_equivalent(self):
+        assert not types_equivalent(ArrayType(I8, 4), I32)
+        assert not types_equivalent(StructType([I32]), I32)

@@ -1,0 +1,377 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import struct
+
+from hypothesis import assume, given, settings, strategies as st
+
+from tests.helpers import execute, ints_to_bytes
+
+from repro.analysis import CodeSizeCostModel, DominatorTree
+from repro.ir import (
+    BasicBlock,
+    BinaryOp,
+    Br,
+    ConstantInt,
+    FunctionType,
+    I32,
+    IRBuilder,
+    Module,
+    Ret,
+    VOID,
+    parse_module,
+    print_module,
+    run_function,
+    verify_module,
+)
+from repro.rolag import (
+    AlignmentGraph,
+    RolagConfig,
+    SequenceNode,
+    roll_loops_in_module,
+)
+from repro.transforms import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    unroll_loops,
+)
+
+
+# --------------------------------------------------------------------------
+# Monotonic sequence detection (paper IV-C1)
+# --------------------------------------------------------------------------
+
+
+@given(
+    start=st.integers(min_value=-1000, max_value=1000),
+    step=st.integers(min_value=-100, max_value=100),
+    lanes=st.integers(min_value=2, max_value=12),
+)
+@settings(deadline=None)
+def test_sequence_detection_exact(start, step, lanes):
+    assume(step != 0)
+    block = BasicBlock("b")
+    ag = AlignmentGraph(block)
+    group = [ConstantInt(I32, start + i * step) for i in range(lanes)]
+    node = ag._try_sequence(group)
+    assert isinstance(node, SequenceNode)
+    assert node.start == start
+    assert node.step == step
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=3, max_size=10
+    )
+)
+@settings(deadline=None)
+def test_sequence_detection_rejects_non_arithmetic(values):
+    diffs = {values[i] - values[i - 1] for i in range(1, len(values))}
+    assume(len(diffs) > 1)  # not an arithmetic progression
+    block = BasicBlock("b")
+    ag = AlignmentGraph(block)
+    group = [ConstantInt(I32, v) for v in values]
+    assert ag._try_sequence(group) is None
+
+
+# --------------------------------------------------------------------------
+# Constant folding agrees with the interpreter
+# --------------------------------------------------------------------------
+
+_FOLDABLE_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"]
+
+
+@given(
+    ops=st.lists(st.sampled_from(_FOLDABLE_OPS), min_size=1, max_size=6),
+    constants=st.lists(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        min_size=2,
+        max_size=7,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_constant_folding_matches_interpreter(ops, constants):
+    assume(len(constants) == len(ops) + 1)
+    module = Module()
+    fn = module.add_function("f", FunctionType(I32, []))
+    block = fn.add_block("entry")
+    builder = IRBuilder(block)
+    value = builder.i32(constants[0])
+    for op, const in zip(ops, constants[1:]):
+        value = builder.binop(op, value, builder.i32(const))
+    builder.ret(value)
+    verify_module(module)
+
+    reference, _ = run_function(module, "f")
+    fold_constants(fn)
+    verify_module(module)
+    folded, _ = run_function(module, "f")
+    assert reference == folded
+
+
+# --------------------------------------------------------------------------
+# Printer / parser round trip on randomized straight-line functions
+# --------------------------------------------------------------------------
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.sampled_from(_FOLDABLE_OPS + ["sdiv", "srem"]),
+            st.integers(min_value=-100, max_value=100),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    args=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_print_parse_roundtrip_random(data, args):
+    module = Module()
+    fn = module.add_function(
+        "f", FunctionType(I32, [I32] * args), [f"a{i}" for i in range(args)]
+    )
+    block = fn.add_block("entry")
+    builder = IRBuilder(block)
+    values = list(fn.arguments)
+    for op, const in data:
+        lhs = values[len(values) % len(values) - 1]
+        value = builder.binop(op, lhs, builder.i32(const if const else 1))
+        values.append(value)
+    builder.ret(values[-1])
+    verify_module(module)
+
+    text1 = print_module(module)
+    reparsed = parse_module(text1)
+    verify_module(reparsed)
+    assert print_module(reparsed) == text1
+
+
+# --------------------------------------------------------------------------
+# Dominator tree vs naive dataflow oracle on random CFGs
+# --------------------------------------------------------------------------
+
+
+def _naive_dominators(fn):
+    """Classic O(n^2) dataflow dominance for cross-checking."""
+    from repro.analysis.domtree import reverse_postorder
+
+    blocks = reverse_postorder(fn)
+    all_ids = {id(b) for b in blocks}
+    dom = {id(b): set(all_ids) for b in blocks}
+    dom[id(fn.entry)] = {id(fn.entry)}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks[1:]:
+            preds = [
+                p for p in block.predecessors() if id(p) in all_ids
+            ]
+            if not preds:
+                continue
+            new = set.intersection(*(dom[id(p)] for p in preds)) | {id(block)}
+            if new != dom[id(block)]:
+                dom[id(block)] = new
+                changed = True
+    return blocks, dom
+
+
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_dominators_match_naive_oracle(edges):
+    module = Module()
+    fn = module.add_function("f", FunctionType(VOID, [__import__("repro.ir", fromlist=["I1"]).I1]))
+    blocks = [fn.add_block(f"b{i}") for i in range(8)]
+    cond = fn.arguments[0]
+    for i, block in enumerate(blocks):
+        spec = edges[i % len(edges)]
+        src, t, f = spec
+        if i == len(blocks) - 1:
+            block.append(Ret())
+        elif t == f:
+            block.append(Br(blocks[t]))
+        else:
+            block.append(Br(cond, blocks[t], blocks[f]))
+    verify_module(module)
+
+    domtree = DominatorTree(fn)
+    naive_blocks, naive = _naive_dominators(fn)
+    for a in naive_blocks:
+        for b in naive_blocks:
+            expected = id(a) in naive[id(b)]
+            assert domtree.dominates_block(a, b) == expected
+
+
+# --------------------------------------------------------------------------
+# RoLAG end-to-end on random store blocks
+# --------------------------------------------------------------------------
+
+
+@given(
+    lanes=st.integers(min_value=2, max_value=10),
+    kind=st.sampled_from(["same", "stride", "random", "computed"]),
+    stride=st.integers(min_value=1, max_value=4),
+    seed_values=st.lists(
+        st.integers(min_value=-(2**20), max_value=2**20),
+        min_size=10,
+        max_size=10,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_rolag_random_store_blocks_preserve_semantics(
+    lanes, kind, stride, seed_values
+):
+    # Scalars precede buffers in `execute`'s argument convention.
+    lines = ["define void @f(i32 %x, i32* %p) {", "entry:"]
+    for i in range(lanes):
+        offset = i * stride
+        if kind == "same":
+            value = f"{seed_values[0]}"
+        elif kind == "stride":
+            value = f"{seed_values[0] + i * seed_values[1]}"
+        elif kind == "random":
+            value = f"{seed_values[i]}"
+        else:
+            lines.append(f"  %v{i} = mul i32 %x, {seed_values[i]}")
+            value = f"%v{i}"
+        lines.append(
+            f"  %g{i} = getelementptr i32, i32* %p, i64 {offset}"
+        )
+        lines.append(f"  store i32 {value}, i32* %g{i}")
+    lines += ["  ret void", "}"]
+    source = "\n".join(lines)
+
+    module = parse_module(source)
+    buffer = ints_to_bytes([0] * (lanes * stride + 1))
+    before = execute(module, "f", [13], buffer_specs=[buffer])
+    roll_loops_in_module(module)
+    verify_module(module)
+    after = execute(module, "f", [13], buffer_specs=[buffer])
+    assert before.same_behaviour(after), before.explain_difference(after)
+
+
+# --------------------------------------------------------------------------
+# Unrolling preserves semantics for random loop bodies
+# --------------------------------------------------------------------------
+
+
+@given(
+    factor=st.sampled_from([2, 3, 4, 6]),
+    trips=st.integers(min_value=1, max_value=4),
+    op=st.sampled_from(["add", "xor", "mul"]),
+    scale=st.integers(min_value=-50, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_unroll_random_loops_preserve_semantics(factor, trips, op, scale):
+    bound = factor * trips
+    source = f"""
+define i32 @f(i32* %p) {{
+entry:
+  br label %loop
+
+loop:
+  %i = phi i32 [ 0, %entry ], [ %in, %loop ]
+  %acc = phi i32 [ 1, %entry ], [ %an, %loop ]
+  %g = getelementptr i32, i32* %p, i32 %i
+  %v = load i32, i32* %g
+  %t = mul i32 %v, {scale if scale else 1}
+  store i32 %t, i32* %g
+  %an = {op} i32 %acc, %v
+  %in = add i32 %i, 1
+  %c = icmp slt i32 %in, {bound}
+  br i1 %c, label %loop, label %out
+
+out:
+  ret i32 %an
+}}
+"""
+    module = parse_module(source)
+    buffer = ints_to_bytes(list(range(1, bound + 1)))
+    before = execute(module, "f", buffer_specs=[buffer])
+    count = unroll_loops(module.get_function("f"), factor)
+    assert count == 1
+    verify_module(module)
+    after = execute(module, "f", buffer_specs=[buffer])
+    assert before.same_behaviour(after), before.explain_difference(after)
+
+
+# --------------------------------------------------------------------------
+# Cleanup passes are sound on random expression DAGs
+# --------------------------------------------------------------------------
+
+
+@given(
+    picks=st.lists(
+        st.tuples(
+            st.sampled_from(_FOLDABLE_OPS),
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=20),
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_cse_dce_sound_on_random_dags(picks):
+    module = Module()
+    fn = module.add_function("f", FunctionType(I32, [I32, I32]), ["a", "b"])
+    block = fn.add_block("entry")
+    builder = IRBuilder(block)
+    pool = list(fn.arguments)
+    for op, li, ri in picks:
+        lhs = pool[li % len(pool)]
+        rhs = pool[ri % len(pool)]
+        pool.append(builder.binop(op, lhs, rhs))
+    builder.ret(pool[-1])
+    verify_module(module)
+
+    reference, _ = run_function(module, "f", [17, -3])
+    eliminate_common_subexpressions(fn)
+    eliminate_dead_code(fn)
+    verify_module(module)
+    optimized, _ = run_function(module, "f", [17, -3])
+    assert reference == optimized
+
+
+# --------------------------------------------------------------------------
+# Cost model invariants
+# --------------------------------------------------------------------------
+
+
+@given(
+    picks=st.lists(
+        st.tuples(
+            st.sampled_from(_FOLDABLE_OPS),
+            st.integers(min_value=0, max_value=10),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_cost_model_nonnegative_and_additive(picks):
+    module = Module()
+    fn = module.add_function("f", FunctionType(I32, [I32]), ["a"])
+    block = fn.add_block("entry")
+    builder = IRBuilder(block)
+    pool = [fn.arguments[0]]
+    for op, idx in picks:
+        pool.append(builder.binop(op, pool[idx % len(pool)], builder.i32(3)))
+    builder.ret(pool[-1])
+
+    cm = CodeSizeCostModel()
+    per_inst = [cm.instruction_cost(i) for i in block.instructions]
+    assert all(c >= 0 for c in per_inst)
+    from repro.analysis.costmodel import FUNCTION_OVERHEAD
+
+    assert cm.function_cost(fn) == FUNCTION_OVERHEAD + sum(per_inst)

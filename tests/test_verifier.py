@@ -1,0 +1,212 @@
+"""Negative tests: the verifier must catch corrupted IR."""
+
+import pytest
+
+from repro.ir import (
+    BinaryOp,
+    Br,
+    ConstantInt,
+    F32,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Load,
+    Module,
+    Phi,
+    Ret,
+    Store,
+    VOID,
+    VerificationError,
+    parse_module,
+    ptr,
+    verify_function,
+    verify_module,
+)
+
+
+def make_fn(ret=VOID, params=()):
+    module = Module()
+    fn = module.add_function("f", FunctionType(ret, list(params)))
+    block = fn.add_block("entry")
+    return module, fn, block
+
+
+class TestStructural:
+    def test_missing_terminator(self):
+        module, fn, block = make_fn()
+        builder = IRBuilder(block)
+        builder.add(builder.i32(1), builder.i32(2))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_terminator_mid_block(self):
+        module, fn, block = make_fn(ret=I32)
+        block.append(Ret(ConstantInt(I32, 1)))
+        builder = IRBuilder(block)
+        block.append(BinaryOp("add", ConstantInt(I32, 1), ConstantInt(I32, 2)))
+        block.append(Ret(ConstantInt(I32, 3)))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_phi_not_at_start(self):
+        module, fn, block = make_fn()
+        builder = IRBuilder(block)
+        x = builder.add(builder.i32(1), builder.i32(2))
+        phi = Phi(I32)
+        phi.add_incoming(x, block)
+        block.append(phi)
+        builder.ret()
+        with pytest.raises(VerificationError, match="phi"):
+            verify_function(fn)
+
+    def test_wrong_parent(self):
+        module, fn, block = make_fn()
+        builder = IRBuilder(block)
+        x = builder.add(builder.i32(1), builder.i32(2))
+        builder.ret()
+        x.parent = None  # corrupt
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+
+class TestSSADominance:
+    def test_use_before_def_same_block(self):
+        module, fn, block = make_fn(ret=I32)
+        a = BinaryOp("add", ConstantInt(I32, 1), ConstantInt(I32, 2))
+        b = BinaryOp("add", a, ConstantInt(I32, 3))
+        block.append(b)  # user first!
+        block.append(a)
+        block.append(Ret(b))
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(fn)
+
+    def test_use_across_non_dominating_blocks(self):
+        module, fn, entry = make_fn(ret=I32, params=[I32])
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        merge = fn.add_block("merge")
+        b = IRBuilder(entry)
+        cond = b.icmp("sgt", fn.arguments[0], b.i32(0))
+        b.cond_br(cond, left, right)
+        bl = IRBuilder(left)
+        x = bl.add(fn.arguments[0], bl.i32(1))
+        bl.br(merge)
+        br_ = IRBuilder(right)
+        br_.br(merge)
+        bm = IRBuilder(merge)
+        bm.ret(x)  # x does not dominate merge
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(fn)
+
+    def test_phi_fixes_the_above(self):
+        module, fn, entry = make_fn(ret=I32, params=[I32])
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        merge = fn.add_block("merge")
+        b = IRBuilder(entry)
+        cond = b.icmp("sgt", fn.arguments[0], b.i32(0))
+        b.cond_br(cond, left, right)
+        bl = IRBuilder(left)
+        x = bl.add(fn.arguments[0], bl.i32(1))
+        bl.br(merge)
+        br_ = IRBuilder(right)
+        br_.br(merge)
+        phi = Phi(I32)
+        phi.add_incoming(x, left)
+        phi.add_incoming(ConstantInt(I32, 0), right)
+        merge.insert(0, phi)
+        IRBuilder(merge).ret(phi)
+        verify_function(fn)  # must not raise
+
+    def test_phi_missing_incoming(self):
+        module, fn, entry = make_fn()
+        loop = fn.add_block("loop")
+        IRBuilder(entry).br(loop)
+        phi = Phi(I32)
+        phi.add_incoming(ConstantInt(I32, 0), entry)
+        loop.append(phi)
+        builder = IRBuilder(loop)
+        builder.br(loop)  # loop is its own pred but phi lacks that edge
+        with pytest.raises(VerificationError, match="missing incoming"):
+            verify_function(fn)
+
+    def test_detached_operand(self):
+        module, fn, block = make_fn(ret=I32)
+        builder = IRBuilder(block)
+        a = builder.add(builder.i32(1), builder.i32(2))
+        b = builder.add(a, builder.i32(3))
+        builder.ret(b)
+        # Detach a from the block but leave b's reference dangling.
+        block.instructions.remove(a)
+        a.parent = None
+        with pytest.raises(VerificationError, match="detached"):
+            verify_function(fn)
+
+
+class TestTypeChecks:
+    def test_store_type_mismatch(self):
+        module, fn, block = make_fn(params=[ptr(I32)])
+        store = Store(ConstantInt(I64, 1), fn.arguments[0])
+        block.append(store)
+        IRBuilder(block).ret()
+        with pytest.raises(VerificationError, match="store type"):
+            verify_function(fn)
+
+    def test_binary_type_mismatch(self):
+        module, fn, block = make_fn(ret=I32)
+        bad = BinaryOp.__new__(BinaryOp)
+        from repro.ir.instructions import Instruction
+
+        Instruction.__init__(bad, I32)
+        bad.opcode = "add"
+        bad.add_operand(ConstantInt(I32, 1))
+        bad.add_operand(ConstantInt(I64, 2))
+        block.append(bad)
+        block.append(Ret(bad))
+        with pytest.raises(VerificationError, match="type mismatch"):
+            verify_function(fn)
+
+    def test_return_type_mismatch(self):
+        module, fn, block = make_fn(ret=I32)
+        block.append(Ret(ConstantInt(I64, 1)))
+        with pytest.raises(VerificationError, match="ret type"):
+            verify_function(fn)
+
+    def test_void_function_returning_value(self):
+        module, fn, block = make_fn(ret=VOID)
+        block.append(Ret(ConstantInt(I32, 1)))
+        with pytest.raises(VerificationError, match="ret with value"):
+            verify_function(fn)
+
+    def test_call_arity_mismatch(self):
+        module = Module()
+        callee = module.add_function("g", FunctionType(VOID, [I32, I32]))
+        fn = module.add_function("f", FunctionType(VOID, []))
+        block = fn.add_block("entry")
+        from repro.ir import Call
+
+        call = Call.__new__(Call)
+        from repro.ir.instructions import Instruction
+
+        Instruction.__init__(call, VOID)
+        call.function_type = callee.function_type
+        call.add_operand(callee)
+        call.add_operand(ConstantInt(I32, 1))  # only one arg
+        block.append(call)
+        IRBuilder(block).ret()
+        with pytest.raises(VerificationError, match="arity"):
+            verify_function(fn)
+
+
+class TestUseListIntegrity:
+    def test_broken_use_list_detected(self):
+        module, fn, block = make_fn(ret=I32)
+        builder = IRBuilder(block)
+        a = builder.add(builder.i32(1), builder.i32(2))
+        b = builder.add(a, builder.i32(3))
+        builder.ret(b)
+        # Corrupt: remove the use record without clearing the operand.
+        a.uses = []
+        with pytest.raises(VerificationError, match="use list"):
+            verify_function(fn)
