@@ -41,9 +41,11 @@ def _render(exp) -> str:
     return "\n".join(lines)
 
 
-def test_fig15_angha_curve(benchmark, results_dir):
+def test_fig15_angha_curve(benchmark, results_dir, bench_cache_dir, bench_jobs):
     exp = benchmark.pedantic(
-        lambda: run_angha_experiment(count=COUNT, seed=SEED),
+        lambda: run_angha_experiment(
+            count=COUNT, seed=SEED, jobs=bench_jobs, cache_dir=bench_cache_dir
+        ),
         rounds=1,
         iterations=1,
     )

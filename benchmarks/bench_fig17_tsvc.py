@@ -46,8 +46,12 @@ def _render(exp) -> str:
     return "\n".join(lines)
 
 
-def test_fig17_tsvc_bars(benchmark, results_dir):
-    exp = benchmark.pedantic(run_tsvc_experiment, rounds=1, iterations=1)
+def test_fig17_tsvc_bars(benchmark, results_dir, bench_cache_dir, bench_jobs):
+    exp = benchmark.pedantic(
+        lambda: run_tsvc_experiment(jobs=bench_jobs, cache_dir=bench_cache_dir),
+        rounds=1,
+        iterations=1,
+    )
     save_and_print(results_dir, "fig17_tsvc.txt", _render(exp))
 
     # RoLAG reaches far more kernels, with a higher overall mean.

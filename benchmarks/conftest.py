@@ -10,12 +10,32 @@ import os
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".rolag-cache")
 
 
 @pytest.fixture(scope="session")
 def results_dir():
     os.makedirs(RESULTS_DIR, exist_ok=True)
     return os.path.abspath(RESULTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def bench_cache_dir():
+    """Persistent result cache: warm benchmark reruns skip optimization.
+
+    Defaults to ``benchmarks/.rolag-cache`` (gitignored); point
+    ``ROLAG_BENCH_CACHE`` elsewhere, or at an empty string to disable.
+    """
+    configured = os.environ.get("ROLAG_BENCH_CACHE")
+    if configured == "":
+        return None
+    return os.path.abspath(configured or CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def bench_jobs():
+    """Driver worker count for corpus benchmarks (``ROLAG_BENCH_JOBS``)."""
+    return int(os.environ.get("ROLAG_BENCH_JOBS", "1"))
 
 
 def save_and_print(results_dir: str, filename: str, text: str) -> None:

@@ -149,11 +149,17 @@ class DominatorTree:
             return instructions.index(definition) < instructions.index(use_site)
         return self.strictly_dominates_block(def_block, use_block)
 
-    def dominance_frontiers(self) -> Dict[BasicBlock, Set[BasicBlock]]:
-        """Dominance frontier of every reachable block."""
-        frontiers: Dict[BasicBlock, Set[BasicBlock]] = {
-            block: set() for block in self.order
+    def dominance_frontiers(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        """Dominance frontier of every reachable block.
+
+        Frontier members are listed in discovery order rather than a
+        set, so passes that allocate names while walking frontiers
+        (mem2reg) produce byte-identical IR run over run.
+        """
+        frontiers: Dict[BasicBlock, List[BasicBlock]] = {
+            block: [] for block in self.order
         }
+        members: Dict[int, Set[int]] = {id(block): set() for block in self.order}
         for block in self.order:
             preds = [p for p in block.predecessors() if self.is_reachable(p)]
             if len(preds) < 2:
@@ -161,6 +167,8 @@ class DominatorTree:
             for pred in preds:
                 runner: Optional[BasicBlock] = pred
                 while runner is not None and runner is not self.idom[block]:
-                    frontiers[runner].add(block)
+                    if id(block) not in members[id(runner)]:
+                        members[id(runner)].add(id(block))
+                        frontiers[runner].append(block)
                     runner = self.idom.get(runner)
         return frontiers

@@ -36,6 +36,19 @@ from ..ir.module import Module
 
 
 @dataclass
+class CorpusSource:
+    """One generated function before compilation: source + family tag.
+
+    The parallel driver ships these to worker processes as text, so the
+    (comparatively expensive) frontend run happens in the workers.
+    """
+
+    name: str
+    family: str
+    source: str
+
+
+@dataclass
 class CorpusFunction:
     """One generated function: source, compiled module, family tag."""
 
@@ -351,23 +364,43 @@ FAMILIES: Dict[str, Tuple[Callable, float]] = {
 }
 
 
+def generate_sources(
+    count: int = 300,
+    seed: int = 2022,
+    weights: Optional[Dict[str, float]] = None,
+) -> List[CorpusSource]:
+    """Generate ``count`` function sources with a deterministic seed.
+
+    Pure string work -- no frontend runs -- so the corpus definition is
+    cheap to produce in a driver parent while worker processes compile.
+    """
+    rng = random.Random(seed)
+    names = list(FAMILIES)
+    family_weights = [
+        (weights or {}).get(name, FAMILIES[name][1]) for name in names
+    ]
+    sources: List[CorpusSource] = []
+    for index in range(count):
+        family = rng.choices(names, weights=family_weights)[0]
+        generator = FAMILIES[family][0]
+        uid = f"{seed}_{index}"
+        source, fn_name = generator(rng, uid)
+        sources.append(CorpusSource(fn_name, family, source))
+    return sources
+
+
 def generate_corpus(
     count: int = 300,
     seed: int = 2022,
     weights: Optional[Dict[str, float]] = None,
 ) -> List[CorpusFunction]:
     """Generate ``count`` compiled functions with a deterministic seed."""
-    rng = random.Random(seed)
-    names = list(FAMILIES)
-    family_weights = [
-        (weights or {}).get(name, FAMILIES[name][1]) for name in names
+    return [
+        CorpusFunction(
+            cs.name,
+            cs.family,
+            cs.source,
+            compile_c(cs.source, module_name=f"angha.{cs.name}"),
+        )
+        for cs in generate_sources(count=count, seed=seed, weights=weights)
     ]
-    corpus: List[CorpusFunction] = []
-    for index in range(count):
-        family = rng.choices(names, weights=family_weights)[0]
-        generator = FAMILIES[family][0]
-        uid = f"{seed}_{index}"
-        source, fn_name = generator(rng, uid)
-        module = compile_c(source, module_name=f"angha.{fn_name}")
-        corpus.append(CorpusFunction(fn_name, family, source, module))
-    return corpus

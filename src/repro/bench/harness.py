@@ -13,10 +13,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..analysis.costmodel import CodeSizeCostModel
+from ..driver import DriverStats, FunctionJob, optimize_functions
+from ..ir import parse_module, print_module
 from ..ir.interp import Machine
 from ..ir.module import Module
 from ..ir.verifier import verify_module
-from ..rolag import RolagConfig, RolagStats, roll_loops_in_module
+from ..rolag import RolagConfig, roll_loops_in_module
 from ..transforms.reroll import reroll_loops
 from . import angha, programs, tsvc
 from .objsize import function_size, measure_module, reduction_percent
@@ -53,6 +55,8 @@ class AnghaExperiment:
     """Aggregated Fig. 15/16 results."""
     results: List[AnghaFunctionResult]
     node_counts: Counter
+    #: The underlying driver run (worker count, cache hit counters).
+    driver_stats: Optional[DriverStats] = None
 
     @property
     def affected(self) -> List[AnghaFunctionResult]:
@@ -86,6 +90,9 @@ def run_angha_experiment(
     seed: int = 2022,
     config: Optional[RolagConfig] = None,
     measure_model: Optional[CodeSizeCostModel] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> AnghaExperiment:
     """Fig. 15/16: per-function reductions over the synthetic corpus.
 
@@ -94,25 +101,43 @@ def run_angha_experiment(
     Section V-A observation that "cost models can be inaccurate":
     decisions that looked like wins at the IR level can come out
     negative in the measured binary.
+
+    Runs on the parallel driver: ``jobs`` worker processes compile and
+    optimize the corpus (``jobs=1`` is the deterministic serial path),
+    and ``cache_dir`` memoizes per-function results so an unchanged
+    rerun is near-instant.
     """
-    corpus = angha.generate_corpus(count=count, seed=seed)
-    stats = RolagStats()
-    results: List[AnghaFunctionResult] = []
-    for cf in corpus:
-        fn = cf.module.get_function(cf.name)
-        before = function_size(fn, measure_model)
-        llvm_rolled = sum(
-            reroll_loops(f) for f in cf.module.functions if not f.is_declaration
+    fjobs = [
+        FunctionJob(
+            name=cs.name,
+            c_source=cs.source,
+            metadata=(("family", cs.family),),
         )
-        rolled = roll_loops_in_module(cf.module, config=config, stats=stats)
-        verify_module(cf.module)
-        after = function_size(fn, measure_model)
-        results.append(
-            AnghaFunctionResult(
-                cf.name, cf.family, before, after, rolled, llvm_rolled
-            )
+        for cs in angha.generate_sources(count=count, seed=seed)
+    ]
+    report = optimize_functions(
+        fjobs,
+        config=config,
+        workers=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        measure_model=measure_model,
+    )
+    results = [
+        AnghaFunctionResult(
+            r.name,
+            r.metadata["family"],
+            r.size_before,
+            r.rolag_size,
+            r.rolag_rolled,
+            r.llvm_rolled,
         )
-    return AnghaExperiment(results, Counter(stats.node_counts))
+        for r in report.results
+    ]
+    node_counts: Counter = Counter()
+    for r in report.results:
+        node_counts.update(r.node_counts)
+    return AnghaExperiment(results, node_counts, report.stats)
 
 
 # --------------------------------------------------------------------------
@@ -215,6 +240,8 @@ class TsvcExperiment:
     """Aggregated Fig. 17/18/19 results."""
     results: List[TsvcKernelResult]
     node_counts: Counter
+    #: The underlying driver run (worker count, cache hit counters).
+    driver_stats: Optional[DriverStats] = None
 
     def mean(self, attr: str) -> float:
         """Average of a reduction attribute across ALL kernels."""
@@ -243,53 +270,63 @@ def run_tsvc_experiment(
     config: Optional[RolagConfig] = None,
     measure_dynamic: bool = False,
     kernels: Optional[List[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> TsvcExperiment:
-    """Fig. 17/18 (and V-D with ``measure_dynamic``): the TSVC study."""
+    """Fig. 17/18 (and V-D with ``measure_dynamic``): the TSVC study.
+
+    Each unrolled kernel is printed to IR text and handed to the
+    parallel driver, whose workers measure the base size and run the
+    reroll baseline and RoLAG on independent fresh parses -- exactly the
+    three-module protocol the serial harness used.  ``jobs`` and
+    ``cache_dir`` behave as in :func:`run_angha_experiment`.
+    """
     config = config or RolagConfig(fast_math=True)
-    stats = RolagStats()
+    names = list(kernels or tsvc.kernel_names())
+    fjobs = [
+        FunctionJob(
+            name=name,
+            ir_text=print_module(tsvc.build_unrolled_kernel(name, factor)),
+        )
+        for name in names
+    ]
+    report = optimize_functions(
+        fjobs,
+        config=config,
+        workers=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+    )
+
     results: List[TsvcKernelResult] = []
-    for name in kernels or tsvc.kernel_names():
-        base_module = tsvc.build_unrolled_kernel(name, factor)
-        base_size = function_size(base_module.get_function(name))
-
-        llvm_module = tsvc.build_unrolled_kernel(name, factor)
-        llvm_rolled = sum(
-            reroll_loops(f)
-            for f in llvm_module.functions
-            if not f.is_declaration
-        )
-        verify_module(llvm_module)
-        llvm_size = function_size(llvm_module.get_function(name))
-
-        rolag_module = tsvc.build_unrolled_kernel(name, factor)
-        rolag_rolled = roll_loops_in_module(
-            rolag_module, config=config, stats=stats
-        )
-        verify_module(rolag_module)
-        rolag_size = function_size(rolag_module.get_function(name))
-
-        oracle_module = tsvc.build_kernel(name)
-        oracle_size = function_size(oracle_module.get_function(name))
+    node_counts: Counter = Counter()
+    for job, r in zip(fjobs, report.results):
+        node_counts.update(r.node_counts)
+        oracle_module = tsvc.build_kernel(r.name)
+        oracle_size = function_size(oracle_module.get_function(r.name))
 
         steps_base = steps_rolag = 0
         if measure_dynamic:
-            steps_base = _run_kernel_dynamic(base_module, name)
-            steps_rolag = _run_kernel_dynamic(rolag_module, name)
+            steps_base = _run_kernel_dynamic(parse_module(job.ir_text), r.name)
+            steps_rolag = _run_kernel_dynamic(
+                parse_module(r.optimized_ir), r.name
+            )
 
         results.append(
             TsvcKernelResult(
-                name,
-                base_size,
-                llvm_size,
-                rolag_size,
+                r.name,
+                r.size_before,
+                r.llvm_size,
+                r.rolag_size,
                 oracle_size,
-                llvm_rolled,
-                rolag_rolled,
+                r.llvm_rolled,
+                r.rolag_rolled,
                 steps_base,
                 steps_rolag,
             )
         )
-    return TsvcExperiment(results, Counter(stats.node_counts))
+    return TsvcExperiment(results, node_counts, report.stats)
 
 
 def run_tsvc_ablation(factor: int = 8) -> Tuple[int, int]:

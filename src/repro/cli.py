@@ -5,10 +5,16 @@ Usage::
     python -m repro input.c  --roll --size --emit-ir
     python -m repro input.ll --unroll 8 --reroll --size
     python -m repro input.c  --roll --loop-aware --run main 1 2
+    python -m repro a.c b.c c.ll --roll --jobs 4 --cache-dir .rolag-cache
 
 Input ending in ``.ll`` is parsed as IR text; anything else goes
 through the mini-C frontend (with the standard -Os-style cleanups
 unless ``--no-opt`` is given).
+
+With several inputs the batch path takes over: every module is
+optimized through the parallel, memoizing driver (``repro.driver``),
+``--jobs`` worker processes wide, with per-module results memoized
+under ``--cache-dir`` unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import List, Optional
 
 from .bench.objsize import measure_module, reduction_percent
 from .bench.reporting import format_table
+from .driver import FunctionJob, optimize_functions
 from .frontend import compile_c
 from .ir import Machine, Module, parse_module, print_module, verify_module
 from .rolag import RolagConfig, RolagStats, roll_loops_in_module
@@ -32,11 +39,33 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="RoLAG loop-rolling compiler driver "
         "(CGO 2022 reproduction)",
     )
-    parser.add_argument("input", help="a mini-C source file or an .ll IR file")
+    parser.add_argument(
+        "input",
+        nargs="+",
+        help="mini-C source files or .ll IR files; several inputs run "
+        "through the parallel batch driver",
+    )
     parser.add_argument(
         "--no-opt",
         action="store_true",
         help="skip the -Os style cleanup pipeline after the frontend",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="worker processes for the batch driver "
+        "(default: min(cpu count, 8); 1 forces the serial path)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="memoize per-module optimization results under DIR",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir: neither read nor write memoized results",
     )
     parser.add_argument(
         "--unroll",
@@ -114,13 +143,101 @@ def _parse_run_args(raw: List[str]) -> List[object]:
     return values
 
 
+def _build_config(args: argparse.Namespace) -> RolagConfig:
+    config = RolagConfig(
+        fast_math=args.fast_math, loop_aware=args.loop_aware
+    )
+    if args.no_special_nodes:
+        config = config.all_special_disabled()
+    return config
+
+
+def run_batch(args: argparse.Namespace) -> int:
+    """Optimize several inputs through the parallel, memoizing driver."""
+    unsupported = [
+        flag
+        for flag, given in (
+            ("--unroll", args.unroll),
+            ("--reroll", args.reroll),
+            ("--run", args.run),
+            ("--emit-ir", args.emit_ir),
+        )
+        if given
+    ]
+    if unsupported:
+        print(
+            "error: with several inputs only --roll/--size/--stats apply "
+            f"(got {', '.join(unsupported)})",
+            file=sys.stderr,
+        )
+        return 1
+
+    jobs: List[FunctionJob] = []
+    try:
+        for path in args.input:
+            with open(path) as fh:
+                text = fh.read()
+            if path.endswith(".ll"):
+                jobs.append(FunctionJob(name=None, ir_text=text))
+            elif args.no_opt:
+                # The worker frontend always runs the cleanup pipeline;
+                # honour --no-opt by compiling here and shipping IR.
+                module = compile_c(text, module_name=path, optimize=False)
+                jobs.append(FunctionJob(name=None, ir_text=print_module(module)))
+            else:
+                jobs.append(FunctionJob(name=None, c_source=text))
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    report = optimize_functions(
+        jobs,
+        config=_build_config(args),
+        workers=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    rows = []
+    for path, result in zip(args.input, report.results):
+        rows.append(
+            (
+                path,
+                result.size_before,
+                result.rolag_size,
+                f"{reduction_percent(result.size_before, result.rolag_size):.1f}%",
+                result.rolag_rolled,
+                "hit" if result.cache_hit else "miss",
+            )
+        )
+    print(
+        format_table(
+            ["Input", "Before(B)", "After(B)", "Reduction", "Rolled", "Cache"],
+            rows,
+        )
+    )
+    stats = report.stats
+    print(
+        f"; {stats.jobs} module(s), {stats.workers} worker(s), "
+        f"cache hits: {stats.cache_hits}, misses: {stats.cache_misses}, "
+        f"{stats.wall_seconds:.2f}s"
+    )
+    if args.stats:
+        total_rolled = sum(r.rolag_rolled for r in report.results)
+        attempts = sum(r.attempted for r in report.results)
+        print(f"; RoLAG rolled {total_rolled} loop(s) in {attempts} attempt(s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
+    if len(args.input) > 1:
+        return run_batch(args)
+
     try:
-        module = load_module(args.input, optimize=not args.no_opt)
+        module = load_module(args.input[0], optimize=not args.no_opt)
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -144,11 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"; rerolled {rerolled} loop(s) (LLVM-style baseline)")
 
     if args.roll:
-        config = RolagConfig(
-            fast_math=args.fast_math, loop_aware=args.loop_aware
-        )
-        if args.no_special_nodes:
-            config = config.all_special_disabled()
+        config = _build_config(args)
         stats = RolagStats()
         rolled = roll_loops_in_module(module, config=config, stats=stats)
         print(f"; RoLAG rolled {rolled} loop(s)")

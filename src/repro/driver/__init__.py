@@ -1,0 +1,27 @@
+"""Parallel, memoizing per-function optimization driver.
+
+Public surface::
+
+    from repro.driver import (
+        FunctionJob, FunctionResult, DriverReport, DriverStats,
+        ResultCache, optimize_functions, optimize_one,
+        default_worker_count,
+    )
+"""
+
+from .cache import ResultCache, job_key, model_fingerprint
+from .core import default_worker_count, optimize_functions, optimize_one
+from .types import DriverReport, DriverStats, FunctionJob, FunctionResult
+
+__all__ = [
+    "DriverReport",
+    "DriverStats",
+    "FunctionJob",
+    "FunctionResult",
+    "ResultCache",
+    "default_worker_count",
+    "job_key",
+    "model_fingerprint",
+    "optimize_functions",
+    "optimize_one",
+]

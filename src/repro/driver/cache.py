@@ -1,0 +1,109 @@
+"""Content-addressed memo cache for per-function optimization results.
+
+A cache entry is keyed by a SHA-256 fingerprint of
+
+* a schema version (bumped whenever the result layout or the worker
+  pipeline changes meaning),
+* the :meth:`RolagConfig.fingerprint` of the active config,
+* a fingerprint of the measuring cost model,
+* the target function name, and
+* the function's canonical text (printed IR, or the mini-C source).
+
+Equal inputs therefore hit regardless of process, worker count, or
+run order; any config/model/input change misses and recomputes.
+Entries are JSON files sharded two hex characters deep so corpus-sized
+caches do not degenerate into one giant directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from ..analysis.costmodel import CodeSizeCostModel
+from ..rolag.config import RolagConfig
+from .types import FunctionJob, FunctionResult
+
+#: Bump to invalidate every existing cache entry.
+SCHEMA_VERSION = 1
+
+
+def model_fingerprint(model: Optional[CodeSizeCostModel]) -> str:
+    """Stable hash of the cost model used for measurement."""
+    if model is None:
+        return "default"
+    parts = sorted((opcode, cost) for opcode, cost in model.table.items())
+    digest = hashlib.sha256(repr(parts).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def job_key(
+    job: FunctionJob,
+    config: RolagConfig,
+    measure_model: Optional[CodeSizeCostModel] = None,
+) -> str:
+    """The content-addressed cache key for one job."""
+    material = "\n".join(
+        [
+            f"schema:{SCHEMA_VERSION}",
+            f"config:{config.fingerprint()}",
+            f"model:{model_fingerprint(measure_model)}",
+            f"target:{job.name}",
+            f"format:{job.format}",
+            "text:",
+            job.text,
+        ]
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of memoized :class:`FunctionResult` JSON blobs."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path(self, key: str) -> str:
+        """Where the entry for ``key`` lives on disk."""
+        return os.path.join(self.cache_dir, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[FunctionResult]:
+        """The cached result, or ``None`` on miss or unreadable entry."""
+        try:
+            with open(self.path(key)) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            result = FunctionResult.from_json_dict(data)
+        except (KeyError, TypeError):
+            self.misses += 1  # stale layout: treat as a miss
+            return None
+        self.hits += 1
+        result.cache_hit = True
+        return result
+
+    def put(self, key: str, result: FunctionResult) -> None:
+        """Persist one result atomically (write-temp then rename)."""
+        path = self.path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(result.to_json_dict(), fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.writes += 1

@@ -1,0 +1,215 @@
+"""The parallel, memoizing optimization driver.
+
+:func:`optimize_functions` fans per-function RoLAG work out over a
+``multiprocessing`` pool.  Each worker receives a picklable
+:class:`FunctionJob` (IR or mini-C text), rebuilds the module in its
+own interpreter, runs the standard measurement pipeline -- size before,
+LLVM-style reroll baseline, RoLAG, verify, size after -- and sends back
+a plain :class:`FunctionResult`.
+
+Scheduling is chunked (one pickle round-trip per chunk, not per
+function) and falls back to a deterministic in-process loop for
+``workers=1``, so tests and small runs never pay pool startup.  With a
+cache directory, results are memoized content-addressed (see
+``cache.py``): a warm rerun of an unchanged corpus resolves entirely
+from disk without touching the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from time import perf_counter
+from typing import Iterable, List, Optional, Sequence
+
+from ..analysis.costmodel import CodeSizeCostModel
+from ..bench.objsize import function_size, measure_module
+from ..frontend import compile_c
+from ..ir import parse_module, print_module, verify_module
+from ..ir.module import Module
+from ..rolag import RolagConfig, RolagStats, roll_loops_in_module
+from ..transforms.reroll import reroll_loops
+from .cache import ResultCache, job_key
+from .types import DriverReport, DriverStats, FunctionJob, FunctionResult
+
+#: Pool sizes beyond this stop paying off for per-function work.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_worker_count() -> int:
+    """``min(os.cpu_count(), 8)``, and at least 1."""
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS))
+
+
+def _load_module(job: FunctionJob) -> Module:
+    """Materialize the job's module in this process."""
+    if job.ir_text is not None:
+        module = parse_module(job.ir_text)
+        verify_module(module)
+        return module
+    return compile_c(job.c_source, module_name=f"driver.{job.name}")
+
+
+def _measure(
+    module: Module, name: Optional[str], model: Optional[CodeSizeCostModel]
+) -> int:
+    if name is None:
+        return measure_module(module, model).total
+    return function_size(module.get_function(name), model)
+
+
+def optimize_one(
+    job: FunctionJob,
+    config: Optional[RolagConfig] = None,
+    measure_model: Optional[CodeSizeCostModel] = None,
+    timed: bool = False,
+) -> FunctionResult:
+    """The per-function pipeline one worker runs for one job."""
+    config = config or RolagConfig()
+    start = perf_counter()
+
+    # Baseline: LLVM-style rerolling on its own fresh copy.
+    llvm_module = _load_module(job)
+    llvm_rolled = sum(
+        reroll_loops(f) for f in llvm_module.functions if not f.is_declaration
+    )
+    verify_module(llvm_module)
+    llvm_size = _measure(llvm_module, job.name, measure_model)
+
+    # RoLAG on another fresh copy, measured before and after.
+    module = _load_module(job)
+    size_before = _measure(module, job.name, measure_model)
+    stats = RolagStats(timed=timed)
+    rolag_rolled = roll_loops_in_module(module, config=config, stats=stats)
+    verify_module(module)
+    rolag_size = _measure(module, job.name, measure_model)
+
+    return FunctionResult(
+        name=job.name,
+        metadata=dict(job.metadata),
+        size_before=size_before,
+        llvm_size=llvm_size,
+        rolag_size=rolag_size,
+        llvm_rolled=llvm_rolled,
+        rolag_rolled=rolag_rolled,
+        attempted=stats.attempted,
+        schedule_rejected=stats.schedule_rejected,
+        unprofitable=stats.unprofitable,
+        node_counts=dict(stats.node_counts),
+        savings=list(stats.savings),
+        optimized_ir=print_module(module),
+        phase_seconds=dict(stats.phase_seconds),
+        wall_seconds=perf_counter() - start,
+    )
+
+
+# --- pool plumbing ----------------------------------------------------------
+#
+# The config/model/timed triple is shipped once per worker through the
+# pool initializer instead of once per job through every pickle.
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(
+    config: RolagConfig,
+    measure_model: Optional[CodeSizeCostModel],
+    timed: bool,
+) -> None:
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["measure_model"] = measure_model
+    _WORKER_STATE["timed"] = timed
+
+
+def _run_job(job: FunctionJob) -> FunctionResult:
+    return optimize_one(
+        job,
+        config=_WORKER_STATE["config"],
+        measure_model=_WORKER_STATE["measure_model"],
+        timed=_WORKER_STATE["timed"],
+    )
+
+
+def _default_chunk_size(pending: int, workers: int) -> int:
+    # ~4 chunks per worker balances pickle overhead against stragglers.
+    return max(1, -(-pending // (workers * 4)))
+
+
+def optimize_functions(
+    jobs: Sequence[FunctionJob],
+    config: Optional[RolagConfig] = None,
+    *,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    measure_model: Optional[CodeSizeCostModel] = None,
+    chunk_size: Optional[int] = None,
+    timed: bool = False,
+) -> DriverReport:
+    """Optimize every job, in parallel and memoized.
+
+    ``workers`` defaults to :func:`default_worker_count`; ``workers=1``
+    runs serially in-process (bit-identical to the pool path, since
+    workers rebuild modules from text either way).  With ``cache_dir``
+    set (and ``use_cache`` true), results are looked up before dispatch
+    and newly computed ones written back.  Results come back in job
+    order regardless of completion order.
+    """
+    config = config or RolagConfig()
+    workers = default_worker_count() if workers is None else max(1, workers)
+    start = perf_counter()
+
+    cache = (
+        ResultCache(cache_dir) if (cache_dir and use_cache) else None
+    )
+    stats = DriverStats(jobs=len(jobs), workers=workers)
+
+    results: List[Optional[FunctionResult]] = [None] * len(jobs)
+    pending: List[int] = []
+    keys: List[Optional[str]] = [None] * len(jobs)
+    for i, job in enumerate(jobs):
+        if cache is not None:
+            keys[i] = job_key(job, config, measure_model)
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                stats.cache_hits += 1
+                continue
+            stats.cache_misses += 1
+        pending.append(i)
+
+    if pending:
+        todo = [jobs[i] for i in pending]
+        if workers == 1 or len(todo) == 1:
+            computed: Iterable[FunctionResult] = (
+                optimize_one(job, config, measure_model, timed)
+                for job in todo
+            )
+        else:
+            ctx = multiprocessing.get_context()
+            chunk = chunk_size or _default_chunk_size(len(todo), workers)
+            pool = ctx.Pool(
+                processes=min(workers, len(todo)),
+                initializer=_init_worker,
+                initargs=(config, measure_model, timed),
+            )
+            try:
+                computed = pool.map(_run_job, todo, chunksize=chunk)
+            finally:
+                pool.close()
+                pool.join()
+        for i, result in zip(pending, computed):
+            results[i] = result
+            if cache is not None:
+                cache.put(keys[i], result)
+                stats.cache_writes += 1
+
+    final: List[FunctionResult] = [r for r in results if r is not None]
+    assert len(final) == len(jobs)
+    for result in final:
+        for phase, seconds in result.phase_seconds.items():
+            stats.phase_seconds[phase] = (
+                stats.phase_seconds.get(phase, 0.0) + seconds
+            )
+    stats.wall_seconds = perf_counter() - start
+    return DriverReport(results=final, stats=stats)

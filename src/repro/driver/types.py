@@ -1,0 +1,126 @@
+"""Plain picklable dataclasses for the parallel optimization driver.
+
+Jobs travel *into* worker processes and results travel back, so both
+carry only text and primitives: a job is IR (or mini-C) text plus a
+target function name; a result is sizes, counters, and the optimized
+IR, JSON-serializable for the on-disk memo cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FunctionJob:
+    """One unit of per-function RoLAG work.
+
+    Exactly one of ``ir_text`` / ``c_source`` must be set: workers
+    parse IR text directly, or run mini-C through the frontend first.
+    ``name`` selects the function whose size the result reports; when
+    ``None`` the whole module is measured.
+    """
+
+    name: Optional[str]
+    ir_text: Optional[str] = None
+    c_source: Optional[str] = None
+    #: Free-form tags the caller wants echoed back (e.g. corpus family).
+    metadata: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def text(self) -> str:
+        """The content the cache fingerprints (IR or C source)."""
+        if self.ir_text is not None:
+            return self.ir_text
+        assert self.c_source is not None, "job carries no text"
+        return self.c_source
+
+    @property
+    def format(self) -> str:
+        """``"ir"`` or ``"c"``, the input language of :attr:`text`."""
+        return "ir" if self.ir_text is not None else "c"
+
+
+@dataclass
+class FunctionResult:
+    """Per-function outcome of the driver's standard pipeline.
+
+    The pipeline measures the input, runs the LLVM-style reroll
+    baseline and RoLAG on independent fresh copies, verifies both, and
+    measures again -- the shape every corpus experiment consumes.
+    """
+
+    name: Optional[str]
+    metadata: Dict[str, str]
+    size_before: int
+    llvm_size: int
+    rolag_size: int
+    llvm_rolled: int
+    rolag_rolled: int
+    attempted: int
+    schedule_rejected: int
+    unprofitable: int
+    node_counts: Dict[str, int]
+    savings: List[Tuple[str, int]]
+    optimized_ir: str
+    #: Per-phase wall seconds (empty unless the driver ran timed).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Wall seconds this function took in its worker (0 on cache hits).
+    wall_seconds: float = 0.0
+    #: Whether this result came out of the memo cache.
+    cache_hit: bool = False
+
+    def stable_dict(self) -> Dict[str, object]:
+        """The deterministic payload: everything except timings.
+
+        A warm-cache rerun must reproduce this dict byte-identically;
+        wall times and the hit flag legitimately differ run to run.
+        """
+        data = asdict(self)
+        for volatile in ("phase_seconds", "wall_seconds", "cache_hit"):
+            data.pop(volatile)
+        return data
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Serialize for the on-disk cache."""
+        data = asdict(self)
+        data.pop("cache_hit")
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "FunctionResult":
+        """Rebuild from :meth:`to_json_dict` output (JSON round-trip
+        turns the savings tuples into lists; restore them)."""
+        data = dict(data)
+        data["savings"] = [tuple(entry) for entry in data.get("savings", [])]
+        data.setdefault("phase_seconds", {})
+        data.setdefault("wall_seconds", 0.0)
+        return cls(cache_hit=False, **data)
+
+
+@dataclass
+class DriverStats:
+    """Aggregate behaviour of one :func:`optimize_functions` run."""
+
+    jobs: int = 0
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_writes: int = 0
+    wall_seconds: float = 0.0
+    #: Sum of the per-function phase timers (timed runs only).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def executed(self) -> int:
+        """Jobs that actually ran (were not served from the cache)."""
+        return self.jobs - self.cache_hits
+
+
+@dataclass
+class DriverReport:
+    """Results (in job order) plus the run's aggregate stats."""
+
+    results: List[FunctionResult]
+    stats: DriverStats

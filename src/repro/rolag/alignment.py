@@ -294,6 +294,10 @@ class AlignmentGraph:
         self.roots: List[AlignNode] = []
         self._memo: Dict[Tuple[int, ...], AlignNode] = {}
         self._stack: List[MatchNode] = []
+        #: Memoized instruction fingerprints (see seeds.py); valid for
+        #: this graph's lifetime -- instructions are only mutated later,
+        #: by codegen, after the graph has been consumed.
+        self._fp_cache: Dict[int, tuple] = {}
         self.valid = True
 
     # ----- public entry points ----------------------------------------------
@@ -576,37 +580,14 @@ class AlignmentGraph:
 
         if isinstance(first, (Phi, Alloca)) or first.is_terminator:
             return False
+        # One interned fingerprint per lane replaces the field-by-field
+        # pairwise scan: equal fingerprints imply mergeable shapes.
+        from .seeds import instruction_fingerprint
+
+        first_fp = instruction_fingerprint(first, self._fp_cache)
         for value in group[1:]:
-            if type(value) is not type(first):
+            if instruction_fingerprint(value, self._fp_cache) != first_fp:
                 return False
-            if value.opcode != first.opcode:
-                return False
-            if value.type is not first.type:
-                return False
-            if len(value.operands) != len(first.operands):
-                return False
-            if isinstance(first, ICmp) and value.predicate != first.predicate:
-                return False
-            if isinstance(first, FCmp) and value.predicate != first.predicate:
-                return False
-            if isinstance(first, GetElementPtr):
-                if value.source_type is not first.source_type:
-                    return False
-            if isinstance(first, Call):
-                if value.callee is not first.callee:
-                    return False
-            if isinstance(first, Cast) and value.operands[0].type is not first.operands[0].type:
-                return False
-            if isinstance(first, (BinaryOp, ICmp, FCmp)):
-                if value.operands[0].type is not first.operands[0].type:
-                    return False
-            if isinstance(first, GetElementPtr):
-                for idx_a, idx_b in zip(first.indices, value.indices):
-                    if idx_a.type is not idx_b.type:
-                        return False
-            if isinstance(first, Store):
-                if value.operands[0].type is not first.operands[0].type:
-                    return False
         # Duplicate instructions across lanes cannot be merged.
         ids = {id(v) for v in group}
         if len(ids) != len(group):

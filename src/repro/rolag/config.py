@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
+
+#: The pipeline phases the optional wall-time counters distinguish.
+PHASE_NAMES: Tuple[str, ...] = ("seeds", "alignment", "scheduling", "codegen")
 
 
 @dataclass
@@ -68,6 +72,22 @@ class RolagConfig:
             enable_joint=False,
         )
 
+    def fingerprint(self) -> str:
+        """Stable content hash of every tuning knob.
+
+        Two configs with equal knobs produce equal fingerprints across
+        processes and interpreter runs, so the driver's memo cache can
+        key results on it; any field change invalidates cached entries.
+        """
+        parts = []
+        for f in sorted(fields(self), key=lambda f: f.name):
+            value = getattr(self, f.name)
+            if f.name == "profile" and value is not None:
+                value = sorted(value.items())
+            parts.append(f"{f.name}={value!r}")
+        digest = hashlib.sha256(";".join(parts).encode("utf-8"))
+        return digest.hexdigest()[:16]
+
 
 @dataclass
 class RolagStats:
@@ -86,6 +106,16 @@ class RolagStats:
     node_counts: Counter = field(default_factory=Counter)
     #: (function name, estimated bytes saved) per rolled loop.
     savings: List[Tuple[str, int]] = field(default_factory=list)
+    #: Collect per-phase wall times?  Off by default so the hot path
+    #: pays no ``perf_counter`` calls unless a caller asks for them.
+    timed: bool = False
+    #: Accumulated wall seconds per pipeline phase (see PHASE_NAMES);
+    #: stays empty unless ``timed`` is set.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        """Accumulate wall time spent in one pipeline phase."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
     def merge(self, other: "RolagStats") -> None:
         """Fold another stats object into this one."""
@@ -95,3 +125,5 @@ class RolagStats:
         self.rolled += other.rolled
         self.node_counts.update(other.node_counts)
         self.savings.extend(other.savings)
+        for phase, seconds in other.phase_seconds.items():
+            self.add_phase_time(phase, seconds)

@@ -10,7 +10,9 @@ terminate).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from time import perf_counter
+from typing import Deque, List, Optional, Tuple
 
 from ..analysis.alias import AliasAnalysis
 from ..analysis.costmodel import CodeSizeCostModel
@@ -18,7 +20,7 @@ from ..analysis.deps import DependenceGraph
 from ..ir.module import BasicBlock, Function, Module
 from .alignment import AlignmentGraph
 from .codegen import RolledLoop, generate_rolled_loop
-from .config import RolagConfig, RolagStats
+from .config import PHASE_NAMES, RolagConfig, RolagStats
 from .profitability import estimate
 from .scheduling import analyze_scheduling
 from .seeds import SeedGroup, collect_seed_groups, find_joinable_groups
@@ -36,12 +38,15 @@ def roll_loops_in_function(
     config = config or RolagConfig()
     cost_model = cost_model or CodeSizeCostModel()
     stats = stats if stats is not None else RolagStats()
+    if stats.timed:
+        for phase in PHASE_NAMES:
+            stats.phase_seconds.setdefault(phase, 0.0)
 
     rolled = 0
-    work: List[BasicBlock] = list(fn.blocks)
+    work: Deque[BasicBlock] = deque(fn.blocks)
     processed: set = set()
     while work:
-        block = work.pop(0)
+        block = work.popleft()
         if id(block) in processed or block.parent is not fn:
             continue
         processed.add(id(block))
@@ -72,12 +77,13 @@ def _roll_block(
         count = config.profile.get((fn.name, block.name), 0)
         if count >= config.hot_block_threshold:
             return None  # hot block: size win not worth the slowdown
+    timed = stats.timed
+    start = perf_counter() if timed else 0.0
     groups = collect_seed_groups(block, config)
     if not groups:
+        if timed:
+            stats.add_phase_time("seeds", perf_counter() - start)
         return None
-
-    aa = AliasAnalysis(fn)
-    deps = DependenceGraph(block, aa)
 
     joint_clusters: List[List[SeedGroup]] = []
     in_cluster: set = set()
@@ -86,6 +92,11 @@ def _roll_block(
         for cluster in joint_clusters:
             for member in cluster:
                 in_cluster.add(id(member))
+    if timed:
+        stats.add_phase_time("seeds", perf_counter() - start)
+
+    aa = AliasAnalysis(fn)
+    deps = DependenceGraph(block, aa)
 
     candidates: List[Tuple[str, object]] = []
     for cluster in joint_clusters:
@@ -162,6 +173,8 @@ def _attempt(
     aa: AliasAnalysis,
     deps: DependenceGraph,
 ) -> Optional[RolledLoop]:
+    timed = stats.timed
+    start = perf_counter() if timed else 0.0
     ag = AlignmentGraph(block, config)
     if kind == "joint":
         root = ag.build_joint([g.instructions for g in payload])
@@ -185,11 +198,16 @@ def _attempt(
     else:
         group = payload
         root = ag.build_from_seeds(group.instructions)
+    if timed:
+        stats.add_phase_time("alignment", perf_counter() - start)
     if root is None:
         return None
 
     stats.attempted += 1
+    start = perf_counter() if timed else 0.0
     schedule = analyze_scheduling(ag, aa, deps)
+    if timed:
+        stats.add_phase_time("scheduling", perf_counter() - start)
     if schedule is None:
         stats.schedule_rejected += 1
         return None
@@ -202,7 +220,10 @@ def _attempt(
         # (new inner loop) code generator.
         from .loopaware import try_loop_aware_reroll
 
+        start = perf_counter() if timed else 0.0
         removed = try_loop_aware_reroll(ag)
+        if timed:
+            stats.add_phase_time("codegen", perf_counter() - start)
         if removed is not None:
             stats.rolled += 1
             stats.node_counts.update(ag.node_histogram())
@@ -219,7 +240,10 @@ def _attempt(
         stats.unprofitable += 1
         return None
 
+    start = perf_counter() if timed else 0.0
     result = generate_rolled_loop(ag, schedule)
+    if timed:
+        stats.add_phase_time("codegen", perf_counter() - start)
     stats.rolled += 1
     stats.node_counts.update(ag.node_histogram())
     fn_name = block.parent.name if block.parent else "?"

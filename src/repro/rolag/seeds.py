@@ -14,7 +14,9 @@ from ..analysis.alias import underlying_object
 from ..ir.instructions import (
     BinaryOp,
     Call,
+    Cast,
     FCmp,
+    GetElementPtr,
     ICmp,
     Instruction,
     Select,
@@ -23,6 +25,60 @@ from ..ir.instructions import (
 from ..ir.module import BasicBlock
 from ..ir.values import Value
 from .config import RolagConfig
+
+
+def instruction_fingerprint(
+    inst: Instruction, cache: Optional[Dict[int, tuple]] = None
+) -> tuple:
+    """Interned shape key: two instructions can merge into one rolled
+    loop instruction only if their fingerprints are equal.
+
+    Captures everything the alignment graph's isomorphism check needs
+    (class, opcode, result type, operand count, compare predicate,
+    callee, GEP source/index types, first-operand type), so group
+    formation and alignment can bucket/compare by one tuple instead of
+    running a pairwise field-by-field scan.  Types are interned in this
+    IR, so their ``id`` is a stable identity within a process.
+
+    ``cache`` memoizes by ``id(inst)``; callers must scope it to a
+    region where the instructions are not mutated (one block scan, one
+    alignment-graph build) and keep the instructions alive for the
+    cache's lifetime.
+    """
+    if cache is not None:
+        fp = cache.get(id(inst))
+        if fp is not None:
+            return fp
+    parts: List[object] = [
+        id(type(inst)),
+        inst.opcode,
+        id(inst.type),
+        len(inst.operands),
+    ]
+    if isinstance(inst, (ICmp, FCmp)):
+        parts.append(inst.predicate)
+    if isinstance(inst, GetElementPtr):
+        parts.append(id(inst.source_type))
+        parts.append(tuple(id(idx.type) for idx in inst.indices))
+    if isinstance(inst, Call):
+        parts.append(id(inst.callee))
+    if isinstance(inst, Cast):
+        parts.append(id(inst.operands[0].type))
+    if isinstance(inst, (BinaryOp, ICmp, FCmp, Store)):
+        parts.append(id(inst.operands[0].type))
+    fp = tuple(parts)
+    if cache is not None:
+        cache[id(inst)] = fp
+    return fp
+
+
+def block_position_index(block: BasicBlock) -> Dict[int, int]:
+    """``id(instruction) -> block index``, computed in one pass.
+
+    Seed-group formation used to rebuild this map once per group,
+    making wide blocks quadratic; build it once and share it.
+    """
+    return {id(inst): i for i, inst in enumerate(block.instructions)}
 
 
 @dataclass
@@ -52,9 +108,16 @@ class SeedGroup:
             return len(self.reduction_leaves)
         return len(self.instructions)
 
-    def first_position(self, block: BasicBlock) -> int:
-        """Block index of the group's earliest seed."""
-        index = {id(inst): i for i, inst in enumerate(block.instructions)}
+    def first_position(
+        self, block: BasicBlock, index: Optional[Dict[int, int]] = None
+    ) -> int:
+        """Block index of the group's earliest seed.
+
+        ``index`` is an optional prebuilt :func:`block_position_index`;
+        passing one avoids an O(block) rebuild per group.
+        """
+        if index is None:
+            index = block_position_index(block)
         if self.kind == "reduction":
             return index.get(id(self.reduction_root), 0)
         if self.kind == "minmax":
@@ -69,14 +132,18 @@ def collect_seed_groups(
     config = config or RolagConfig()
     groups: List[SeedGroup] = []
 
-    store_groups: Dict[Tuple[int, str], List[Instruction]] = {}
+    # One bucketing pass: stores keyed by (base object, stored type),
+    # calls keyed by callee.  Types are interned, so the type object
+    # itself is the key -- no per-instruction string rendering, and no
+    # compatibility checks ever run across unrelated buckets.
+    store_groups: Dict[Tuple[int, int], List[Instruction]] = {}
     call_groups: Dict[int, List[Instruction]] = {}
-    store_order: List[Tuple[int, str]] = []
+    store_order: List[Tuple[int, int]] = []
     call_order: List[int] = []
 
     for inst in block.instructions:
         if isinstance(inst, Store):
-            key = (id(underlying_object(inst.pointer)), str(inst.value.type))
+            key = (id(underlying_object(inst.pointer)), id(inst.value.type))
             if key not in store_groups:
                 store_groups[key] = []
                 store_order.append(key)
@@ -102,7 +169,8 @@ def collect_seed_groups(
     if config.enable_minmax:
         groups.extend(collect_minmax_seeds(block, config))
 
-    groups.sort(key=lambda g: g.first_position(block))
+    index = block_position_index(block)
+    groups.sort(key=lambda g: g.first_position(block, index))
     return groups
 
 
@@ -325,23 +393,33 @@ def find_joinable_groups(
     Two groups join when they have the same lane count and their seeds
     interleave in block position: ``a0 b0 a1 b1 ... an bn``.
     """
-    index = {id(inst): i for i, inst in enumerate(block.instructions)}
-
-    def positions(group: SeedGroup) -> List[int]:
-        return [index[id(inst)] for inst in group.instructions]
+    index = block_position_index(block)
 
     joinable: List[List[SeedGroup]] = []
     used: set = set()
     ordered = [g for g in groups if g.kind != "reduction"]
+    # Positions computed once per group, and candidates bucketed by lane
+    # count: only same-sized groups can ever join, so the pairwise
+    # interleaving check never runs across unrelated buckets.
+    positions: Dict[int, List[int]] = {
+        id(g): [index[id(inst)] for inst in g.instructions] for g in ordered
+    }
+    by_size: Dict[int, List[SeedGroup]] = {}
+    rank: Dict[int, int] = {}
     for i, group in enumerate(ordered):
+        by_size.setdefault(group.size, []).append(group)
+        rank[id(group)] = i
+    for group in ordered:
         if id(group) in used:
             continue
         cluster = [group]
-        for other in ordered[i + 1:]:
-            if id(other) in used or other.size != group.size:
+        cluster_positions = [positions[id(group)]]
+        for other in by_size[group.size]:
+            if rank[id(other)] <= rank[id(group)] or id(other) in used:
                 continue
-            if _interleaves(positions_list=[positions(g) for g in cluster + [other]]):
+            if _interleaves(cluster_positions + [positions[id(other)]]):
                 cluster.append(other)
+                cluster_positions.append(positions[id(other)])
                 used.add(id(other))
         if len(cluster) > 1:
             used.add(id(group))

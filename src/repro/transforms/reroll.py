@@ -33,7 +33,7 @@ from ..ir.instructions import (
 )
 from ..ir.module import BasicBlock, Function
 from ..ir.types import IntType
-from ..ir.values import ConstantInt, Value
+from ..ir.values import Constant, ConstantInt, Value
 
 
 @dataclass
@@ -230,11 +230,10 @@ def try_reroll_loop(counted: CountedLoop) -> bool:
                     and mapping[id(op_b)] is op_a
                 ):
                     continue
-                if (
-                    isinstance(op_a, ConstantInt)
-                    and isinstance(op_b, ConstantInt)
-                    and op_a.value == op_b.value
-                ):
+                if isinstance(op_a, Constant) and op_a == op_b:
+                    # LLVM constants are uniqued, so identity comparison
+                    # suffices there; ours are not, so equal int/float
+                    # constants must compare equivalent explicitly.
                     continue
                 return False
             mapping[id(b)] = a
@@ -247,6 +246,8 @@ def try_reroll_loop(counted: CountedLoop) -> bool:
         for g in range(1, count):
             data_g = _chain_data_operand(chain[g], chain[g - 1])
             if data_g is data0:
+                continue
+            if isinstance(data_g, Constant) and data_g == data0:
                 continue
             if (
                 isinstance(data_g, Instruction)
