@@ -1,0 +1,79 @@
+"""Extension: throughput and coverage of the differential-testing oracle.
+
+Not a paper exhibit: this benchmark characterises the reproduction's
+own miscompile hunter (``repro difftest``, ``docs/difftest.md``).  It
+runs a fixed-seed campaign and reports cases/second along with the
+coverage counters that make the oracle meaningful -- how many fuzzed
+cases actually had loops rolled, and how many observed a trap -- then
+times the observation primitive on its own (fuzz + print + parse +
+observe, no transforms) to show where campaign time goes.
+
+The campaign must come back clean: a mismatch here is a real
+miscompile and fails the benchmark loudly.
+"""
+
+import time
+
+from conftest import save_and_print
+
+from repro.bench import format_table
+from repro.difftest import (
+    FunctionFuzzer,
+    make_argument_vectors,
+    observe_call,
+    run_difftest,
+)
+from repro.ir import parse_module, print_module
+
+CAMPAIGN_SEED = 2022
+CAMPAIGN_COUNT = 400
+ORACLE_ONLY_COUNT = 100
+
+
+def _oracle_only_pass(seed: int, count: int) -> float:
+    """Seconds for fuzz + round-trip + observe, with no transforms."""
+    fuzzer = FunctionFuzzer(seed)
+    start = time.perf_counter()
+    for index in range(count):
+        module, fn_name = fuzzer.build(index)
+        module = parse_module(print_module(module))
+        fn = module.get_function(fn_name)
+        for vector in make_argument_vectors(fn, seed + index, 3):
+            observe_call(module, fn_name, vector)
+    return time.perf_counter() - start
+
+
+def test_ext_difftest_oracle(benchmark, results_dir):
+    def experiment():
+        start = time.perf_counter()
+        report = run_difftest(seed=CAMPAIGN_SEED, count=CAMPAIGN_COUNT)
+        campaign_seconds = time.perf_counter() - start
+        oracle_seconds = _oracle_only_pass(CAMPAIGN_SEED, ORACLE_ONLY_COUNT)
+        return report, campaign_seconds, oracle_seconds
+
+    report, campaign_seconds, oracle_seconds = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    assert report.ok, report.summary()
+    assert report.rolled_loops > 0
+    assert report.trap_cases > 0
+
+    rows = [
+        ("cases", report.cases),
+        ("vectors per case", report.vectors_per_case),
+        ("rolled loops", report.rolled_loops),
+        ("cases observing a trap", report.trap_cases),
+        ("timeout observations", report.timeout_cases),
+        ("mismatches", len(report.mismatches)),
+        ("unexplained", len(report.unexplained)),
+        ("campaign wall", f"{campaign_seconds:.2f}s"),
+        ("cases / second", f"{report.cases / campaign_seconds:.0f}"),
+        (
+            f"oracle-only ({ORACLE_ONLY_COUNT} cases, no transforms)",
+            f"{oracle_seconds:.2f}s",
+        ),
+    ]
+    text = "Differential-testing oracle (difftest) -- extension\n"
+    text += format_table(["Metric", "Value"], rows)
+    save_and_print(results_dir, "ext_difftest.txt", text)

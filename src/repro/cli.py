@@ -6,6 +6,8 @@ Usage::
     python -m repro input.ll --unroll 8 --reroll --size
     python -m repro input.c  --roll --loop-aware --run main 1 2
     python -m repro a.c b.c c.ll --roll --jobs 4 --cache-dir .rolag-cache
+    python -m repro a.c b.c --roll --check-semantics
+    python -m repro difftest --seed 0 --count 2000
 
 Input ending in ``.ll`` is parsed as IR text; anything else goes
 through the mini-C frontend (with the standard -Os-style cleanups
@@ -15,6 +17,11 @@ With several inputs the batch path takes over: every module is
 optimized through the parallel, memoizing driver (``repro.driver``),
 ``--jobs`` worker processes wide, with per-module results memoized
 under ``--cache-dir`` unless ``--no-cache`` is given.
+
+``repro difftest`` runs the differential-testing campaign instead:
+fuzzed IR functions through the full pipeline, observed against the
+reference interpreter, mismatches bisected to the guilty pass and
+minimized (see ``docs/difftest.md``).
 """
 
 from __future__ import annotations
@@ -119,7 +126,101 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar=("FUNCTION", "ARG"),
         help="interpret FUNCTION with integer/float arguments",
     )
+    parser.add_argument(
+        "--check-semantics",
+        action="store_true",
+        help="batch mode: differentially test every transformed module "
+        "against its input with the difftest oracle",
+    )
     return parser
+
+
+def build_difftest_parser() -> argparse.ArgumentParser:
+    """The ``repro difftest`` subcommand's interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro difftest",
+        description="Differential-testing campaign: fuzz IR functions, "
+        "run the cleanup + reroll + RoLAG pipeline, compare observable "
+        "behaviour, and bisect any mismatch to the guilty pass.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=500,
+        help="number of fuzzed functions (default 500)",
+    )
+    parser.add_argument(
+        "--vectors",
+        type=int,
+        default=3,
+        help="argument vectors per function (default 3)",
+    )
+    parser.add_argument(
+        "--step-limit",
+        type=int,
+        default=None,
+        help="interpreter step budget per observation",
+    )
+    parser.add_argument(
+        "--loop-aware",
+        action="store_true",
+        help="roll with the loop-aware in-place strategy",
+    )
+    parser.add_argument(
+        "--fast-math",
+        action="store_true",
+        help="allow re-association of float reductions",
+    )
+    parser.add_argument(
+        "--no-special-nodes",
+        action="store_true",
+        help="disable every special alignment-node kind",
+    )
+    parser.add_argument(
+        "--repro-dir",
+        metavar="DIR",
+        help="write minimized mismatch repros (.ll) into DIR",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the progress line",
+    )
+    return parser
+
+
+def run_difftest_command(argv: List[str]) -> int:
+    """``repro difftest ...``: run a campaign, exit 1 on any mismatch."""
+    from .difftest import run_difftest
+    from .difftest.oracle import DEFAULT_STEP_LIMIT
+
+    args = build_difftest_parser().parse_args(argv)
+    config = RolagConfig(
+        fast_math=args.fast_math, loop_aware=args.loop_aware
+    )
+    if args.no_special_nodes:
+        config = config.all_special_disabled()
+
+    def progress(done: int, total: int) -> None:
+        if args.quiet or total == 0:
+            return
+        if done % 100 == 0 or done == total:
+            print(f"; {done}/{total} cases", file=sys.stderr)
+
+    report = run_difftest(
+        seed=args.seed,
+        count=args.count,
+        config=config,
+        vectors_per_case=args.vectors,
+        step_limit=args.step_limit or DEFAULT_STEP_LIMIT,
+        repro_dir=args.repro_dir,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def load_module(path: str, optimize: bool) -> Module:
@@ -196,25 +297,25 @@ def run_batch(args: argparse.Namespace) -> int:
         workers=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        check_semantics=args.check_semantics,
     )
     rows = []
     for path, result in zip(args.input, report.results):
-        rows.append(
-            (
-                path,
-                result.size_before,
-                result.rolag_size,
-                f"{reduction_percent(result.size_before, result.rolag_size):.1f}%",
-                result.rolag_rolled,
-                "hit" if result.cache_hit else "miss",
-            )
-        )
-    print(
-        format_table(
-            ["Input", "Before(B)", "After(B)", "Reduction", "Rolled", "Cache"],
-            rows,
-        )
-    )
+        row = [
+            path,
+            result.size_before,
+            result.rolag_size,
+            f"{reduction_percent(result.size_before, result.rolag_size):.1f}%",
+            result.rolag_rolled,
+            "hit" if result.cache_hit else "miss",
+        ]
+        if args.check_semantics:
+            row.append("ok" if result.semantics_ok else "MISMATCH")
+        rows.append(tuple(row))
+    headers = ["Input", "Before(B)", "After(B)", "Reduction", "Rolled", "Cache"]
+    if args.check_semantics:
+        headers.append("Semantics")
+    print(format_table(headers, rows))
     stats = report.stats
     print(
         f"; {stats.jobs} module(s), {stats.workers} worker(s), "
@@ -225,11 +326,23 @@ def run_batch(args: argparse.Namespace) -> int:
         total_rolled = sum(r.rolag_rolled for r in report.results)
         attempts = sum(r.attempted for r in report.results)
         print(f"; RoLAG rolled {total_rolled} loop(s) in {attempts} attempt(s)")
+    if args.check_semantics:
+        failures = 0
+        for path, result in zip(args.input, report.results):
+            for detail in result.semantics_mismatches:
+                print(f"; SEMANTICS {path}: {detail}", file=sys.stderr)
+                failures += 1
+        if failures:
+            return 1
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "difftest":
+        return run_difftest_command(argv[1:])
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
@@ -273,6 +386,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f";   node {kind}: {count}")
 
     verify_module(module)
+
+    if args.check_semantics:
+        import zlib
+
+        from .difftest import check_module_semantics
+
+        original = load_module(args.input[0], optimize=not args.no_opt)
+        seed = zlib.crc32(print_module(original).encode("utf-8")) & 0x7FFFFFFF
+        ok, details = check_module_semantics(original, module, seed=seed)
+        if ok:
+            print("; semantics: ok (differential oracle)")
+        else:
+            for detail in details:
+                print(f"; SEMANTICS: {detail}", file=sys.stderr)
+            return 1
 
     if args.size:
         size_after = measure_module(module)

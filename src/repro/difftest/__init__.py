@@ -1,0 +1,51 @@
+"""Differential-testing oracle for miscompile hunting.
+
+The subsystem that replaces LLVM's verifier + regression suites in the
+original paper's methodology: every size win RoLAG reports can be
+backed by a machine-checked semantic-equivalence argument.
+
+* :mod:`.fuzzer` -- :class:`FunctionFuzzer`, a seeded generator of
+  valid, terminating IR functions biased toward RoLAG-rollable shapes
+  (store runs, call runs, reduction trees, mixed-lane blocks) that also
+  plants deliberate trap hazards (division by possibly-zero values,
+  stores through near-null pointers, out-of-range shift amounts).
+* :mod:`.oracle` -- trap-aware observation capture and comparison:
+  return value, global/buffer memory, extern call trace, trap status.
+* :mod:`.bisect` -- on mismatch, replays the pipeline pass by pass to
+  name the guilty pass and emits a minimized, parseable IR repro.
+* :mod:`.runner` -- the ``repro difftest`` campaign loop and the
+  driver's ``check_semantics=True`` entry point.
+"""
+
+from .bisect import MismatchRecord, bisect_pipeline, minimize_record
+from .fuzzer import FunctionFuzzer, FuzzConfig
+from .oracle import (
+    Observation,
+    compare_observations,
+    make_argument_vectors,
+    observe_call,
+    oracle_externs,
+)
+from .runner import (
+    DifftestReport,
+    check_module_semantics,
+    default_pipeline,
+    run_difftest,
+)
+
+__all__ = [
+    "DifftestReport",
+    "FunctionFuzzer",
+    "FuzzConfig",
+    "MismatchRecord",
+    "Observation",
+    "bisect_pipeline",
+    "check_module_semantics",
+    "compare_observations",
+    "default_pipeline",
+    "make_argument_vectors",
+    "minimize_record",
+    "observe_call",
+    "oracle_externs",
+    "run_difftest",
+]

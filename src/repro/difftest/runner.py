@@ -1,0 +1,236 @@
+"""Differential-testing campaigns and the driver's semantics check.
+
+:func:`run_difftest` is the ``repro difftest`` engine: fuzz ``count``
+functions, push each through the full cleanup + reroll + RoLAG
+pipeline, and compare observable behaviour on several argument vectors.
+Every end-to-end divergence is bisected to the guilty pass and
+minimized; anything that diverges end-to-end but fails to re-bisect is
+reported as *unexplained* (the acceptance bar is zero of those).
+
+:func:`check_module_semantics` is the lightweight entry point the batch
+driver uses when ``check_semantics=True``: given the already-built
+original and transformed modules for one corpus function, it replays a
+few vectors and returns pass/fail plus human-readable details.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+from ..ir.verifier import VerificationError, verify_module
+from ..rolag.config import RolagConfig
+from ..transforms import default_cleanup_pipeline, reroll_loops
+from ..rolag.pipeline import roll_loops_in_module
+from .bisect import MismatchRecord, PipelineStage, bisect_pipeline, minimize_record
+from .fuzzer import FunctionFuzzer, FuzzConfig
+from .oracle import (
+    DEFAULT_STEP_LIMIT,
+    compare_observations,
+    make_argument_vectors,
+    observe_call,
+)
+
+
+def _per_function(fn_pass: Callable) -> Callable[[Module], int]:
+    def apply(module: Module) -> int:
+        total = 0
+        for fn in module.functions:
+            if not fn.is_declaration:
+                total += fn_pass(fn)
+        return total
+
+    return apply
+
+
+def default_pipeline(config: Optional[RolagConfig] = None) -> List[PipelineStage]:
+    """The pipeline the size evaluation runs, as named difftest stages.
+
+    Mirrors the driver: the -Os style cleanup pipeline, the reroll
+    baseline, then RoLAG itself.  Per-stage verification is left to the
+    caller (the campaign verifies after the whole pipeline and the
+    bisector verifies after every stage).
+    """
+    config = config if config is not None else RolagConfig()
+    stages: List[PipelineStage] = [
+        (name, _per_function(fn_pass))
+        for name, fn_pass in default_cleanup_pipeline(verify=False).passes
+    ]
+    stages.append(("reroll", _per_function(reroll_loops)))
+    stages.append(
+        ("rolag", lambda module: roll_loops_in_module(module, config=config))
+    )
+    return stages
+
+
+@dataclass
+class DifftestReport:
+    """Outcome of one fuzzing campaign."""
+
+    seed: int
+    cases: int
+    vectors_per_case: int
+    mismatches: List[MismatchRecord] = field(default_factory=list)
+    #: End-to-end divergences that did not reproduce under per-pass
+    #: replay -- a sign of nondeterminism, never acceptable.
+    unexplained: List[str] = field(default_factory=list)
+    trap_cases: int = 0
+    timeout_cases: int = 0
+    rolled_loops: int = 0
+    repro_paths: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.unexplained
+
+    def summary(self) -> str:
+        lines = [
+            f"difftest: {self.cases} cases, seed {self.seed}, "
+            f"{self.vectors_per_case} vectors/case",
+            f"  rolled loops: {self.rolled_loops}",
+            f"  cases observing a trap: {self.trap_cases}",
+            f"  inconclusive (timeout) observations: {self.timeout_cases}",
+            f"  mismatches: {len(self.mismatches)}"
+            f" | unexplained: {len(self.unexplained)}",
+        ]
+        for record in self.mismatches:
+            lines.append(
+                f"  MISMATCH {record.origin}: pass '{record.stage}' -- "
+                f"{record.detail}"
+            )
+        for note in self.unexplained:
+            lines.append(f"  UNEXPLAINED {note}")
+        for path in self.repro_paths:
+            lines.append(f"  repro written: {path}")
+        if self.ok:
+            lines.append("  OK: no unexplained mismatches")
+        return "\n".join(lines)
+
+
+def run_difftest(
+    seed: int,
+    count: int,
+    config: Optional[RolagConfig] = None,
+    fuzz_config: Optional[FuzzConfig] = None,
+    vectors_per_case: int = 3,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    repro_dir: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> DifftestReport:
+    """Fuzz ``count`` functions and differentially test the pipeline.
+
+    Each case is printed, reparsed, transformed and observed; the
+    reference observation also comes from a reparse so that a
+    printer/parser round-trip defect cannot masquerade as a pass bug.
+    """
+    fuzzer = FunctionFuzzer(seed, fuzz_config)
+    stages = default_pipeline(config)
+    report = DifftestReport(
+        seed=seed, cases=count, vectors_per_case=vectors_per_case
+    )
+    for index in range(count):
+        if progress is not None:
+            progress(index, count)
+        module, fn_name = fuzzer.build(index)
+        text = print_module(module)
+        origin = f"fuzz seed={seed} index={index}"
+
+        reference_module = parse_module(text)
+        fn = reference_module.get_function(fn_name)
+        vectors = make_argument_vectors(
+            fn, (seed * 1_000_003 + index) & 0x7FFFFFFF, vectors_per_case
+        )
+        reference = [
+            observe_call(reference_module, fn_name, v, step_limit=step_limit)
+            for v in vectors
+        ]
+        if any(obs.status == "trap" for obs in reference):
+            report.trap_cases += 1
+        report.timeout_cases += sum(
+            1 for obs in reference if obs.status == "timeout"
+        )
+
+        transformed = parse_module(text)
+        detail: Optional[str] = None
+        try:
+            for stage_name, apply_stage in stages:
+                changed = apply_stage(transformed)
+                if stage_name == "rolag":
+                    report.rolled_loops += int(changed or 0)
+            verify_module(transformed)
+        except VerificationError as error:
+            detail = f"pipeline produced invalid IR: {error}"
+        if detail is None:
+            for vector, expected in zip(vectors, reference):
+                actual = observe_call(
+                    transformed, fn_name, vector, step_limit=step_limit
+                )
+                detail = compare_observations(expected, actual)
+                if detail is not None:
+                    break
+        if detail is None:
+            continue
+
+        record = bisect_pipeline(
+            text, fn_name, stages, vectors, step_limit, origin=origin
+        )
+        if record is None:
+            report.unexplained.append(f"{origin}: {detail} (did not rebisect)")
+            continue
+        record = minimize_record(record, stages, step_limit)
+        record.origin = origin
+        report.mismatches.append(record)
+        if repro_dir is not None:
+            os.makedirs(repro_dir, exist_ok=True)
+            path = os.path.join(
+                repro_dir, f"case{index:05d}_{record.stage}.ll"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(record.to_text())
+            report.repro_paths.append(path)
+    if progress is not None:
+        progress(count, count)
+    return report
+
+
+def check_module_semantics(
+    original: Module,
+    transformed: Module,
+    *,
+    seed: int,
+    vectors_per_fn: int = 3,
+    step_limit: int = 200_000,
+) -> Tuple[bool, List[str]]:
+    """Replay a few vectors on both modules; (ok, mismatch details).
+
+    Functions whose signatures the vector generator cannot synthesize
+    (exotic parameter types) are skipped -- the check is best-effort
+    evidence, not a proof.
+    """
+    details: List[str] = []
+    for fn in original.functions:
+        if fn.is_declaration:
+            continue
+        if transformed.get_function(fn.name) is None:
+            details.append(f"@{fn.name}: missing from transformed module")
+            continue
+        try:
+            vectors = make_argument_vectors(fn, seed, vectors_per_fn)
+        except ValueError:
+            continue
+        for vector in vectors:
+            reference = observe_call(
+                original, fn.name, vector, step_limit=step_limit
+            )
+            candidate = observe_call(
+                transformed, fn.name, vector, step_limit=step_limit
+            )
+            detail = compare_observations(reference, candidate)
+            if detail is not None:
+                details.append(f"@{fn.name} {vector.describe()}: {detail}")
+                break
+    return (not details, details)

@@ -28,7 +28,7 @@ from ..rolag.config import RolagConfig
 from .types import FunctionJob, FunctionResult
 
 #: Bump to invalidate every existing cache entry.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def model_fingerprint(model: Optional[CodeSizeCostModel]) -> str:
@@ -44,13 +44,20 @@ def job_key(
     job: FunctionJob,
     config: RolagConfig,
     measure_model: Optional[CodeSizeCostModel] = None,
+    check_semantics: bool = False,
 ) -> str:
-    """The content-addressed cache key for one job."""
+    """The content-addressed cache key for one job.
+
+    ``check_semantics`` participates in the key: a result computed
+    without the differential oracle must not satisfy a request that
+    asked for one.
+    """
     material = "\n".join(
         [
             f"schema:{SCHEMA_VERSION}",
             f"config:{config.fingerprint()}",
             f"model:{model_fingerprint(measure_model)}",
+            f"semantics:{int(check_semantics)}",
             f"target:{job.name}",
             f"format:{job.format}",
             "text:",

@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import zlib
 from time import perf_counter
 from typing import Iterable, List, Optional, Sequence
 
 from ..analysis.costmodel import CodeSizeCostModel
-from ..bench.objsize import function_size, measure_module
+from ..difftest.runner import check_module_semantics
 from ..frontend import compile_c
 from ..ir import parse_module, print_module, verify_module
 from ..ir.module import Module
@@ -53,6 +54,12 @@ def _load_module(job: FunctionJob) -> Module:
 def _measure(
     module: Module, name: Optional[str], model: Optional[CodeSizeCostModel]
 ) -> int:
+    # Imported here, not at module scope: ``repro.bench`` imports this
+    # package back (its harness drives the pool), and a top-level import
+    # made a cold ``import repro.driver`` fail with a circular-import
+    # error unless the caller happened to import ``repro.bench`` first.
+    from ..bench.objsize import function_size, measure_module
+
     if name is None:
         return measure_module(module, model).total
     return function_size(module.get_function(name), model)
@@ -63,8 +70,15 @@ def optimize_one(
     config: Optional[RolagConfig] = None,
     measure_model: Optional[CodeSizeCostModel] = None,
     timed: bool = False,
+    check_semantics: bool = False,
 ) -> FunctionResult:
-    """The per-function pipeline one worker runs for one job."""
+    """The per-function pipeline one worker runs for one job.
+
+    With ``check_semantics`` set, both transformed modules are
+    differentially tested against a fresh copy of the input via the
+    :mod:`repro.difftest` oracle; the verdict and any mismatch details
+    travel back (and into the cache) on the result.
+    """
     config = config or RolagConfig()
     start = perf_counter()
 
@@ -84,6 +98,23 @@ def optimize_one(
     verify_module(module)
     rolag_size = _measure(module, job.name, measure_model)
 
+    semantics_ok: Optional[bool] = None
+    semantics_mismatches: List[str] = []
+    if check_semantics:
+        original = _load_module(job)
+        # Vector seed derives from the input text, so reruns replay the
+        # same vectors and the cache entry stays meaningful.
+        vector_seed = zlib.crc32(job.text.encode("utf-8")) & 0x7FFFFFFF
+        for label, candidate in (("reroll", llvm_module), ("rolag", module)):
+            ok, details = check_module_semantics(
+                original, candidate, seed=vector_seed
+            )
+            if not ok:
+                semantics_mismatches.extend(
+                    f"{label}: {detail}" for detail in details
+                )
+        semantics_ok = not semantics_mismatches
+
     return FunctionResult(
         name=job.name,
         metadata=dict(job.metadata),
@@ -98,6 +129,9 @@ def optimize_one(
         node_counts=dict(stats.node_counts),
         savings=list(stats.savings),
         optimized_ir=print_module(module),
+        semantics_checked=check_semantics,
+        semantics_ok=semantics_ok,
+        semantics_mismatches=semantics_mismatches,
         phase_seconds=dict(stats.phase_seconds),
         wall_seconds=perf_counter() - start,
     )
@@ -115,10 +149,12 @@ def _init_worker(
     config: RolagConfig,
     measure_model: Optional[CodeSizeCostModel],
     timed: bool,
+    check_semantics: bool,
 ) -> None:
     _WORKER_STATE["config"] = config
     _WORKER_STATE["measure_model"] = measure_model
     _WORKER_STATE["timed"] = timed
+    _WORKER_STATE["check_semantics"] = check_semantics
 
 
 def _run_job(job: FunctionJob) -> FunctionResult:
@@ -127,6 +163,7 @@ def _run_job(job: FunctionJob) -> FunctionResult:
         config=_WORKER_STATE["config"],
         measure_model=_WORKER_STATE["measure_model"],
         timed=_WORKER_STATE["timed"],
+        check_semantics=_WORKER_STATE["check_semantics"],
     )
 
 
@@ -145,6 +182,7 @@ def optimize_functions(
     measure_model: Optional[CodeSizeCostModel] = None,
     chunk_size: Optional[int] = None,
     timed: bool = False,
+    check_semantics: bool = False,
 ) -> DriverReport:
     """Optimize every job, in parallel and memoized.
 
@@ -153,7 +191,9 @@ def optimize_functions(
     workers rebuild modules from text either way).  With ``cache_dir``
     set (and ``use_cache`` true), results are looked up before dispatch
     and newly computed ones written back.  Results come back in job
-    order regardless of completion order.
+    order regardless of completion order.  ``check_semantics`` turns on
+    the per-job differential oracle (see :func:`optimize_one`); it is
+    part of the cache key, so checked and unchecked results never mix.
     """
     config = config or RolagConfig()
     workers = default_worker_count() if workers is None else max(1, workers)
@@ -169,7 +209,7 @@ def optimize_functions(
     keys: List[Optional[str]] = [None] * len(jobs)
     for i, job in enumerate(jobs):
         if cache is not None:
-            keys[i] = job_key(job, config, measure_model)
+            keys[i] = job_key(job, config, measure_model, check_semantics)
             hit = cache.get(keys[i])
             if hit is not None:
                 results[i] = hit
@@ -182,7 +222,7 @@ def optimize_functions(
         todo = [jobs[i] for i in pending]
         if workers == 1 or len(todo) == 1:
             computed: Iterable[FunctionResult] = (
-                optimize_one(job, config, measure_model, timed)
+                optimize_one(job, config, measure_model, timed, check_semantics)
                 for job in todo
             )
         else:
@@ -191,7 +231,7 @@ def optimize_functions(
             pool = ctx.Pool(
                 processes=min(workers, len(todo)),
                 initializer=_init_worker,
-                initargs=(config, measure_model, timed),
+                initargs=(config, measure_model, timed, check_semantics),
             )
             try:
                 computed = pool.map(_run_job, todo, chunksize=chunk)

@@ -64,6 +64,12 @@ class FunctionResult:
     node_counts: Dict[str, int]
     savings: List[Tuple[str, int]]
     optimized_ir: str
+    #: Did this run include the differential semantics check?
+    semantics_checked: bool = False
+    #: Outcome of that check (``None`` when it did not run).
+    semantics_ok: Optional[bool] = None
+    #: Human-readable mismatch descriptions from the oracle.
+    semantics_mismatches: List[str] = field(default_factory=list)
     #: Per-phase wall seconds (empty unless the driver ran timed).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: Wall seconds this function took in its worker (0 on cache hits).
@@ -94,6 +100,9 @@ class FunctionResult:
         turns the savings tuples into lists; restore them)."""
         data = dict(data)
         data["savings"] = [tuple(entry) for entry in data.get("savings", [])]
+        data.setdefault("semantics_checked", False)
+        data.setdefault("semantics_ok", None)
+        data.setdefault("semantics_mismatches", [])
         data.setdefault("phase_seconds", {})
         data.setdefault("wall_seconds", 0.0)
         return cls(cache_hit=False, **data)

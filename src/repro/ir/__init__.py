@@ -29,7 +29,14 @@ from .instructions import (
     CAST_OPCODES,
     COMMUTATIVE_OPCODES,
 )
-from .interp import Machine, StepLimitExceeded, TrapError, run_function
+from .interp import (
+    Machine,
+    SHIFT_AMOUNT_MODULO_BITS,
+    StepLimitExceeded,
+    TrapError,
+    eval_int_binop,
+    run_function,
+)
 from .module import BasicBlock, Function, Module
 from .parser import ParseError, parse_function, parse_module
 from .printer import print_function, print_module

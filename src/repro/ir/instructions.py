@@ -91,10 +91,34 @@ class Instruction(User):
         """Whether reordering/removal could change observable behaviour."""
         return self.may_write_memory() or self.is_terminator
 
+    def may_trap(self) -> bool:
+        """Whether executing this instruction can raise a runtime trap.
+
+        Traps (division by zero, out-of-bounds memory access) are
+        *observable* in this IR -- the interpreter is the semantic
+        oracle and reports them deterministically -- so passes must not
+        delete a potentially trapping instruction even when its value
+        is unused.  Division/remainder with a constant nonzero divisor
+        never traps (``INT_MIN / -1`` wraps, it does not trap).
+        """
+        from .values import ConstantInt
+
+        if isinstance(self, BinaryOp) and self.opcode in (
+            "sdiv", "udiv", "srem", "urem",
+        ):
+            rhs = self.operands[1]
+            return not (isinstance(rhs, ConstantInt) and rhs.value != 0)
+        if isinstance(self, (Load, Store)):
+            return True
+        return False
+
     def is_trivially_dead(self) -> bool:
-        """Unused and side-effect free: safe for DCE."""
-        return not self.uses and not self.has_side_effects() and not isinstance(
-            self, (Call, Alloca)
+        """Unused, side-effect free and trap free: safe for DCE."""
+        return (
+            not self.uses
+            and not self.has_side_effects()
+            and not self.may_trap()
+            and not isinstance(self, (Call, Alloca))
         )
 
     # ----- block surgery ---------------------------------------------------

@@ -11,11 +11,26 @@ function on identical inputs and comparing
 
 It also counts dynamically executed instructions, which serves as the
 performance proxy for the Section V-D experiment.
+
+Integer semantics (the contract every transform must preserve, and the
+single source of truth :mod:`repro.transforms.constfold` folds with):
+
+* All integer values are stored in signed two's-complement form of the
+  operation's bit width; add/sub/mul/shl wrap silently.
+* ``sdiv``/``srem`` truncate toward zero.  The INT_MIN // -1 overflow
+  case *wraps* (result INT_MIN, remainder 0) rather than trapping,
+  matching the wrap-everything policy above.
+* Division or remainder by zero traps (:class:`TrapError`).
+* Shift amounts are taken modulo the bit width
+  (:data:`SHIFT_AMOUNT_MODULO_BITS`), so out-of-range amounts are
+  well-defined and legal IR -- the difftest fuzzer generates them
+  deliberately.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .instructions import (
@@ -66,6 +81,17 @@ class StepLimitExceeded(TrapError):
     """The configured dynamic instruction budget was exhausted."""
 
 
+#: ShiftSemantics: ``shl``/``lshr``/``ashr`` amounts are reduced modulo
+#: the operand bit width.  An out-of-range constant amount is therefore
+#: verifier-legal; both the interpreter and the constant folder apply
+#: the same reduction (see :func:`eval_int_binop`).
+SHIFT_AMOUNT_MODULO_BITS = True
+
+#: ``sdiv INT_MIN, -1`` (and the matching ``srem``) wraps instead of
+#: trapping; only division by zero traps.
+INT_MIN_DIV_WRAPS = True
+
+
 def _wrap_signed(value: int, bits: int) -> int:
     value &= (1 << bits) - 1
     if bits > 1 and value >= (1 << (bits - 1)):
@@ -84,6 +110,60 @@ def _round_float(value: float, bits: int) -> float:
         except (OverflowError, ValueError):
             return float("inf") if value > 0 else float("-inf")
     return value
+
+
+def eval_int_binop(opcode: str, bits: int, a: int, b: int) -> int:
+    """Evaluate one integer binary op at ``bits`` width.
+
+    The shared evaluator behind both :meth:`Machine._binop` and the
+    constant folder, so folded constants agree with executed results
+    bit for bit.  Operands may be in signed or unsigned form; the
+    result is wrapped to signed form.  Raises :class:`TrapError` for
+    division/remainder by zero.
+    """
+    ua = _as_unsigned(int(a), bits)
+    ub = _as_unsigned(int(b), bits)
+    sa = _wrap_signed(ua, bits)
+    sb = _wrap_signed(ub, bits)
+    if opcode == "add":
+        return _wrap_signed(sa + sb, bits)
+    if opcode == "sub":
+        return _wrap_signed(sa - sb, bits)
+    if opcode == "mul":
+        return _wrap_signed(sa * sb, bits)
+    if opcode == "sdiv":
+        if sb == 0:
+            raise TrapError("sdiv by zero")
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return _wrap_signed(q, bits)  # INT_MIN // -1 wraps to INT_MIN
+    if opcode == "udiv":
+        if ub == 0:
+            raise TrapError("udiv by zero")
+        return _wrap_signed(ua // ub, bits)
+    if opcode == "srem":
+        if sb == 0:
+            raise TrapError("srem by zero")
+        r = abs(sa) % abs(sb)
+        return _wrap_signed(-r if sa < 0 else r, bits)
+    if opcode == "urem":
+        if ub == 0:
+            raise TrapError("urem by zero")
+        return _wrap_signed(ua % ub, bits)
+    if opcode == "and":
+        return _wrap_signed(ua & ub, bits)
+    if opcode == "or":
+        return _wrap_signed(ua | ub, bits)
+    if opcode == "xor":
+        return _wrap_signed(ua ^ ub, bits)
+    if opcode == "shl":
+        return _wrap_signed(ua << (ub % bits), bits)
+    if opcode == "lshr":
+        return _wrap_signed(ua >> (ub % bits), bits)
+    if opcode == "ashr":
+        return _wrap_signed(sa >> (ub % bits), bits)
+    raise TrapError(f"bad int opcode {opcode}")
 
 
 ExternHandler = Callable[["Machine", Sequence[object]], object]
@@ -229,7 +309,9 @@ class Machine:
         if ret.is_void:
             return None
         # Deterministic opaque default: a value derived from the inputs.
-        seed = hash((fn.name, tuple(args))) & 0x7FFFFFFF
+        # crc32 (not ``hash``) so results are stable across processes and
+        # PYTHONHASHSEED values -- difftest replays depend on this.
+        seed = zlib.crc32(repr((fn.name, tuple(args))).encode("utf-8")) & 0x7FFFFFFF
         if isinstance(ret, IntType):
             return _wrap_signed(seed, ret.bits)
         if isinstance(ret, FloatType):
@@ -360,48 +442,7 @@ class Machine:
 
     def _binop(self, opcode: str, ty: Type, a: object, b: object) -> object:
         if isinstance(ty, IntType):
-            bits = ty.bits
-            ua = _as_unsigned(int(a), bits)
-            ub = _as_unsigned(int(b), bits)
-            if opcode == "add":
-                return _wrap_signed(int(a) + int(b), bits)
-            if opcode == "sub":
-                return _wrap_signed(int(a) - int(b), bits)
-            if opcode == "mul":
-                return _wrap_signed(int(a) * int(b), bits)
-            if opcode == "sdiv":
-                if b == 0:
-                    raise TrapError("sdiv by zero")
-                q = abs(int(a)) // abs(int(b))
-                if (int(a) < 0) != (int(b) < 0):
-                    q = -q
-                return _wrap_signed(q, bits)
-            if opcode == "udiv":
-                if ub == 0:
-                    raise TrapError("udiv by zero")
-                return _wrap_signed(ua // ub, bits)
-            if opcode == "srem":
-                if b == 0:
-                    raise TrapError("srem by zero")
-                r = abs(int(a)) % abs(int(b))
-                return _wrap_signed(-r if int(a) < 0 else r, bits)
-            if opcode == "urem":
-                if ub == 0:
-                    raise TrapError("urem by zero")
-                return _wrap_signed(ua % ub, bits)
-            if opcode == "and":
-                return _wrap_signed(ua & ub, bits)
-            if opcode == "or":
-                return _wrap_signed(ua | ub, bits)
-            if opcode == "xor":
-                return _wrap_signed(ua ^ ub, bits)
-            if opcode == "shl":
-                return _wrap_signed(ua << (ub % bits), bits)
-            if opcode == "lshr":
-                return _wrap_signed(ua >> (ub % bits), bits)
-            if opcode == "ashr":
-                return _wrap_signed(int(a) >> (ub % bits), bits)
-            raise TrapError(f"bad int opcode {opcode}")
+            return eval_int_binop(opcode, ty.bits, int(a), int(b))
         if isinstance(ty, FloatType):
             fa, fb = float(a), float(b)
             if opcode == "fadd":

@@ -12,13 +12,35 @@ from .instructions import (
     BinaryOp,
     Br,
     Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
     Instruction,
     Load,
     Phi,
     Ret,
+    Select,
     Store,
 )
 from .module import Function, Module
+from .types import FloatType, IntType
+
+#: Binary opcodes restricted to integer operands.
+_INT_ONLY_OPCODES = frozenset(
+    {
+        "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+        "and", "or", "xor", "shl", "lshr", "ashr",
+    }
+)
+
+#: Binary opcodes restricted to floating point operands.
+_FLOAT_ONLY_OPCODES = frozenset({"fadd", "fsub", "fmul", "fdiv", "frem"})
+
+#: ShiftSemantics: shift amounts are interpreted modulo the operand bit
+#: width (``repro.ir.interp.SHIFT_AMOUNT_MODULO_BITS``).  The verifier
+#: therefore accepts constant out-of-range shift amounts deliberately;
+#: the difftest fuzzer generates them to pin the modulo behaviour down.
+_SHIFT_OPCODES = frozenset({"shl", "lshr", "ashr"})
 
 
 class VerificationError(Exception):
@@ -135,6 +157,43 @@ def _check_types(inst: Instruction, errors: List[str]) -> None:
         a, b = inst.operands
         if a.type is not b.type or a.type is not inst.type:
             errors.append(f"binary op type mismatch: {inst!r}")
+        if inst.opcode in _INT_ONLY_OPCODES and not isinstance(a.type, IntType):
+            errors.append(f"{inst.opcode} requires integer operands: {inst!r}")
+        if inst.opcode in _FLOAT_ONLY_OPCODES and not isinstance(
+            a.type, FloatType
+        ):
+            errors.append(f"{inst.opcode} requires float operands: {inst!r}")
+        # _SHIFT_OPCODES note: out-of-range shift amounts are legal here
+        # by design (modulo-bit-width semantics); no range check.
+    elif isinstance(inst, ICmp):
+        a, b = inst.operands
+        if a.type is not b.type:
+            errors.append(f"icmp operand type mismatch: {inst!r}")
+        elif not (a.type.is_integer or a.type.is_pointer):
+            errors.append(f"icmp on non-integer/pointer type: {inst!r}")
+    elif isinstance(inst, Select):
+        cond, a, b = inst.operands
+        if not (cond.type.is_integer and cond.type.bits == 1):
+            errors.append(f"select condition not i1: {inst!r}")
+        if a.type is not b.type or a.type is not inst.type:
+            errors.append(f"select arm type mismatch: {inst!r}")
+    elif isinstance(inst, Cast):
+        (a,) = inst.operands
+        if inst.opcode in ("trunc", "zext", "sext"):
+            if not (
+                isinstance(a.type, IntType) and isinstance(inst.type, IntType)
+            ):
+                errors.append(f"{inst.opcode} on non-integer types: {inst!r}")
+            elif inst.opcode == "trunc" and inst.type.bits > a.type.bits:
+                errors.append(f"trunc widens {a.type} to {inst.type}: {inst!r}")
+            elif inst.opcode != "trunc" and inst.type.bits < a.type.bits:
+                errors.append(
+                    f"{inst.opcode} narrows {a.type} to {inst.type}: {inst!r}"
+                )
+    elif isinstance(inst, GetElementPtr):
+        for idx in inst.indices:
+            if not idx.type.is_integer:
+                errors.append(f"gep index not an integer: {inst!r}")
     elif isinstance(inst, Store):
         if not inst.pointer.type.is_pointer:
             errors.append(f"store to non-pointer: {inst!r}")

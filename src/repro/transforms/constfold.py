@@ -11,44 +11,30 @@ from __future__ import annotations
 from typing import Optional
 
 from ..ir.instructions import BinaryOp, Cast, ICmp, Instruction, Phi, Select
+from ..ir.interp import TrapError, eval_int_binop
 from ..ir.module import Function
 from ..ir.types import IntType
 from ..ir.values import ConstantFloat, ConstantInt, Value
 
 
-def _fold_int_binop(opcode: str, ty: IntType, a: int, b: int) -> Optional[int]:
-    bits = ty.bits
-    mask = (1 << bits) - 1
-    ua, ub = a & mask, b & mask
-    if opcode == "add":
-        return a + b
-    if opcode == "sub":
-        return a - b
-    if opcode == "mul":
-        return a * b
-    if opcode == "and":
-        return ua & ub
-    if opcode == "or":
-        return ua | ub
-    if opcode == "xor":
-        return ua ^ ub
-    if opcode == "shl":
-        return ua << (ub % bits)
-    if opcode == "lshr":
-        return ua >> (ub % bits)
-    if opcode == "ashr":
-        return a >> (ub % bits)
-    if opcode == "sdiv" and b != 0:
-        q = abs(a) // abs(b)
-        return -q if (a < 0) != (b < 0) else q
-    if opcode == "udiv" and ub != 0:
-        return ua // ub
-    if opcode == "srem" and b != 0:
-        r = abs(a) % abs(b)
-        return -r if a < 0 else r
-    if opcode == "urem" and ub != 0:
-        return ua % ub
-    return None
+def fold_int_binop(opcode: str, ty: IntType, a: int, b: int) -> Optional[int]:
+    """Fold one integer binop, or None when it must not fold.
+
+    Delegates to the interpreter's :func:`~repro.ir.interp.eval_int_binop`
+    so the folded constant is already wrapped to ``ty``'s bit width and
+    agrees with execution on every edge case (INT_MIN // -1 wraps,
+    shift amounts reduce modulo the width).  Trapping operands
+    (division/remainder by zero) never fold: the trap is observable and
+    must stay in the instruction stream.
+    """
+    try:
+        return eval_int_binop(opcode, ty.bits, a, b)
+    except TrapError:
+        return None
+
+
+#: Backwards-compatible alias of the pre-oracle internal name.
+_fold_int_binop = fold_int_binop
 
 
 def _simplify(inst: Instruction) -> Optional[Value]:
@@ -61,7 +47,7 @@ def _simplify(inst: Instruction) -> Optional[Value]:
             and isinstance(lhs, ConstantInt)
             and isinstance(rhs, ConstantInt)
         ):
-            folded = _fold_int_binop(inst.opcode, ty, lhs.value, rhs.value)
+            folded = fold_int_binop(inst.opcode, ty, lhs.value, rhs.value)
             if folded is not None:
                 return ConstantInt(ty, folded)
         if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):

@@ -3,14 +3,21 @@
 Removes instructions with no uses and no side effects, dead allocas
 (including their stores when nothing ever loads from them is *not*
 assumed -- only fully unused allocas go), and unreachable blocks.
+
+Traps are observable behaviour in this IR (see ``repro.ir.interp``),
+so potentially trapping instructions -- division/remainder with a
+possibly-zero divisor, loads through arbitrary pointers -- are kept
+even when their value is unused.  Loads through a (still live) alloca
+cannot trap and remain removable.
 """
 
 from __future__ import annotations
 
 
 from ..analysis.domtree import DominatorTree
-from ..ir.instructions import Alloca, Call, Instruction
+from ..ir.instructions import Alloca, Call, Instruction, Load
 from ..ir.module import Function
+from ..ir.values import GlobalVariable
 
 
 def _removable(inst: Instruction) -> bool:
@@ -20,7 +27,13 @@ def _removable(inst: Instruction) -> bool:
         return inst.is_readnone() or inst.is_readonly()
     if isinstance(inst, Alloca):
         return True
-    return not inst.has_side_effects()
+    if isinstance(inst, Load):
+        # A dead load is only removable when it provably cannot trap:
+        # reading directly through an alloca or a whole global is always
+        # in bounds, anything else (gep arithmetic, inttoptr, arguments)
+        # might fault and the fault is observable behaviour.
+        return isinstance(inst.pointer, (Alloca, GlobalVariable))
+    return not inst.has_side_effects() and not inst.may_trap()
 
 
 def eliminate_dead_code(fn: Function) -> int:

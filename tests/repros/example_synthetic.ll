@@ -1,0 +1,19 @@
+; difftest mismatch repro
+; origin: docs example (synthetic pass)
+; function: @f
+; guilty pass: synthetic-miscompile
+; vector: (2)
+; expected: ok result=6 steps=3
+; actual (after synthetic-miscompile): ok result=9 steps=3
+; detail: result 6 != 9
+; note: minimized: use-free instruction shaving
+; note: example only: produced by a deliberately broken pass, not a real miscompile
+;
+; IR entering the guilty pass:
+
+define i32 @f(i32 %a) {
+entry:
+  %t = add i32 %a, 1
+  %u = mul i32 %t, 2
+  ret i32 %u
+}

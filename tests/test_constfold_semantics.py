@@ -1,0 +1,103 @@
+"""Constfold's evaluator must agree with the interpreter, bit for bit.
+
+The two integer evaluators used to be separate implementations; a
+divergence (constfold computing in unbounded Python ints, the
+interpreter wrapping to the result width) is a silent miscompile
+factory.  Constfold now delegates to
+:func:`repro.ir.interp.eval_int_binop`, and this table pins the
+agreement -- including the edge operands where wrapping, division
+semantics, and shift-amount handling show: INT_MIN, -1, 0, bits-1,
+bits, and 2*bits.
+"""
+
+import pytest
+
+from repro.ir import BINARY_OPCODES, I8, I16, I32, I64, TrapError
+from repro.ir.interp import (
+    INT_MIN_DIV_WRAPS,
+    SHIFT_AMOUNT_MODULO_BITS,
+    eval_int_binop,
+)
+from repro.transforms.constfold import fold_int_binop
+
+INT_OPCODES = sorted(
+    op for op in BINARY_OPCODES if not op.startswith("f")
+)
+
+WIDTHS = (I8, I16, I32, I64)
+
+
+def edge_operands(ty):
+    bits = ty.bits
+    return (
+        ty.signed_min,
+        -1,
+        0,
+        1,
+        2,
+        bits - 1,
+        bits,
+        2 * bits,
+        ty.signed_max,
+    )
+
+
+@pytest.mark.parametrize("opcode", INT_OPCODES)
+@pytest.mark.parametrize("ty", WIDTHS, ids=lambda t: str(t))
+def test_fold_matches_interpreter(opcode, ty):
+    for a in edge_operands(ty):
+        for b in edge_operands(ty):
+            try:
+                expected = eval_int_binop(opcode, ty.bits, a, b)
+            except TrapError:
+                # A trapping operation must never be folded away.
+                assert fold_int_binop(opcode, ty, a, b) is None
+                continue
+            folded = fold_int_binop(opcode, ty, a, b)
+            assert folded == expected, (
+                f"{opcode} {ty} {a}, {b}: fold={folded} interp={expected}"
+            )
+            # Every folded result must be representable in the type.
+            assert ty.signed_min <= folded <= ty.signed_max
+
+
+def test_add_wraps_to_width():
+    assert eval_int_binop("add", 8, 127, 1) == -128
+    assert eval_int_binop("mul", 8, 16, 16) == 0
+    assert fold_int_binop("add", I8, 127, 1) == -128
+
+
+def test_int_min_div_minus_one_wraps():
+    # The documented contract: INT_MIN / -1 wraps instead of trapping,
+    # in *both* evaluators.
+    assert INT_MIN_DIV_WRAPS
+    for ty in WIDTHS:
+        assert eval_int_binop("sdiv", ty.bits, ty.signed_min, -1) == ty.signed_min
+        assert fold_int_binop("sdiv", ty, ty.signed_min, -1) == ty.signed_min
+        assert eval_int_binop("srem", ty.bits, ty.signed_min, -1) == 0
+        assert fold_int_binop("srem", ty, ty.signed_min, -1) == 0
+
+
+def test_division_by_zero_traps_and_never_folds():
+    for opcode in ("sdiv", "udiv", "srem", "urem"):
+        with pytest.raises(TrapError):
+            eval_int_binop(opcode, 32, 7, 0)
+        assert fold_int_binop(opcode, I32, 7, 0) is None
+
+
+def test_sdiv_truncates_toward_zero():
+    assert eval_int_binop("sdiv", 32, -7, 2) == -3
+    assert eval_int_binop("sdiv", 32, 7, -2) == -3
+    assert eval_int_binop("srem", 32, -7, 2) == -1
+    assert eval_int_binop("srem", 32, 7, -2) == 1
+
+
+def test_shift_amounts_reduce_modulo_width():
+    assert SHIFT_AMOUNT_MODULO_BITS
+    # shl by the width is shl by zero, not zero (or UB).
+    assert eval_int_binop("shl", 32, 5, 32) == 5
+    assert eval_int_binop("shl", 32, 5, 33) == 10
+    assert eval_int_binop("lshr", 8, -1, 8) == -1
+    assert eval_int_binop("ashr", 16, -4, 17) == -2
+    assert fold_int_binop("shl", I32, 5, 32) == 5
+    assert fold_int_binop("shl", I16, 1, 100) == 16  # 100 % 16 == 4

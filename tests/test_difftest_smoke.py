@@ -1,0 +1,32 @@
+"""Tier-1 differential-testing smoke: a bounded fuzzing campaign.
+
+200 fuzzed functions, fixed seed, three vectors each, through the full
+cleanup + reroll + RoLAG pipeline.  This is the standing guard against
+miscompiles; the heavyweight campaigns run via ``repro difftest``.
+Budgeted to stay well under ten seconds.
+"""
+
+import time
+
+import pytest
+
+from repro.difftest import run_difftest
+
+SMOKE_SEED = 0
+SMOKE_COUNT = 200
+
+
+@pytest.mark.difftest
+def test_smoke_campaign_finds_no_mismatches():
+    start = time.monotonic()
+    report = run_difftest(seed=SMOKE_SEED, count=SMOKE_COUNT)
+    elapsed = time.monotonic() - start
+
+    assert report.ok, report.summary()
+    assert report.mismatches == []
+    assert report.unexplained == []
+    # The campaign genuinely exercises the transform under test ...
+    assert report.rolled_loops > 0
+    # ... and the trap-preservation half of the oracle.
+    assert report.trap_cases > 0
+    assert elapsed < 10.0, f"smoke campaign took {elapsed:.1f}s"

@@ -266,3 +266,21 @@ class TestParallelIdentity:
         assert [r.stable_dict() for r in warm.results] == [
             r.stable_dict() for r in pooled.results
         ]
+
+
+def test_cold_import_of_driver_package():
+    # ``repro.driver`` and ``repro.bench`` import each other; each must
+    # still import cleanly into a fresh interpreter in either order
+    # (this regressed silently: only bench-first ever ran in-process).
+    import subprocess
+    import sys
+
+    for first in ("repro.driver", "repro.bench"):
+        proc = subprocess.run(
+            [sys.executable, "-c", f"import {first}; import repro.cli"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
