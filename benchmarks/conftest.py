@@ -13,6 +13,29 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 CACHE_DIR = os.path.join(os.path.dirname(__file__), ".rolag-cache")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-quick",
+        action="store_true",
+        default=False,
+        help="shrink long benchmark workloads (the compiled-eval suite) "
+        "to smoke-test sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_quick(request):
+    """True when ``--bench-quick`` (or ``ROLAG_BENCH_QUICK=1``) is set.
+
+    Exhibits with long-running sweeps consult this so a CI smoke can
+    exercise them without paying full workload sizes; the saved
+    results always record the effective sizes.
+    """
+    if os.environ.get("ROLAG_BENCH_QUICK", "") not in ("", "0"):
+        return True
+    return bool(request.config.getoption("--bench-quick"))
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     os.makedirs(RESULTS_DIR, exist_ok=True)

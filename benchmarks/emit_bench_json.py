@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Emit the machine-readable evaluator-backend benchmark payload.
+
+A thin command-line wrapper over :func:`repro.bench.run_perf_suite`
+for CI and trend tracking: runs the ``bench_ext_compiled_eval``
+workloads directly (no pytest session needed) and writes
+``BENCH_compiled_eval.json`` plus the human-readable
+``results/ext_compiled_eval.txt``.
+
+Not collected by pytest (the filename matches neither ``test_*`` nor
+``bench_*``); the pytest exhibit lives in
+``benchmarks/bench_ext_compiled_eval.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench_json.py [--quick]
+    PYTHONPATH=src python benchmarks/emit_bench_json.py --count 2000 \
+        --json BENCH_compiled_eval.json --text results/ext_compiled_eval.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.bench.perfsuite import render_perf_suite, run_perf_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--count", type=int, default=2000, help="difftest campaign size"
+    )
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", default="BENCH_compiled_eval.json")
+    parser.add_argument("--text", default="results/ext_compiled_eval.txt")
+    args = parser.parse_args(argv)
+
+    results = run_perf_suite(
+        seed=args.seed, difftest_count=args.count, quick=args.quick
+    )
+    text = render_perf_suite(results)
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.makedirs(os.path.dirname(args.text) or ".", exist_ok=True)
+    with open(args.text, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(text)
+    print(f"; json written: {args.json}")
+    print(f"; text written: {args.text}")
+
+    campaign = results["difftest_campaign"]
+    ok = (
+        campaign["interp"]["mismatches"] == 0
+        and campaign["compiled"]["mismatches"] == 0
+        and results["parity"]["mismatches"] == 0
+        and results["tsvc_dynamic"]["steps_equal"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,13 @@ from __future__ import annotations
 import statistics
 from collections import Counter
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from ..analysis.costmodel import CodeSizeCostModel
 from ..driver import DriverStats, FunctionJob, optimize_functions
 from ..ir import parse_module, print_module
-from ..ir.interp import Machine
+from ..ir.compile_eval import make_machine
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..rolag import RolagConfig, roll_loops_in_module
@@ -258,8 +259,10 @@ class TsvcExperiment:
         return sum(1 for r in self.results if r.rolag_rolled)
 
 
-def _run_kernel_dynamic(module: Module, name: str) -> int:
-    machine = Machine(module)
+def _run_kernel_dynamic(
+    module: Module, name: str, evaluator: str = "interp"
+) -> int:
+    machine = make_machine(module, evaluator)
     tsvc.init_machine(machine)
     machine.call(module.get_function(name), [])
     return machine.steps
@@ -273,6 +276,7 @@ def run_tsvc_experiment(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    evaluator: str = "interp",
 ) -> TsvcExperiment:
     """Fig. 17/18 (and V-D with ``measure_dynamic``): the TSVC study.
 
@@ -281,6 +285,11 @@ def run_tsvc_experiment(
     reroll baseline and RoLAG on independent fresh parses -- exactly the
     three-module protocol the serial harness used.  ``jobs`` and
     ``cache_dir`` behave as in :func:`run_angha_experiment`.
+
+    ``evaluator`` picks the backend for the dynamic-step measurements
+    (step counts are backend-independent; only wall time changes), and
+    that wall time is booked into the report's ``eval`` phase timer so
+    overhead studies can separate rolling cost from evaluation cost.
     """
     config = config or RolagConfig(fast_math=True)
     names = list(kernels or tsvc.kernel_names())
@@ -308,9 +317,17 @@ def run_tsvc_experiment(
 
         steps_base = steps_rolag = 0
         if measure_dynamic:
-            steps_base = _run_kernel_dynamic(parse_module(job.ir_text), r.name)
+            eval_start = perf_counter()
+            steps_base = _run_kernel_dynamic(
+                parse_module(job.ir_text), r.name, evaluator
+            )
             steps_rolag = _run_kernel_dynamic(
-                parse_module(r.optimized_ir), r.name
+                parse_module(r.optimized_ir), r.name, evaluator
+            )
+            report.stats.phase_seconds["eval"] = (
+                report.stats.phase_seconds.get("eval", 0.0)
+                + perf_counter()
+                - eval_start
             )
 
         results.append(

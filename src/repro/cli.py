@@ -8,6 +8,7 @@ Usage::
     python -m repro a.c b.c c.ll --roll --jobs 4 --cache-dir .rolag-cache
     python -m repro a.c b.c --roll --check-semantics
     python -m repro difftest --seed 0 --count 2000
+    python -m repro bench --quick
 
 Input ending in ``.ll`` is parsed as IR text; anything else goes
 through the mini-C frontend (with the standard -Os-style cleanups
@@ -22,6 +23,10 @@ under ``--cache-dir`` unless ``--no-cache`` is given.
 fuzzed IR functions through the full pipeline, observed against the
 reference interpreter, mismatches bisected to the guilty pass and
 minimized (see ``docs/difftest.md``).
+
+``repro bench`` times the compiled evaluator against the interpreter
+on the difftest/oracle/TSVC workloads and writes
+``BENCH_compiled_eval.json`` (see ``repro.bench.perfsuite``).
 """
 
 from __future__ import annotations
@@ -34,7 +39,14 @@ from .bench.objsize import measure_module, reduction_percent
 from .bench.reporting import format_table
 from .driver import FunctionJob, optimize_functions
 from .frontend import compile_c
-from .ir import Machine, Module, parse_module, print_module, verify_module
+from .ir import (
+    EVALUATOR_CHOICES,
+    Module,
+    make_machine,
+    parse_module,
+    print_module,
+    verify_module,
+)
 from .rolag import RolagConfig, RolagStats, roll_loops_in_module
 from .transforms import reroll_loops, unroll_loops
 
@@ -132,6 +144,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="batch mode: differentially test every transformed module "
         "against its input with the difftest oracle",
     )
+    parser.add_argument(
+        "--evaluator",
+        choices=EVALUATOR_CHOICES,
+        default="interp",
+        help="execution backend for --run and the semantics oracle "
+        "(default: interp; 'compiled' lowers functions to closures once "
+        "and runs them without per-instruction dispatch)",
+    )
     return parser
 
 
@@ -185,11 +205,83 @@ def build_difftest_parser() -> argparse.ArgumentParser:
         help="write minimized mismatch repros (.ll) into DIR",
     )
     parser.add_argument(
+        "--evaluator",
+        choices=EVALUATOR_CHOICES,
+        default="interp",
+        help="execution backend for every observation (default: interp)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the progress line",
     )
     return parser
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    """The ``repro bench`` subcommand's interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the evaluator-backend performance suite "
+        "(compiled vs. interpreted) and write machine-readable JSON.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=2000,
+        help="difftest campaign size (default 2000)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink every workload for a fast smoke run",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="BENCH_compiled_eval.json",
+        help="where to write the JSON payload "
+        "(default BENCH_compiled_eval.json)",
+    )
+    parser.add_argument(
+        "--text",
+        metavar="PATH",
+        default=None,
+        help="also write the human-readable report to PATH",
+    )
+    return parser
+
+
+def run_bench_command(argv: List[str]) -> int:
+    """``repro bench ...``: measure both backends, write JSON (+ text)."""
+    import json
+
+    from .bench.perfsuite import render_perf_suite, run_perf_suite
+
+    args = build_bench_parser().parse_args(argv)
+    results = run_perf_suite(
+        seed=args.seed, difftest_count=args.count, quick=args.quick
+    )
+    with open(args.json, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    text = render_perf_suite(results)
+    print(text)
+    print(f"; json written: {args.json}")
+    if args.text:
+        with open(args.text, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"; text written: {args.text}")
+    failed = (
+        results["difftest_campaign"]["interp"]["mismatches"]
+        or results["difftest_campaign"]["compiled"]["mismatches"]
+        or results["parity"]["mismatches"]
+        or not results["tsvc_dynamic"]["steps_equal"]
+    )
+    return 1 if failed else 0
 
 
 def run_difftest_command(argv: List[str]) -> int:
@@ -218,6 +310,7 @@ def run_difftest_command(argv: List[str]) -> int:
         step_limit=args.step_limit or DEFAULT_STEP_LIMIT,
         repro_dir=args.repro_dir,
         progress=progress,
+        evaluator=args.evaluator,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -298,6 +391,7 @@ def run_batch(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         check_semantics=args.check_semantics,
+        evaluator=args.evaluator,
     )
     rows = []
     for path, result in zip(args.input, report.results):
@@ -343,6 +437,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "difftest":
         return run_difftest_command(argv[1:])
+    if argv and argv[0] == "bench":
+        return run_bench_command(argv[1:])
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
@@ -394,7 +490,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         original = load_module(args.input[0], optimize=not args.no_opt)
         seed = zlib.crc32(print_module(original).encode("utf-8")) & 0x7FFFFFFF
-        ok, details = check_module_semantics(original, module, seed=seed)
+        ok, details = check_module_semantics(
+            original, module, seed=seed, evaluator=args.evaluator
+        )
         if ok:
             print("; semantics: ok (differential oracle)")
         else:
@@ -420,7 +518,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.run:
         fn_name, *raw_args = args.run
-        machine = Machine(module)
+        machine = make_machine(module, args.evaluator)
         fn = module.get_function(fn_name)
         if fn is None:
             print(f"error: no function @{fn_name}", file=sys.stderr)

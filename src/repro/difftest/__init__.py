@@ -15,6 +15,9 @@ backed by a machine-checked semantic-equivalence argument.
   name the guilty pass and emits a minimized, parseable IR repro.
 * :mod:`.runner` -- the ``repro difftest`` campaign loop and the
   driver's ``check_semantics=True`` entry point.
+* :mod:`.parity` -- the same fuzzer corpus pointed at the evaluator
+  backends themselves: compiled vs. interpreted observations must be
+  identical, steps included.
 """
 
 from .bisect import MismatchRecord, bisect_pipeline, minimize_record
@@ -25,7 +28,9 @@ from .oracle import (
     make_argument_vectors,
     observe_call,
     oracle_externs,
+    program_for,
 )
+from .parity import check_backend_parity
 from .runner import (
     DifftestReport,
     check_module_semantics,
@@ -40,6 +45,7 @@ __all__ = [
     "MismatchRecord",
     "Observation",
     "bisect_pipeline",
+    "check_backend_parity",
     "check_module_semantics",
     "compare_observations",
     "default_pipeline",
@@ -47,5 +53,6 @@ __all__ = [
     "minimize_record",
     "observe_call",
     "oracle_externs",
+    "program_for",
     "run_difftest",
 ]

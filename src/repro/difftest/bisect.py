@@ -26,6 +26,7 @@ from .oracle import (
     Observation,
     compare_observations,
     observe_call,
+    program_for,
 )
 
 #: A named module transformation, e.g. ``("dce", run_dce_on_module)``.
@@ -81,9 +82,21 @@ def _observe_all(
     fn_name: str,
     vectors: Sequence[ArgumentVector],
     step_limit: int,
+    evaluator: str = "interp",
 ) -> List[Observation]:
+    # One compiled program per snapshot of the module: the bisector
+    # mutates the module between observation rounds, so the cache must
+    # not outlive this call.
+    program = program_for(module, evaluator)
     return [
-        observe_call(module, fn_name, vector, step_limit=step_limit)
+        observe_call(
+            module,
+            fn_name,
+            vector,
+            step_limit=step_limit,
+            evaluator=evaluator,
+            program=program,
+        )
         for vector in vectors
     ]
 
@@ -95,6 +108,7 @@ def bisect_pipeline(
     vectors: Sequence[ArgumentVector],
     step_limit: int = DEFAULT_STEP_LIMIT,
     origin: str = "",
+    evaluator: str = "interp",
 ) -> Optional[MismatchRecord]:
     """Replay ``stages`` over ``ir_text`` and name the first guilty pass.
 
@@ -103,7 +117,9 @@ def bisect_pipeline(
     reported by the caller).
     """
     reference_module = parse_module(ir_text)
-    reference = _observe_all(reference_module, fn_name, vectors, step_limit)
+    reference = _observe_all(
+        reference_module, fn_name, vectors, step_limit, evaluator
+    )
 
     module = parse_module(ir_text)
     for stage_name, apply_stage in stages:
@@ -124,8 +140,17 @@ def bisect_pipeline(
                 actual=Observation(status="trap", trap_kind="invalid-ir"),
                 origin=origin,
             )
+        # Fresh program per stage: the stage just mutated the module.
+        stage_program = program_for(module, evaluator)
         for vector, expected in zip(vectors, reference):
-            actual = observe_call(module, fn_name, vector, step_limit=step_limit)
+            actual = observe_call(
+                module,
+                fn_name,
+                vector,
+                step_limit=step_limit,
+                evaluator=evaluator,
+                program=stage_program,
+            )
             detail = compare_observations(expected, actual)
             if detail is not None:
                 return MismatchRecord(
@@ -148,9 +173,12 @@ def _mismatch_for(
     stages: Sequence[PipelineStage],
     vectors: Sequence[ArgumentVector],
     step_limit: int,
+    evaluator: str = "interp",
 ) -> Optional[MismatchRecord]:
     try:
-        return bisect_pipeline(ir_text, fn_name, stages, vectors, step_limit)
+        return bisect_pipeline(
+            ir_text, fn_name, stages, vectors, step_limit, evaluator=evaluator
+        )
     except Exception:  # malformed candidate: not a usable reduction
         return None
 
@@ -160,6 +188,7 @@ def minimize_record(
     stages: Sequence[PipelineStage],
     step_limit: int = DEFAULT_STEP_LIMIT,
     max_rounds: int = 8,
+    evaluator: str = "interp",
 ) -> MismatchRecord:
     """Shrink the repro while the mismatch persists.
 
@@ -175,7 +204,7 @@ def minimize_record(
     current_text = record.ir_before
 
     reduced = _mismatch_for(
-        current_text, record.fn_name, stages, vectors, step_limit
+        current_text, record.fn_name, stages, vectors, step_limit, evaluator
     )
     if reduced is None:
         return best
@@ -185,7 +214,7 @@ def minimize_record(
 
     for _ in range(max_rounds):
         shrunk = _shrink_once(
-            current_text, record.fn_name, stages, vectors, step_limit
+            current_text, record.fn_name, stages, vectors, step_limit, evaluator
         )
         if shrunk is None:
             break
@@ -205,6 +234,7 @@ def _shrink_once(
     stages: Sequence[PipelineStage],
     vectors: Sequence[ArgumentVector],
     step_limit: int,
+    evaluator: str = "interp",
 ) -> Optional[Tuple[str, MismatchRecord]]:
     """Try deleting one use-free instruction; keep the first that works."""
     module = parse_module(ir_text)
@@ -232,7 +262,7 @@ def _shrink_once(
             continue
         candidate_text = print_module(candidate_module)
         record = _mismatch_for(
-            candidate_text, fn_name, stages, vectors, step_limit
+            candidate_text, fn_name, stages, vectors, step_limit, evaluator
         )
         if record is not None:
             return candidate_text, record

@@ -28,6 +28,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..ir.compile_eval import CompiledProgram, make_machine
 from ..ir.interp import Machine, StepLimitExceeded, TrapError
 from ..ir.module import Function, Module
 from ..ir.types import FloatType, IntType, PointerType
@@ -148,14 +149,36 @@ def _make_handler(name: str, return_type):
     return handler
 
 
+def program_for(module: Module, evaluator: str) -> Optional[CompiledProgram]:
+    """A shareable compilation cache, or ``None`` for the interpreter.
+
+    Pass the result to every :func:`observe_call` against the same
+    (unmutated) module so repeated observations pay lowering once.
+    """
+    if evaluator == "compiled":
+        return CompiledProgram(module)
+    return None
+
+
 def observe_call(
     module: Module,
     fn_name: str,
     vector: ArgumentVector,
     step_limit: int = DEFAULT_STEP_LIMIT,
+    evaluator: str = "interp",
+    program: Optional[CompiledProgram] = None,
 ) -> Observation:
-    """Run ``@fn_name`` on a fresh machine and capture the observation."""
-    machine = Machine(module, step_limit=step_limit)
+    """Run ``@fn_name`` on a fresh machine and capture the observation.
+
+    ``evaluator`` selects the execution backend (see
+    ``repro.ir.compile_eval``); observations are backend-independent
+    and compare equal across evaluators, including ``steps``.
+    ``program`` optionally shares one compiled form across many
+    observations of the same module.
+    """
+    machine = make_machine(
+        module, evaluator, step_limit=step_limit, program=program
+    )
     for name, handler in oracle_externs(module).items():
         machine.register_extern(name, handler)
     fn = module.get_function(fn_name)

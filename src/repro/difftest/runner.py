@@ -33,6 +33,7 @@ from .oracle import (
     compare_observations,
     make_argument_vectors,
     observe_call,
+    program_for,
 )
 
 
@@ -120,12 +121,15 @@ def run_difftest(
     step_limit: int = DEFAULT_STEP_LIMIT,
     repro_dir: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    evaluator: str = "interp",
 ) -> DifftestReport:
     """Fuzz ``count`` functions and differentially test the pipeline.
 
     Each case is printed, reparsed, transformed and observed; the
     reference observation also comes from a reparse so that a
     printer/parser round-trip defect cannot masquerade as a pass bug.
+    ``evaluator`` picks the execution backend for every observation
+    (reference, candidate and the bisector's replays).
     """
     fuzzer = FunctionFuzzer(seed, fuzz_config)
     stages = default_pipeline(config)
@@ -144,8 +148,16 @@ def run_difftest(
         vectors = make_argument_vectors(
             fn, (seed * 1_000_003 + index) & 0x7FFFFFFF, vectors_per_case
         )
+        reference_program = program_for(reference_module, evaluator)
         reference = [
-            observe_call(reference_module, fn_name, v, step_limit=step_limit)
+            observe_call(
+                reference_module,
+                fn_name,
+                v,
+                step_limit=step_limit,
+                evaluator=evaluator,
+                program=reference_program,
+            )
             for v in vectors
         ]
         if any(obs.status == "trap" for obs in reference):
@@ -165,9 +177,17 @@ def run_difftest(
         except VerificationError as error:
             detail = f"pipeline produced invalid IR: {error}"
         if detail is None:
+            # The program compiles the *post-pipeline* IR: built only
+            # after every stage has run and the module is verified.
+            transformed_program = program_for(transformed, evaluator)
             for vector, expected in zip(vectors, reference):
                 actual = observe_call(
-                    transformed, fn_name, vector, step_limit=step_limit
+                    transformed,
+                    fn_name,
+                    vector,
+                    step_limit=step_limit,
+                    evaluator=evaluator,
+                    program=transformed_program,
                 )
                 detail = compare_observations(expected, actual)
                 if detail is not None:
@@ -176,12 +196,18 @@ def run_difftest(
             continue
 
         record = bisect_pipeline(
-            text, fn_name, stages, vectors, step_limit, origin=origin
+            text,
+            fn_name,
+            stages,
+            vectors,
+            step_limit,
+            origin=origin,
+            evaluator=evaluator,
         )
         if record is None:
             report.unexplained.append(f"{origin}: {detail} (did not rebisect)")
             continue
-        record = minimize_record(record, stages, step_limit)
+        record = minimize_record(record, stages, step_limit, evaluator=evaluator)
         record.origin = origin
         report.mismatches.append(record)
         if repro_dir is not None:
@@ -204,6 +230,7 @@ def check_module_semantics(
     seed: int,
     vectors_per_fn: int = 3,
     step_limit: int = 200_000,
+    evaluator: str = "interp",
 ) -> Tuple[bool, List[str]]:
     """Replay a few vectors on both modules; (ok, mismatch details).
 
@@ -212,6 +239,8 @@ def check_module_semantics(
     evidence, not a proof.
     """
     details: List[str] = []
+    original_program = program_for(original, evaluator)
+    transformed_program = program_for(transformed, evaluator)
     for fn in original.functions:
         if fn.is_declaration:
             continue
@@ -224,10 +253,20 @@ def check_module_semantics(
             continue
         for vector in vectors:
             reference = observe_call(
-                original, fn.name, vector, step_limit=step_limit
+                original,
+                fn.name,
+                vector,
+                step_limit=step_limit,
+                evaluator=evaluator,
+                program=original_program,
             )
             candidate = observe_call(
-                transformed, fn.name, vector, step_limit=step_limit
+                transformed,
+                fn.name,
+                vector,
+                step_limit=step_limit,
+                evaluator=evaluator,
+                program=transformed_program,
             )
             detail = compare_observations(reference, candidate)
             if detail is not None:

@@ -6,6 +6,7 @@ A cache entry is keyed by a SHA-256 fingerprint of
   pipeline changes meaning),
 * the :meth:`RolagConfig.fingerprint` of the active config,
 * a fingerprint of the measuring cost model,
+* the semantics-check flag and the oracle's evaluator backend,
 * the target function name, and
 * the function's canonical text (printed IR, or the mini-C source).
 
@@ -28,7 +29,7 @@ from ..rolag.config import RolagConfig
 from .types import FunctionJob, FunctionResult
 
 #: Bump to invalidate every existing cache entry.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def model_fingerprint(model: Optional[CodeSizeCostModel]) -> str:
@@ -45,12 +46,14 @@ def job_key(
     config: RolagConfig,
     measure_model: Optional[CodeSizeCostModel] = None,
     check_semantics: bool = False,
+    evaluator: str = "interp",
 ) -> str:
     """The content-addressed cache key for one job.
 
     ``check_semantics`` participates in the key: a result computed
     without the differential oracle must not satisfy a request that
-    asked for one.
+    asked for one.  So does ``evaluator``: the backend that executed
+    the oracle is part of what the cached verdict attests.
     """
     material = "\n".join(
         [
@@ -58,6 +61,7 @@ def job_key(
             f"config:{config.fingerprint()}",
             f"model:{model_fingerprint(measure_model)}",
             f"semantics:{int(check_semantics)}",
+            f"evaluator:{evaluator}",
             f"target:{job.name}",
             f"format:{job.format}",
             "text:",

@@ -71,13 +71,16 @@ def optimize_one(
     measure_model: Optional[CodeSizeCostModel] = None,
     timed: bool = False,
     check_semantics: bool = False,
+    evaluator: str = "interp",
 ) -> FunctionResult:
     """The per-function pipeline one worker runs for one job.
 
     With ``check_semantics`` set, both transformed modules are
     differentially tested against a fresh copy of the input via the
-    :mod:`repro.difftest` oracle; the verdict and any mismatch details
-    travel back (and into the cache) on the result.
+    :mod:`repro.difftest` oracle (executed by ``evaluator``); the
+    verdict and any mismatch details travel back (and into the cache)
+    on the result.  Oracle time lands in the stats' ``eval`` phase so
+    timed runs show evaluation next to the rolling phases.
     """
     config = config or RolagConfig()
     start = perf_counter()
@@ -101,19 +104,22 @@ def optimize_one(
     semantics_ok: Optional[bool] = None
     semantics_mismatches: List[str] = []
     if check_semantics:
+        eval_start = perf_counter()
         original = _load_module(job)
         # Vector seed derives from the input text, so reruns replay the
         # same vectors and the cache entry stays meaningful.
         vector_seed = zlib.crc32(job.text.encode("utf-8")) & 0x7FFFFFFF
         for label, candidate in (("reroll", llvm_module), ("rolag", module)):
             ok, details = check_module_semantics(
-                original, candidate, seed=vector_seed
+                original, candidate, seed=vector_seed, evaluator=evaluator
             )
             if not ok:
                 semantics_mismatches.extend(
                     f"{label}: {detail}" for detail in details
                 )
         semantics_ok = not semantics_mismatches
+        if timed:
+            stats.add_phase_time("eval", perf_counter() - eval_start)
 
     return FunctionResult(
         name=job.name,
@@ -150,11 +156,13 @@ def _init_worker(
     measure_model: Optional[CodeSizeCostModel],
     timed: bool,
     check_semantics: bool,
+    evaluator: str,
 ) -> None:
     _WORKER_STATE["config"] = config
     _WORKER_STATE["measure_model"] = measure_model
     _WORKER_STATE["timed"] = timed
     _WORKER_STATE["check_semantics"] = check_semantics
+    _WORKER_STATE["evaluator"] = evaluator
 
 
 def _run_job(job: FunctionJob) -> FunctionResult:
@@ -164,6 +172,7 @@ def _run_job(job: FunctionJob) -> FunctionResult:
         measure_model=_WORKER_STATE["measure_model"],
         timed=_WORKER_STATE["timed"],
         check_semantics=_WORKER_STATE["check_semantics"],
+        evaluator=_WORKER_STATE["evaluator"],
     )
 
 
@@ -183,6 +192,7 @@ def optimize_functions(
     chunk_size: Optional[int] = None,
     timed: bool = False,
     check_semantics: bool = False,
+    evaluator: str = "interp",
 ) -> DriverReport:
     """Optimize every job, in parallel and memoized.
 
@@ -194,6 +204,8 @@ def optimize_functions(
     order regardless of completion order.  ``check_semantics`` turns on
     the per-job differential oracle (see :func:`optimize_one`); it is
     part of the cache key, so checked and unchecked results never mix.
+    ``evaluator`` picks the oracle's execution backend and is likewise
+    fingerprinted into the key.
     """
     config = config or RolagConfig()
     workers = default_worker_count() if workers is None else max(1, workers)
@@ -209,7 +221,9 @@ def optimize_functions(
     keys: List[Optional[str]] = [None] * len(jobs)
     for i, job in enumerate(jobs):
         if cache is not None:
-            keys[i] = job_key(job, config, measure_model, check_semantics)
+            keys[i] = job_key(
+                job, config, measure_model, check_semantics, evaluator
+            )
             hit = cache.get(keys[i])
             if hit is not None:
                 results[i] = hit
@@ -222,7 +236,9 @@ def optimize_functions(
         todo = [jobs[i] for i in pending]
         if workers == 1 or len(todo) == 1:
             computed: Iterable[FunctionResult] = (
-                optimize_one(job, config, measure_model, timed, check_semantics)
+                optimize_one(
+                    job, config, measure_model, timed, check_semantics, evaluator
+                )
                 for job in todo
             )
         else:
@@ -231,7 +247,9 @@ def optimize_functions(
             pool = ctx.Pool(
                 processes=min(workers, len(todo)),
                 initializer=_init_worker,
-                initargs=(config, measure_model, timed, check_semantics),
+                initargs=(
+                    config, measure_model, timed, check_semantics, evaluator
+                ),
             )
             try:
                 computed = pool.map(_run_job, todo, chunksize=chunk)

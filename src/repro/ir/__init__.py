@@ -9,6 +9,12 @@ Public surface::
 """
 
 from .builder import IRBuilder
+from .compile_eval import (
+    CompiledMachine,
+    CompiledProgram,
+    EVALUATOR_CHOICES,
+    make_machine,
+)
 from .instructions import (
     Alloca,
     BinaryOp,
@@ -83,15 +89,18 @@ from .verifier import VerificationError, verify_function, verify_module
 __all__ = [
     "Alloca", "Argument", "ArrayType", "BasicBlock", "BinaryOp", "Br",
     "BINARY_OPCODES", "CAST_OPCODES", "COMMUTATIVE_OPCODES",
-    "Call", "Cast", "Constant", "ConstantAggregate", "ConstantFloat",
+    "Call", "Cast", "CompiledMachine", "CompiledProgram", "Constant",
+    "ConstantAggregate", "ConstantFloat",
     "ConstantInt", "ConstantNull", "ConstantZero", "DataLayout",
-    "DEFAULT_LAYOUT", "F32", "F64", "FCmp", "FloatType", "Function",
+    "DEFAULT_LAYOUT", "EVALUATOR_CHOICES", "F32", "F64", "FCmp",
+    "FloatType", "Function",
     "FunctionType", "GetElementPtr", "GlobalVariable", "I1", "I16", "I32",
     "I64", "I8", "ICmp", "IRBuilder", "Instruction", "IntType", "LABEL",
     "Load", "Machine", "Module", "ParseError", "Phi", "PointerType", "Ret",
     "Select", "StepLimitExceeded", "Store", "StructType", "TrapError",
     "Type", "UndefValue", "Unreachable", "VOID", "Value",
-    "VerificationError", "const_float", "const_int", "neutral_element",
+    "VerificationError", "const_float", "const_int", "make_machine",
+    "neutral_element",
     "parse_function", "parse_module", "print_function", "print_module",
     "ptr", "run_function", "types_equivalent", "verify_function",
     "verify_module", "zero_constant_for",

@@ -29,6 +29,7 @@ single source of truth :mod:`repro.transforms.constfold` folds with):
 
 from __future__ import annotations
 
+import math
 import struct
 import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -112,61 +113,204 @@ def _round_float(value: float, bits: int) -> float:
     return value
 
 
+def _int_add(bits: int, a: int, b: int) -> int:
+    return _wrap_signed(a + b, bits)
+
+
+def _int_sub(bits: int, a: int, b: int) -> int:
+    return _wrap_signed(a - b, bits)
+
+
+def _int_mul(bits: int, a: int, b: int) -> int:
+    return _wrap_signed(a * b, bits)
+
+
+def _int_sdiv(bits: int, a: int, b: int) -> int:
+    sa = _wrap_signed(a, bits)
+    sb = _wrap_signed(b, bits)
+    if sb == 0:
+        raise TrapError("sdiv by zero")
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return _wrap_signed(q, bits)  # INT_MIN // -1 wraps to INT_MIN
+
+
+def _int_udiv(bits: int, a: int, b: int) -> int:
+    ub = _as_unsigned(b, bits)
+    if ub == 0:
+        raise TrapError("udiv by zero")
+    return _wrap_signed(_as_unsigned(a, bits) // ub, bits)
+
+
+def _int_srem(bits: int, a: int, b: int) -> int:
+    sa = _wrap_signed(a, bits)
+    sb = _wrap_signed(b, bits)
+    if sb == 0:
+        raise TrapError("srem by zero")
+    r = abs(sa) % abs(sb)
+    return _wrap_signed(-r if sa < 0 else r, bits)
+
+
+def _int_urem(bits: int, a: int, b: int) -> int:
+    ub = _as_unsigned(b, bits)
+    if ub == 0:
+        raise TrapError("urem by zero")
+    return _wrap_signed(_as_unsigned(a, bits) % ub, bits)
+
+
+def _int_and(bits: int, a: int, b: int) -> int:
+    return _wrap_signed(a & b, bits)
+
+
+def _int_or(bits: int, a: int, b: int) -> int:
+    return _wrap_signed(a | b, bits)
+
+
+def _int_xor(bits: int, a: int, b: int) -> int:
+    return _wrap_signed(a ^ b, bits)
+
+
+def _int_shl(bits: int, a: int, b: int) -> int:
+    # The amount reduces from the *unsigned* form: widths need not be
+    # powers of two, so ``b % bits`` alone would disagree for negatives.
+    return _wrap_signed(a << (_as_unsigned(b, bits) % bits), bits)
+
+
+def _int_lshr(bits: int, a: int, b: int) -> int:
+    return _wrap_signed(
+        _as_unsigned(a, bits) >> (_as_unsigned(b, bits) % bits), bits
+    )
+
+
+def _int_ashr(bits: int, a: int, b: int) -> int:
+    return _wrap_signed(
+        _wrap_signed(a, bits) >> (_as_unsigned(b, bits) % bits), bits
+    )
+
+
+#: One implementation per integer opcode, each ``impl(bits, a, b)``.
+#: Callers that execute the same instruction repeatedly (the compiling
+#: evaluator, :meth:`Machine._binop`) pre-bind the entry instead of
+#: re-dispatching on the opcode string every time.
+INT_BINOP_IMPLS: Dict[str, Callable[[int, int, int], int]] = {
+    "add": _int_add,
+    "sub": _int_sub,
+    "mul": _int_mul,
+    "sdiv": _int_sdiv,
+    "udiv": _int_udiv,
+    "srem": _int_srem,
+    "urem": _int_urem,
+    "and": _int_and,
+    "or": _int_or,
+    "xor": _int_xor,
+    "shl": _int_shl,
+    "lshr": _int_lshr,
+    "ashr": _int_ashr,
+}
+
+
 def eval_int_binop(opcode: str, bits: int, a: int, b: int) -> int:
     """Evaluate one integer binary op at ``bits`` width.
 
-    The shared evaluator behind both :meth:`Machine._binop` and the
-    constant folder, so folded constants agree with executed results
-    bit for bit.  Operands may be in signed or unsigned form; the
-    result is wrapped to signed form.  Raises :class:`TrapError` for
-    division/remainder by zero.
+    The shared evaluator behind :meth:`Machine._binop`, the compiling
+    evaluator and the constant folder, so folded constants agree with
+    executed results bit for bit.  Operands may be in signed or
+    unsigned form; the result is wrapped to signed form.  Raises
+    :class:`TrapError` for division/remainder by zero.
     """
-    ua = _as_unsigned(int(a), bits)
-    ub = _as_unsigned(int(b), bits)
-    sa = _wrap_signed(ua, bits)
-    sb = _wrap_signed(ub, bits)
-    if opcode == "add":
-        return _wrap_signed(sa + sb, bits)
-    if opcode == "sub":
-        return _wrap_signed(sa - sb, bits)
-    if opcode == "mul":
-        return _wrap_signed(sa * sb, bits)
-    if opcode == "sdiv":
-        if sb == 0:
-            raise TrapError("sdiv by zero")
-        q = abs(sa) // abs(sb)
-        if (sa < 0) != (sb < 0):
-            q = -q
-        return _wrap_signed(q, bits)  # INT_MIN // -1 wraps to INT_MIN
-    if opcode == "udiv":
-        if ub == 0:
-            raise TrapError("udiv by zero")
-        return _wrap_signed(ua // ub, bits)
-    if opcode == "srem":
-        if sb == 0:
-            raise TrapError("srem by zero")
-        r = abs(sa) % abs(sb)
-        return _wrap_signed(-r if sa < 0 else r, bits)
-    if opcode == "urem":
-        if ub == 0:
-            raise TrapError("urem by zero")
-        return _wrap_signed(ua % ub, bits)
-    if opcode == "and":
-        return _wrap_signed(ua & ub, bits)
-    if opcode == "or":
-        return _wrap_signed(ua | ub, bits)
-    if opcode == "xor":
-        return _wrap_signed(ua ^ ub, bits)
-    if opcode == "shl":
-        return _wrap_signed(ua << (ub % bits), bits)
-    if opcode == "lshr":
-        return _wrap_signed(ua >> (ub % bits), bits)
-    if opcode == "ashr":
-        return _wrap_signed(sa >> (ub % bits), bits)
-    raise TrapError(f"bad int opcode {opcode}")
+    impl = INT_BINOP_IMPLS.get(opcode)
+    if impl is None:
+        raise TrapError(f"bad int opcode {opcode}")
+    return impl(bits, int(a), int(b))
+
+
+def _float_add(bits: int, a: float, b: float) -> float:
+    return _round_float(a + b, bits)
+
+
+def _float_sub(bits: int, a: float, b: float) -> float:
+    return _round_float(a - b, bits)
+
+
+def _float_mul(bits: int, a: float, b: float) -> float:
+    return _round_float(a * b, bits)
+
+
+def _float_div(bits: int, a: float, b: float) -> float:
+    if b == 0.0:
+        result = (
+            float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+        )
+    else:
+        result = a / b
+    return _round_float(result, bits)
+
+
+def _float_rem(bits: int, a: float, b: float) -> float:
+    return _round_float(math.fmod(a, b) if b != 0.0 else float("nan"), bits)
+
+
+#: One implementation per float opcode, each ``impl(bits, a, b)``.
+FLOAT_BINOP_IMPLS: Dict[str, Callable[[int, float, float], float]] = {
+    "fadd": _float_add,
+    "fsub": _float_sub,
+    "fmul": _float_mul,
+    "fdiv": _float_div,
+    "frem": _float_rem,
+}
 
 
 ExternHandler = Callable[["Machine", Sequence[object]], object]
+
+
+def constant_value(value: Value, machine: "Machine") -> object:
+    """Evaluate a non-SSA operand: constant, global or function address.
+
+    The single operand-materialization helper shared by the tree-walking
+    interpreter (:meth:`Machine._eval`) and the compiling evaluator
+    (:mod:`repro.ir.compile_eval`), which resolves these once per
+    machine instead of once per use.
+    """
+    if isinstance(value, ConstantInt):
+        return value.value
+    if isinstance(value, ConstantFloat):
+        return value.value
+    if isinstance(value, (ConstantNull, UndefValue)):
+        return 0
+    if isinstance(value, Function):
+        return value._interp_address  # type: ignore[attr-defined]
+    if isinstance(value, GlobalVariable):
+        return machine.global_addresses[value.name]
+    raise TrapError(f"cannot evaluate {value!r}")
+
+
+#: Sentinel for "this phi has no incoming value for that predecessor"
+#: inside a cached phi row (``None`` would be ambiguous with a missing
+#: row).
+_NO_INCOMING = object()
+
+
+class _BlockPlan:
+    """Per-block execution plan: everything ``Machine.call`` would
+    otherwise re-derive on every entry of the block.
+
+    ``phi_rows`` caches, per predecessor, the tuple of incoming values
+    aligned with ``phis`` (built lazily the first time the edge is
+    taken).
+    """
+
+    __slots__ = ("key", "phis", "phi_rows", "body")
+
+    def __init__(self, fn: Function, block: BasicBlock) -> None:
+        self.key = (fn.name, block.name)
+        self.phis = tuple(block.phis())
+        self.phi_rows: Dict[Optional[int], Tuple[object, ...]] = {}
+        self.body = tuple(block.instructions[block.first_non_phi_index():])
+
+
+def _build_function_plan(fn: Function) -> Dict[int, _BlockPlan]:
+    return {id(block): _BlockPlan(fn, block) for block in fn.blocks}
 
 
 class Machine:
@@ -192,6 +336,12 @@ class Machine:
         self.instruction_hook = None
         self.global_addresses: Dict[str, int] = {}
         self._function_addresses: Dict[int, Function] = {}
+        #: Per-function execution plans (phi/body scans hoisted out of
+        #: the per-call loop).  Keyed by function identity: machines are
+        #: built per execution, so a module mutated *after* machine
+        #: construction needs a fresh machine -- which every caller in
+        #: the repository already creates.
+        self._plans: Dict[int, Dict[int, _BlockPlan]] = {}
         self._allocate_globals()
 
     # ----- memory ----------------------------------------------------------
@@ -249,12 +399,40 @@ class Machine:
     # ----- globals ----------------------------------------------------------
 
     def _allocate_globals(self) -> None:
+        # Initializers never change after construction (passes only
+        # *append* globals), so the packed bytes are cached on the
+        # module -- keyed by layout and the global-name list so an
+        # appended global recomputes -- and every later machine
+        # replays them with one write per global.
+        cache_key = (
+            id(self.layout),
+            tuple(gv.name for gv in self.module.globals),
+        )
+        cached = getattr(self.module, "_interp_global_images", None)
+        images = cached[1] if cached is not None and cached[0] == cache_key else None
         for gv in self.module.globals:
             size = self.layout.size_of(gv.value_type)
             addr = self.alloc(size, self.layout.align_of(gv.value_type))
             self.global_addresses[gv.name] = addr
-            if gv.initializer is not None:
-                self._write_initializer(addr, gv.value_type, gv.initializer)
+            if gv.initializer is None:
+                continue
+            if images is not None:
+                image = images.get(gv.name)
+                if image is not None:
+                    self.write_bytes(addr, image)
+                continue
+            self._write_initializer(addr, gv.value_type, gv.initializer)
+        if images is None:
+            fresh: Dict[str, bytes] = {}
+            for gv in self.module.globals:
+                if gv.initializer is None:
+                    continue
+                addr = self.global_addresses[gv.name]
+                size = self.layout.size_of(gv.value_type)
+                raw = self.read_bytes(addr, size)
+                if any(raw):
+                    fresh[gv.name] = bytes(raw)
+            self.module._interp_global_images = (cache_key, fresh)
         next_fn_addr = 8
         for fn in self.module.functions:
             self._function_addresses[next_fn_addr] = fn
@@ -334,18 +512,31 @@ class Machine:
         for formal, actual in zip(fn.arguments, args):
             env[id(formal)] = actual
 
+        plan = self._plans.get(id(fn))
+        if plan is None:
+            plan = self._plans[id(fn)] = _build_function_plan(fn)
+        block_counts = self.block_counts
+
         block = fn.entry
         prev_block: Optional[BasicBlock] = None
         while True:
-            key = (fn.name, block.name)
-            self.block_counts[key] = self.block_counts.get(key, 0) + 1
+            bp = plan[id(block)]
+            key = bp.key
+            block_counts[key] = block_counts.get(key, 0) + 1
             # Evaluate phis atomically with respect to each other.
-            phis = block.phis()
+            phis = bp.phis
             if phis:
+                row_key = id(prev_block) if prev_block is not None else None
+                row = bp.phi_rows.get(row_key)
+                if row is None:
+                    incomings = [phi.incoming_for(prev_block) for phi in phis]
+                    row = tuple(
+                        _NO_INCOMING if v is None else v for v in incomings
+                    )
+                    bp.phi_rows[row_key] = row
                 phi_values = []
-                for phi in phis:
-                    incoming = phi.incoming_for(prev_block)
-                    if incoming is None:
+                for phi, incoming in zip(phis, row):
+                    if incoming is _NO_INCOMING:
                         raise TrapError(
                             f"phi {phi.short_name()} has no incoming for "
                             f"%{prev_block.name if prev_block else '<entry>'}"
@@ -355,7 +546,7 @@ class Machine:
                 for phi, value in zip(phis, phi_values):
                     env[id(phi)] = value
 
-            for inst in block.instructions[block.first_non_phi_index():]:
+            for inst in bp.body:
                 self._tick(inst)
                 if isinstance(inst, Ret):
                     if inst.return_value is None:
@@ -386,21 +577,15 @@ class Machine:
             self.instruction_hook(inst)
 
     def _eval(self, value: Value, env: Dict[int, object]) -> object:
-        if isinstance(value, ConstantInt):
-            return value.value
-        if isinstance(value, ConstantFloat):
-            return value.value
-        if isinstance(value, (ConstantNull, UndefValue)):
-            return 0
-        if isinstance(value, Function):
-            return value._interp_address  # type: ignore[attr-defined]
-        if isinstance(value, GlobalVariable):
-            return self.global_addresses[value.name]
+        # SSA operands first: they are the hot case in any loop body.
         if isinstance(value, (Instruction, Argument)):
-            if id(value) not in env:
-                raise TrapError(f"use of undefined value {value.short_name()}")
-            return env[id(value)]
-        raise TrapError(f"cannot evaluate {value!r}")
+            try:
+                return env[id(value)]
+            except KeyError:
+                raise TrapError(
+                    f"use of undefined value {value.short_name()}"
+                ) from None
+        return constant_value(value, self)
 
     def _execute(self, inst: Instruction, env: Dict[int, object]) -> object:
         if isinstance(inst, BinaryOp):
@@ -444,25 +629,10 @@ class Machine:
         if isinstance(ty, IntType):
             return eval_int_binop(opcode, ty.bits, int(a), int(b))
         if isinstance(ty, FloatType):
-            fa, fb = float(a), float(b)
-            if opcode == "fadd":
-                result = fa + fb
-            elif opcode == "fsub":
-                result = fa - fb
-            elif opcode == "fmul":
-                result = fa * fb
-            elif opcode == "fdiv":
-                if fb == 0.0:
-                    result = float("inf") if fa > 0 else float("-inf") if fa < 0 else float("nan")
-                else:
-                    result = fa / fb
-            elif opcode == "frem":
-                import math
-
-                result = math.fmod(fa, fb) if fb != 0.0 else float("nan")
-            else:
+            impl = FLOAT_BINOP_IMPLS.get(opcode)
+            if impl is None:
                 raise TrapError(f"bad float opcode {opcode}")
-            return _round_float(result, ty.bits)
+            return impl(ty.bits, float(a), float(b))
         raise TrapError(f"binary op on {ty}")
 
     def _icmp(self, inst: ICmp, env: Dict[int, object]) -> int:
@@ -590,9 +760,21 @@ def run_function(
     args: Sequence[object] = (),
     externs: Optional[Dict[str, ExternHandler]] = None,
     step_limit: int = 5_000_000,
+    evaluator: str = "interp",
 ) -> Tuple[object, Machine]:
-    """Convenience wrapper: build a machine, run ``@name``, return both."""
-    machine = Machine(module, step_limit=step_limit)
+    """Convenience wrapper: build a machine, run ``@name``, return both.
+
+    ``evaluator`` selects the backend: ``"interp"`` (this module's
+    tree-walking reference machine) or ``"compiled"``
+    (:mod:`repro.ir.compile_eval`'s closure-compiling machine).  Both
+    satisfy the same semantics contract (``docs/architecture.md``).
+    """
+    if evaluator == "interp":
+        machine = Machine(module, step_limit=step_limit)
+    else:
+        from .compile_eval import make_machine
+
+        machine = make_machine(module, evaluator, step_limit=step_limit)
     for extern_name, handler in (externs or {}).items():
         machine.register_extern(extern_name, handler)
     fn = module.get_function(name)

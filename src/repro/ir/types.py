@@ -351,37 +351,63 @@ class DataLayout:
     POINTER_SIZE = 8
 
     def __init__(self) -> None:
-        # Layout queries are hot (every alias/dependence check); cache
-        # struct layouts keyed on identity + field count (field count
-        # changes when a forward-declared struct receives its body).
+        # Layout queries are hot (every alias/dependence check, every
+        # machine's global allocation); cache struct layouts keyed on
+        # identity + field count (field count changes when a
+        # forward-declared struct receives its body), and size/align
+        # for struct-free types keyed on identity alone -- those are
+        # interned and immutable, so the answer never changes.  The
+        # intern table keeps the keyed objects alive, so ids are
+        # never reused.
         self._struct_cache: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {}
+        self._size_cache: Dict[int, int] = {}
+        self._align_cache: Dict[int, int] = {}
+
+    @staticmethod
+    def _contains_struct(ty: Type) -> bool:
+        while ty.is_array:
+            ty = ty.element
+        return ty.is_struct
 
     def size_of(self, ty: Type) -> int:
         """Allocated size of ``ty`` in bytes (including padding)."""
+        cached = self._size_cache.get(id(ty))
+        if cached is not None:
+            return cached
         if ty.is_integer:
-            return max(1, (ty.bits + 7) // 8)
-        if ty.is_float:
-            return ty.bits // 8
-        if ty.is_pointer:
-            return self.POINTER_SIZE
-        if ty.is_array:
-            return ty.count * self.size_of(ty.element)
-        if ty.is_struct:
+            size = max(1, (ty.bits + 7) // 8)
+        elif ty.is_float:
+            size = ty.bits // 8
+        elif ty.is_pointer:
+            size = self.POINTER_SIZE
+        elif ty.is_array:
+            size = ty.count * self.size_of(ty.element)
+        elif ty.is_struct:
             size, _ = self._struct_layout(ty)
-            return size
-        raise ValueError(f"type {ty} has no size")
+        else:
+            raise ValueError(f"type {ty} has no size")
+        if not self._contains_struct(ty):
+            self._size_cache[id(ty)] = size
+        return size
 
     def align_of(self, ty: Type) -> int:
         """ABI alignment of ``ty`` in bytes."""
+        cached = self._align_cache.get(id(ty))
+        if cached is not None:
+            return cached
         if ty.is_integer or ty.is_float:
-            return min(8, self.size_of(ty))
-        if ty.is_pointer:
-            return self.POINTER_SIZE
-        if ty.is_array:
-            return self.align_of(ty.element)
-        if ty.is_struct:
-            return max((self.align_of(f) for f in ty.fields), default=1)
-        raise ValueError(f"type {ty} has no alignment")
+            align = min(8, self.size_of(ty))
+        elif ty.is_pointer:
+            align = self.POINTER_SIZE
+        elif ty.is_array:
+            align = self.align_of(ty.element)
+        elif ty.is_struct:
+            align = max((self.align_of(f) for f in ty.fields), default=1)
+        else:
+            raise ValueError(f"type {ty} has no alignment")
+        if not self._contains_struct(ty):
+            self._align_cache[id(ty)] = align
+        return align
 
     def _struct_layout(self, ty: StructType) -> Tuple[int, Tuple[int, ...]]:
         key = (id(ty), len(ty.fields))

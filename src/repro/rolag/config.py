@@ -8,7 +8,17 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 #: The pipeline phases the optional wall-time counters distinguish.
-PHASE_NAMES: Tuple[str, ...] = ("seeds", "alignment", "scheduling", "codegen")
+#: ``eval`` is credited outside the rolling pipeline proper: callers
+#: that execute code on the rolled output (the driver's semantics
+#: oracle, the harness' dynamic-step measurements) book that wall time
+#: here so guided-rolling overhead studies see evaluation cost too.
+PHASE_NAMES: Tuple[str, ...] = (
+    "seeds",
+    "alignment",
+    "scheduling",
+    "codegen",
+    "eval",
+)
 
 
 @dataclass

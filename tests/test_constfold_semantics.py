@@ -12,11 +12,13 @@ bits, and 2*bits.
 
 import pytest
 
-from repro.ir import BINARY_OPCODES, I8, I16, I32, I64, TrapError
+from repro.ir import BINARY_OPCODES, I8, I16, I32, I64, TrapError, parse_module
+from repro.ir.compile_eval import EVALUATOR_CHOICES
 from repro.ir.interp import (
     INT_MIN_DIV_WRAPS,
     SHIFT_AMOUNT_MODULO_BITS,
     eval_int_binop,
+    run_function,
 )
 from repro.transforms.constfold import fold_int_binop
 
@@ -59,6 +61,40 @@ def test_fold_matches_interpreter(opcode, ty):
             )
             # Every folded result must be representable in the type.
             assert ty.signed_min <= folded <= ty.signed_max
+
+
+@pytest.mark.parametrize("evaluator", EVALUATOR_CHOICES)
+@pytest.mark.parametrize("opcode", INT_OPCODES)
+@pytest.mark.parametrize("ty", WIDTHS, ids=lambda t: str(t))
+def test_evaluators_match_binop_table(opcode, ty, evaluator):
+    """Executing ``%r = <op> %a, %b`` agrees with the table, per backend.
+
+    The table pins fold-vs-interp above; this pins what the machines
+    actually *execute* -- including the compiled backend's pre-bound
+    binop closures -- to the very same edge operands.
+    """
+    module = parse_module(
+        f"""
+define {ty} @f({ty} %a, {ty} %b) {{
+entry:
+  %r = {opcode} {ty} %a, %b
+  ret {ty} %r
+}}
+"""
+    )
+    for a in edge_operands(ty):
+        for b in edge_operands(ty):
+            try:
+                expected = eval_int_binop(opcode, ty.bits, a, b)
+            except TrapError:
+                with pytest.raises(TrapError):
+                    run_function(module, "f", (a, b), evaluator=evaluator)
+                continue
+            result, _ = run_function(module, "f", (a, b), evaluator=evaluator)
+            assert result == expected, (
+                f"{evaluator}: {opcode} {ty} {a}, {b}: "
+                f"got={result} table={expected}"
+            )
 
 
 def test_add_wraps_to_width():
