@@ -94,6 +94,10 @@ def run_angha_experiment(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    deadline: Optional[float] = None,
+    retries: int = 1,
+    quarantine_file: Optional[str] = None,
+    fault_plan: Optional[str] = None,
 ) -> AnghaExperiment:
     """Fig. 15/16: per-function reductions over the synthetic corpus.
 
@@ -123,7 +127,14 @@ def run_angha_experiment(
         cache_dir=cache_dir,
         use_cache=use_cache,
         measure_model=measure_model,
+        deadline=deadline,
+        retries=retries,
+        quarantine_file=quarantine_file,
+        fault_plan=fault_plan,
     )
+    # Degraded results (crash/timeout/quarantine under a deadline or a
+    # fault plan) carry no measurements; keep them out of the exhibit
+    # aggregates -- the failure counters on ``stats`` tell the story.
     results = [
         AnghaFunctionResult(
             r.name,
@@ -134,6 +145,7 @@ def run_angha_experiment(
             r.llvm_rolled,
         )
         for r in report.results
+        if not r.failed
     ]
     node_counts: Counter = Counter()
     for r in report.results:
@@ -277,6 +289,10 @@ def run_tsvc_experiment(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     evaluator: str = "interp",
+    deadline: Optional[float] = None,
+    retries: int = 1,
+    quarantine_file: Optional[str] = None,
+    fault_plan: Optional[str] = None,
 ) -> TsvcExperiment:
     """Fig. 17/18 (and V-D with ``measure_dynamic``): the TSVC study.
 
@@ -306,11 +322,18 @@ def run_tsvc_experiment(
         workers=jobs,
         cache_dir=cache_dir,
         use_cache=use_cache,
+        deadline=deadline,
+        retries=retries,
+        quarantine_file=quarantine_file,
+        fault_plan=fault_plan,
     )
 
     results: List[TsvcKernelResult] = []
     node_counts: Counter = Counter()
     for job, r in zip(fjobs, report.results):
+        if r.failed:
+            # No measurements to aggregate; the stats counters record it.
+            continue
         node_counts.update(r.node_counts)
         oracle_module = tsvc.build_kernel(r.name)
         oracle_size = function_size(oracle_module.get_function(r.name))

@@ -7,8 +7,11 @@ Usage::
     python -m repro input.c  --roll --loop-aware --run main 1 2
     python -m repro a.c b.c c.ll --roll --jobs 4 --cache-dir .rolag-cache
     python -m repro a.c b.c --roll --check-semantics
+    python -m repro a.c b.c --roll --deadline 5 --retries 2 \
+        --quarantine-file .rolag-quarantine.json
     python -m repro difftest --seed 0 --count 2000
     python -m repro bench --quick
+    python -m repro chaos --seed 0 --rounds 4
 
 Input ending in ``.ll`` is parsed as IR text; anything else goes
 through the mini-C frontend (with the standard -Os-style cleanups
@@ -152,6 +155,48 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "(default: interp; 'compiled' lowers functions to closures once "
         "and runs them without per-instruction dispatch)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="batch mode: wall-clock budget per function; overruns "
+        "become structured timeout results instead of stalling the run",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="batch mode: extra attempts for a crashed/timed-out "
+        "function before it degrades to an error result (default 1)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="batch mode: base delay between retry attempts, doubled "
+        "per attempt (default 0.05)",
+    )
+    parser.add_argument(
+        "--quarantine-file",
+        metavar="PATH",
+        help="batch mode: persist failure counts to PATH and skip "
+        "functions that repeatedly crashed or hung in earlier runs",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+        "'driver.worker.start:raise@3;cache.read:corrupt' or "
+        "'@plan.json' (testing aid; see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--serial-fallback",
+        action="store_true",
+        help="batch mode: if the worker pool keeps dying, finish the "
+        "remaining functions in-process instead of abandoning them",
+    )
     return parser
 
 
@@ -215,7 +260,75 @@ def build_difftest_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the progress line",
     )
+    parser.add_argument(
+        "--case-deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per case; overruns are recorded as "
+        "structured errors instead of stalling the campaign",
+    )
     return parser
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """The ``repro chaos`` subcommand's interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Chaos campaign: run a synthetic corpus through the "
+        "batch driver under seeded randomized fault plans and check the "
+        "resilience invariants (see docs/robustness.md).",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=12,
+        help="synthetic corpus size per round (default 12)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=4,
+        help="fault-plan rounds, the first always fault-free (default 4)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="driver worker processes (default 2)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=5.0,
+        help="per-function wall-clock budget in seconds (default 5)",
+    )
+    parser.add_argument(
+        "--base-dir",
+        metavar="DIR",
+        help="keep the campaign's cache and quarantine file under DIR "
+        "(default: a discarded temporary directory)",
+    )
+    return parser
+
+
+def run_chaos_command(argv: List[str]) -> int:
+    """``repro chaos ...``: exit 1 when a resilience invariant breaks."""
+    from .faultinject.chaos import run_chaos
+
+    args = build_chaos_parser().parse_args(argv)
+    report = run_chaos(
+        seed=args.seed,
+        job_count=args.jobs,
+        rounds=args.rounds,
+        workers=args.workers,
+        deadline=args.deadline,
+        base_dir=args.base_dir,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -311,6 +424,7 @@ def run_difftest_command(argv: List[str]) -> int:
         repro_dir=args.repro_dir,
         progress=progress,
         evaluator=args.evaluator,
+        case_deadline=args.case_deadline,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -371,15 +485,23 @@ def run_batch(args: argparse.Namespace) -> int:
         for path in args.input:
             with open(path) as fh:
                 text = fh.read()
+            # ``name`` must stay None (it selects the function to
+            # measure); the path rides along as metadata so quarantine
+            # entries identify the input, not a placeholder.
+            source = (("source", path),)
             if path.endswith(".ll"):
-                jobs.append(FunctionJob(name=None, ir_text=text))
+                jobs.append(FunctionJob(name=None, ir_text=text, metadata=source))
             elif args.no_opt:
                 # The worker frontend always runs the cleanup pipeline;
                 # honour --no-opt by compiling here and shipping IR.
                 module = compile_c(text, module_name=path, optimize=False)
-                jobs.append(FunctionJob(name=None, ir_text=print_module(module)))
+                jobs.append(
+                    FunctionJob(
+                        name=None, ir_text=print_module(module), metadata=source
+                    )
+                )
             else:
-                jobs.append(FunctionJob(name=None, c_source=text))
+                jobs.append(FunctionJob(name=None, c_source=text, metadata=source))
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -392,19 +514,32 @@ def run_batch(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         check_semantics=args.check_semantics,
         evaluator=args.evaluator,
+        deadline=args.deadline,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        quarantine_file=args.quarantine_file,
+        fault_plan=args.fault_plan,
+        serial_fallback=args.serial_fallback,
     )
     rows = []
     for path, result in zip(args.input, report.results):
+        if result.failed:
+            status = result.error_kind.upper()
+        else:
+            status = "hit" if result.cache_hit else "miss"
         row = [
             path,
             result.size_before,
             result.rolag_size,
             f"{reduction_percent(result.size_before, result.rolag_size):.1f}%",
             result.rolag_rolled,
-            "hit" if result.cache_hit else "miss",
+            status,
         ]
         if args.check_semantics:
-            row.append("ok" if result.semantics_ok else "MISMATCH")
+            if result.failed:
+                row.append("-")
+            else:
+                row.append("ok" if result.semantics_ok else "MISMATCH")
         rows.append(tuple(row))
     headers = ["Input", "Before(B)", "After(B)", "Reduction", "Rolled", "Cache"]
     if args.check_semantics:
@@ -416,6 +551,30 @@ def run_batch(args: argparse.Namespace) -> int:
         f"cache hits: {stats.cache_hits}, misses: {stats.cache_misses}, "
         f"{stats.wall_seconds:.2f}s"
     )
+    if (
+        stats.failed
+        or stats.retried
+        or stats.cache_corrupt
+        or stats.pool_respawns
+    ):
+        print(
+            f"; failures: {stats.crashed} crashed, "
+            f"{stats.timed_out} timed out, "
+            f"{stats.quarantined} quarantined | retried: {stats.retried}, "
+            f"pool respawns: {stats.pool_respawns}, "
+            f"corrupt cache entries: {stats.cache_corrupt}"
+        )
+    failed_results = [
+        (path, result)
+        for path, result in zip(args.input, report.results)
+        if result.failed
+    ]
+    for path, result in failed_results:
+        print(
+            f"; FAILED {path}: [{result.error_kind}] {result.error} "
+            f"(attempts: {result.attempts})",
+            file=sys.stderr,
+        )
     if args.stats:
         total_rolled = sum(r.rolag_rolled for r in report.results)
         attempts = sum(r.attempted for r in report.results)
@@ -428,7 +587,7 @@ def run_batch(args: argparse.Namespace) -> int:
                 failures += 1
         if failures:
             return 1
-    return 0
+    return 1 if failed_results else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -439,6 +598,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_difftest_command(argv[1:])
     if argv and argv[0] == "bench":
         return run_bench_command(argv[1:])
+    if argv and argv[0] == "chaos":
+        return run_chaos_command(argv[1:])
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..faultinject import DeadlineExceeded
 from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
@@ -124,9 +125,11 @@ def bisect_pipeline(
     module = parse_module(ir_text)
     for stage_name, apply_stage in stages:
         before_text = print_module(module)
-        apply_stage(module)
         try:
+            apply_stage(module)
             verify_module(module)
+        except DeadlineExceeded:
+            raise
         except VerificationError as error:
             # A pass that corrupts the IR is guilty by definition.
             return MismatchRecord(
@@ -138,6 +141,20 @@ def bisect_pipeline(
                 ir_after=print_module(module),
                 expected=reference[0],
                 actual=Observation(status="trap", trap_kind="invalid-ir"),
+                origin=origin,
+            )
+        except Exception as error:
+            # So is a pass that raises outright (including injected
+            # faults): name it instead of surfacing a bare traceback.
+            return MismatchRecord(
+                fn_name=fn_name,
+                stage=stage_name,
+                vector=vectors[0],
+                detail=f"stage raised: {type(error).__name__}: {error}",
+                ir_before=before_text,
+                ir_after=print_module(module),
+                expected=reference[0],
+                actual=Observation(status="trap", trap_kind="stage-error"),
                 origin=origin,
             )
         # Fresh program per stage: the stage just mutated the module.

@@ -28,6 +28,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faultinject import fire
 from ..ir.compile_eval import CompiledProgram, make_machine
 from ..ir.interp import Machine, StepLimitExceeded, TrapError
 from ..ir.module import Function, Module
@@ -176,6 +177,7 @@ def observe_call(
     ``program`` optionally shares one compiled form across many
     observations of the same module.
     """
+    fire("difftest.observe")
     machine = make_machine(
         module, evaluator, step_limit=step_limit, program=program
     )

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
-from ..ir.verifier import VerificationError, verify_module
+from ..ir.verifier import verify_module
 from ..rolag.config import RolagConfig
 from .fuzzer import FunctionFuzzer, FuzzConfig
 from .oracle import (
@@ -84,9 +84,10 @@ def check_backend_parity(
                 for _stage_name, apply_stage in default_pipeline(config):
                     apply_stage(transformed)
                 verify_module(transformed)
-            except VerificationError:
-                # A pipeline bug is the difftest campaign's finding,
-                # not a backend divergence; skip the variant.
+            except Exception:
+                # A pipeline bug (invalid IR or a raising pass) is the
+                # difftest campaign's finding, not a backend
+                # divergence; skip the variant.
                 pass
             else:
                 variants.append(("transformed", transformed))
@@ -96,19 +97,38 @@ def check_backend_parity(
             fn, (seed * 1_000_003 + index) & 0x7FFFFFFF, vectors_per_case
         )
         for variant_name, variant in variants:
-            program = program_for(variant, "compiled")
+            try:
+                program = program_for(variant, "compiled")
+            except Exception as error:
+                mismatches.append(
+                    f"seed={seed} index={index} {variant_name} "
+                    f"@{fn_name}: compiled backend failed to build: "
+                    f"{type(error).__name__}: {error}"
+                )
+                continue
             for vector in vectors:
-                reference = observe_call(
-                    variant, fn_name, vector, step_limit=step_limit
-                )
-                candidate = observe_call(
-                    variant,
-                    fn_name,
-                    vector,
-                    step_limit=step_limit,
-                    evaluator="compiled",
-                    program=program,
-                )
+                try:
+                    reference = observe_call(
+                        variant, fn_name, vector, step_limit=step_limit
+                    )
+                    candidate = observe_call(
+                        variant,
+                        fn_name,
+                        vector,
+                        step_limit=step_limit,
+                        evaluator="compiled",
+                        program=program,
+                    )
+                except Exception as error:
+                    # An evaluator that raises (backend bug or injected
+                    # fault) is itself a parity finding: report it per
+                    # vector, structurally, and keep going.
+                    mismatches.append(
+                        f"seed={seed} index={index} {variant_name} "
+                        f"@{fn_name} {vector.describe()}: evaluator "
+                        f"error: {type(error).__name__}: {error}"
+                    )
+                    continue
                 if reference != candidate:
                     mismatches.append(
                         f"seed={seed} index={index} {variant_name} "

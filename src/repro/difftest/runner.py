@@ -19,6 +19,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..faultinject import DeadlineExceeded, deadline_scope
 from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
@@ -79,6 +80,10 @@ class DifftestReport:
     #: End-to-end divergences that did not reproduce under per-pass
     #: replay -- a sign of nondeterminism, never acceptable.
     unexplained: List[str] = field(default_factory=list)
+    #: Cases the campaign could not complete: a pipeline stage or the
+    #: evaluator raised, or the per-case deadline expired.  Structured
+    #: (origin + exception) instead of a traceback taking the run down.
+    errors: List[str] = field(default_factory=list)
     trap_cases: int = 0
     timeout_cases: int = 0
     rolled_loops: int = 0
@@ -86,7 +91,11 @@ class DifftestReport:
 
     @property
     def ok(self) -> bool:
-        return not self.mismatches and not self.unexplained
+        return (
+            not self.mismatches
+            and not self.unexplained
+            and not self.errors
+        )
 
     def summary(self) -> str:
         lines = [
@@ -96,7 +105,8 @@ class DifftestReport:
             f"  cases observing a trap: {self.trap_cases}",
             f"  inconclusive (timeout) observations: {self.timeout_cases}",
             f"  mismatches: {len(self.mismatches)}"
-            f" | unexplained: {len(self.unexplained)}",
+            f" | unexplained: {len(self.unexplained)}"
+            f" | errors: {len(self.errors)}",
         ]
         for record in self.mismatches:
             lines.append(
@@ -105,6 +115,8 @@ class DifftestReport:
             )
         for note in self.unexplained:
             lines.append(f"  UNEXPLAINED {note}")
+        for note in self.errors:
+            lines.append(f"  ERROR {note}")
         for path in self.repro_paths:
             lines.append(f"  repro written: {path}")
         if self.ok:
@@ -122,6 +134,7 @@ def run_difftest(
     repro_dir: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     evaluator: str = "interp",
+    case_deadline: Optional[float] = None,
 ) -> DifftestReport:
     """Fuzz ``count`` functions and differentially test the pipeline.
 
@@ -130,6 +143,12 @@ def run_difftest(
     printer/parser round-trip defect cannot masquerade as a pass bug.
     ``evaluator`` picks the execution backend for every observation
     (reference, candidate and the bisector's replays).
+
+    One broken case never aborts the campaign: a pipeline stage or
+    evaluator that raises -- including faults injected through
+    ``repro.faultinject`` -- and a case that overruns ``case_deadline``
+    are recorded as structured entries in
+    :attr:`DifftestReport.errors` and the campaign moves on.
     """
     fuzzer = FunctionFuzzer(seed, fuzz_config)
     stages = default_pipeline(config)
@@ -142,85 +161,113 @@ def run_difftest(
         module, fn_name = fuzzer.build(index)
         text = print_module(module)
         origin = f"fuzz seed={seed} index={index}"
-
-        reference_module = parse_module(text)
-        fn = reference_module.get_function(fn_name)
-        vectors = make_argument_vectors(
-            fn, (seed * 1_000_003 + index) & 0x7FFFFFFF, vectors_per_case
-        )
-        reference_program = program_for(reference_module, evaluator)
-        reference = [
-            observe_call(
-                reference_module,
-                fn_name,
-                v,
-                step_limit=step_limit,
-                evaluator=evaluator,
-                program=reference_program,
-            )
-            for v in vectors
-        ]
-        if any(obs.status == "trap" for obs in reference):
-            report.trap_cases += 1
-        report.timeout_cases += sum(
-            1 for obs in reference if obs.status == "timeout"
-        )
-
-        transformed = parse_module(text)
-        detail: Optional[str] = None
         try:
-            for stage_name, apply_stage in stages:
-                changed = apply_stage(transformed)
-                if stage_name == "rolag":
-                    report.rolled_loops += int(changed or 0)
-            verify_module(transformed)
-        except VerificationError as error:
-            detail = f"pipeline produced invalid IR: {error}"
-        if detail is None:
-            # The program compiles the *post-pipeline* IR: built only
-            # after every stage has run and the module is verified.
-            transformed_program = program_for(transformed, evaluator)
-            for vector, expected in zip(vectors, reference):
-                actual = observe_call(
-                    transformed,
-                    fn_name,
-                    vector,
-                    step_limit=step_limit,
-                    evaluator=evaluator,
-                    program=transformed_program,
+            with deadline_scope(case_deadline):
+                _run_difftest_case(
+                    report, stages, text, fn_name, origin, seed, index,
+                    vectors_per_case, step_limit, repro_dir, evaluator,
                 )
-                detail = compare_observations(expected, actual)
-                if detail is not None:
-                    break
-        if detail is None:
-            continue
-
-        record = bisect_pipeline(
-            text,
-            fn_name,
-            stages,
-            vectors,
-            step_limit,
-            origin=origin,
-            evaluator=evaluator,
-        )
-        if record is None:
-            report.unexplained.append(f"{origin}: {detail} (did not rebisect)")
-            continue
-        record = minimize_record(record, stages, step_limit, evaluator=evaluator)
-        record.origin = origin
-        report.mismatches.append(record)
-        if repro_dir is not None:
-            os.makedirs(repro_dir, exist_ok=True)
-            path = os.path.join(
-                repro_dir, f"case{index:05d}_{record.stage}.ll"
+        except DeadlineExceeded as error:
+            report.errors.append(f"{origin}: case deadline exceeded "
+                                 f"({error})")
+        except Exception as error:
+            report.errors.append(
+                f"{origin}: {type(error).__name__}: {error}"
             )
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(record.to_text())
-            report.repro_paths.append(path)
     if progress is not None:
         progress(count, count)
     return report
+
+
+def _run_difftest_case(
+    report: DifftestReport,
+    stages: List[PipelineStage],
+    text: str,
+    fn_name: str,
+    origin: str,
+    seed: int,
+    index: int,
+    vectors_per_case: int,
+    step_limit: int,
+    repro_dir: Optional[str],
+    evaluator: str,
+) -> None:
+    """One campaign case: observe, transform, compare, bisect."""
+    reference_module = parse_module(text)
+    fn = reference_module.get_function(fn_name)
+    vectors = make_argument_vectors(
+        fn, (seed * 1_000_003 + index) & 0x7FFFFFFF, vectors_per_case
+    )
+    reference_program = program_for(reference_module, evaluator)
+    reference = [
+        observe_call(
+            reference_module,
+            fn_name,
+            v,
+            step_limit=step_limit,
+            evaluator=evaluator,
+            program=reference_program,
+        )
+        for v in vectors
+    ]
+    if any(obs.status == "trap" for obs in reference):
+        report.trap_cases += 1
+    report.timeout_cases += sum(
+        1 for obs in reference if obs.status == "timeout"
+    )
+
+    transformed = parse_module(text)
+    detail: Optional[str] = None
+    try:
+        for stage_name, apply_stage in stages:
+            changed = apply_stage(transformed)
+            if stage_name == "rolag":
+                report.rolled_loops += int(changed or 0)
+        verify_module(transformed)
+    except VerificationError as error:
+        detail = f"pipeline produced invalid IR: {error}"
+    if detail is None:
+        # The program compiles the *post-pipeline* IR: built only
+        # after every stage has run and the module is verified.
+        transformed_program = program_for(transformed, evaluator)
+        for vector, expected in zip(vectors, reference):
+            actual = observe_call(
+                transformed,
+                fn_name,
+                vector,
+                step_limit=step_limit,
+                evaluator=evaluator,
+                program=transformed_program,
+            )
+            detail = compare_observations(expected, actual)
+            if detail is not None:
+                break
+    if detail is None:
+        return
+
+    record = bisect_pipeline(
+        text,
+        fn_name,
+        stages,
+        vectors,
+        step_limit,
+        origin=origin,
+        evaluator=evaluator,
+    )
+    if record is None:
+        report.unexplained.append(f"{origin}: {detail} (did not rebisect)")
+        return
+    record = minimize_record(record, stages, step_limit, evaluator=evaluator)
+    record.origin = origin
+    report.mismatches.append(record)
+    if repro_dir is not None:
+        os.makedirs(repro_dir, exist_ok=True)
+        path = os.path.join(
+            repro_dir, f"case{index:05d}_{record.stage}.ll"
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(record.to_text())
+        report.repro_paths.append(path)
 
 
 def check_module_semantics(
@@ -237,10 +284,23 @@ def check_module_semantics(
     Functions whose signatures the vector generator cannot synthesize
     (exotic parameter types) are skipped -- the check is best-effort
     evidence, not a proof.
+
+    An evaluator that raises (a backend bug, or an injected fault)
+    yields a structured ``evaluator error`` detail for that function
+    rather than a traceback; cooperative deadline signals pass through
+    so the driver can classify the job as a timeout.
     """
     details: List[str] = []
-    original_program = program_for(original, evaluator)
-    transformed_program = program_for(transformed, evaluator)
+    try:
+        original_program = program_for(original, evaluator)
+        transformed_program = program_for(transformed, evaluator)
+    except DeadlineExceeded:
+        raise
+    except Exception as error:
+        return (
+            False,
+            [f"evaluator setup failed: {type(error).__name__}: {error}"],
+        )
     for fn in original.functions:
         if fn.is_declaration:
             continue
@@ -252,22 +312,31 @@ def check_module_semantics(
         except ValueError:
             continue
         for vector in vectors:
-            reference = observe_call(
-                original,
-                fn.name,
-                vector,
-                step_limit=step_limit,
-                evaluator=evaluator,
-                program=original_program,
-            )
-            candidate = observe_call(
-                transformed,
-                fn.name,
-                vector,
-                step_limit=step_limit,
-                evaluator=evaluator,
-                program=transformed_program,
-            )
+            try:
+                reference = observe_call(
+                    original,
+                    fn.name,
+                    vector,
+                    step_limit=step_limit,
+                    evaluator=evaluator,
+                    program=original_program,
+                )
+                candidate = observe_call(
+                    transformed,
+                    fn.name,
+                    vector,
+                    step_limit=step_limit,
+                    evaluator=evaluator,
+                    program=transformed_program,
+                )
+            except DeadlineExceeded:
+                raise
+            except Exception as error:
+                details.append(
+                    f"@{fn.name} {vector.describe()}: evaluator error: "
+                    f"{type(error).__name__}: {error}"
+                )
+                break
             detail = compare_observations(reference, candidate)
             if detail is not None:
                 details.append(f"@{fn.name} {vector.describe()}: {detail}")

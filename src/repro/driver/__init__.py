@@ -1,16 +1,23 @@
-"""Parallel, memoizing per-function optimization driver.
+"""Parallel, memoizing, fault-tolerant per-function optimization driver.
 
 Public surface::
 
     from repro.driver import (
         FunctionJob, FunctionResult, DriverReport, DriverStats,
-        ResultCache, optimize_functions, optimize_one,
+        ResultCache, QuarantineList, quarantine_key,
+        optimize_functions, optimize_one, run_one_guarded,
         default_worker_count,
     )
 """
 
 from .cache import ResultCache, job_key, model_fingerprint
-from .core import default_worker_count, optimize_functions, optimize_one
+from .core import (
+    default_worker_count,
+    optimize_functions,
+    optimize_one,
+    run_one_guarded,
+)
+from .quarantine import QuarantineList, quarantine_key
 from .types import DriverReport, DriverStats, FunctionJob, FunctionResult
 
 __all__ = [
@@ -18,10 +25,13 @@ __all__ = [
     "DriverStats",
     "FunctionJob",
     "FunctionResult",
+    "QuarantineList",
     "ResultCache",
     "default_worker_count",
     "job_key",
     "model_fingerprint",
     "optimize_functions",
     "optimize_one",
+    "quarantine_key",
+    "run_one_guarded",
 ]

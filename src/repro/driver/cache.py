@@ -14,22 +14,35 @@ Equal inputs therefore hit regardless of process, worker count, or
 run order; any config/model/input change misses and recomputes.
 Entries are JSON files sharded two hex characters deep so corpus-sized
 caches do not degenerate into one giant directory.
+
+The cache trusts nothing it reads back.  Each entry is an envelope
+``{"schema": N, "checksum": ..., "result": {...}}``; a read that fails
+to parse, carries the wrong schema, or fails its checksum is treated
+as a *miss*: counted in :attr:`ResultCache.corrupt`, logged, deleted,
+and rewritten when the recomputed result lands.  Reads pass through
+the ``cache.read`` fault-injection site so corruption handling stays
+under test (see ``repro.faultinject``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
-from typing import Optional
+from typing import Dict, Optional
 
 from ..analysis.costmodel import CodeSizeCostModel
+from ..faultinject import corrupt_bytes, fire
 from ..rolag.config import RolagConfig
 from .types import FunctionJob, FunctionResult
 
-#: Bump to invalidate every existing cache entry.
-SCHEMA_VERSION = 3
+log = logging.getLogger(__name__)
+
+#: Bump to invalidate every existing cache entry.  4: entries gained
+#: the self-describing envelope (schema + checksum) around the result.
+SCHEMA_VERSION = 4
 
 
 def model_fingerprint(model: Optional[CodeSizeCostModel]) -> str:
@@ -71,6 +84,12 @@ def job_key(
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+def _payload_checksum(payload: Dict[str, object]) -> str:
+    """Digest of the canonical JSON form of one result payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
 class ResultCache:
     """A directory of memoized :class:`FunctionResult` JSON blobs."""
 
@@ -80,41 +99,91 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Entries present on disk but truncated/corrupt/mis-versioned.
+        self.corrupt = 0
+        #: Writes that failed and were swallowed (lost memo, not result).
+        self.write_errors = 0
 
     def path(self, key: str) -> str:
         """Where the entry for ``key`` lives on disk."""
         return os.path.join(self.cache_dir, key[:2], key + ".json")
 
     def get(self, key: str) -> Optional[FunctionResult]:
-        """The cached result, or ``None`` on miss or unreadable entry."""
+        """The cached result, or ``None`` on miss or unusable entry.
+
+        An entry that exists but cannot be trusted -- unparsable bytes,
+        wrong envelope schema, checksum mismatch, stale result layout,
+        or a fault injected at the ``cache.read`` site -- is deleted and
+        counted as corrupt, so the recomputed result rewrites it.
+        """
+        path = self.path(key)
         try:
-            with open(self.path(key)) as fh:
-                data = json.load(fh)
-        except (OSError, ValueError):
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
             self.misses += 1
             return None
         try:
-            result = FunctionResult.from_json_dict(data)
-        except (KeyError, TypeError):
-            self.misses += 1  # stale layout: treat as a miss
+            raw = corrupt_bytes("cache.read", raw)
+            data = json.loads(raw.decode("utf-8"))
+            if data.get("schema") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"envelope schema {data.get('schema')!r}, "
+                    f"expected {SCHEMA_VERSION}"
+                )
+            payload = data["result"]
+            checksum = _payload_checksum(payload)
+            if data.get("checksum") != checksum:
+                raise ValueError(
+                    f"checksum {data.get('checksum')!r} != {checksum}"
+                )
+            result = FunctionResult.from_json_dict(payload)
+        except Exception as error:
+            # Corrupt-entry path: never let a bad byte on disk take the
+            # run down.  Treat as a miss, drop the entry, recompute.
+            self.corrupt += 1
+            self.misses += 1
+            log.warning("corrupt cache entry %s (%s); treating as miss",
+                        path, error)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         result.cache_hit = True
         return result
 
     def put(self, key: str, result: FunctionResult) -> None:
-        """Persist one result atomically (write-temp then rename)."""
+        """Persist one result atomically (write-temp then rename).
+
+        Write failures are swallowed and counted: a memo the next run
+        will recompute is not worth aborting this run over.
+        """
         path = self.path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), suffix=".tmp"
-        )
+        payload = result.to_json_dict()
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "checksum": _payload_checksum(payload),
+            "result": payload,
+        }
+        tmp = None
         try:
+            fire("cache.write")
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
             with os.fdopen(fd, "w") as fh:
-                json.dump(result.to_json_dict(), fh)
+                json.dump(envelope, fh)
             os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        except Exception as error:
+            self.write_errors += 1
+            log.warning("cache write failed for %s (%s)", path, error)
+            if tmp is not None and os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            return
         self.writes += 1

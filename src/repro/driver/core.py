@@ -1,11 +1,11 @@
-"""The parallel, memoizing optimization driver.
+"""The parallel, memoizing, fault-tolerant optimization driver.
 
 :func:`optimize_functions` fans per-function RoLAG work out over a
-``multiprocessing`` pool.  Each worker receives a picklable
-:class:`FunctionJob` (IR or mini-C text), rebuilds the module in its
-own interpreter, runs the standard measurement pipeline -- size before,
-LLVM-style reroll baseline, RoLAG, verify, size after -- and sends back
-a plain :class:`FunctionResult`.
+process pool.  Each worker receives a picklable :class:`FunctionJob`
+(IR or mini-C text), rebuilds the module in its own interpreter, runs
+the standard measurement pipeline -- size before, LLVM-style reroll
+baseline, RoLAG, verify, size after -- and sends back a plain
+:class:`FunctionResult`.
 
 Scheduling is chunked (one pickle round-trip per chunk, not per
 function) and falls back to a deterministic in-process loop for
@@ -13,24 +13,62 @@ function) and falls back to a deterministic in-process loop for
 cache directory, results are memoized content-addressed (see
 ``cache.py``): a warm rerun of an unchanged corpus resolves entirely
 from disk without touching the pool.
+
+At corpus scale, one pathological function must cost one result, never
+the run.  The resilience contract (see ``docs/robustness.md``):
+
+* every job is guarded in its worker -- an exception or a cooperative
+  :class:`~repro.faultinject.DeadlineExceeded` becomes a structured
+  failure, never a lost batch;
+* ``deadline`` bounds each function's wall clock; hangs that ignore
+  the cooperative checkpoints are killed by the parent watchdog along
+  with their pool, which is respawned (``max_pool_respawns`` times);
+* failed jobs are retried (``retries`` times, exponential backoff) and
+  functions that exhaust their retries are recorded in a persistent
+  quarantine list so later runs skip them outright;
+* a job that still fails degrades gracefully: its
+  :class:`FunctionResult` carries the *original* function text plus a
+  structured ``error``/``error_kind``, and the batch completes;
+* when the pool keeps dying, the driver either falls back to the
+  in-process serial path (``serial_fallback=True``) or abandons the
+  remaining jobs as error results -- it never deadlocks.
+
+Failures are counted on :class:`DriverStats` (``crashed``,
+``timed_out``, ``retried``, ``quarantined``, ``cache_corrupt``, ...)
+and surfaced in the CLI batch summary.  The whole machinery is driven
+through the deterministic fault-injection sites in
+``repro.faultinject`` (``driver.worker.start``, ``driver.worker.roll``,
+``cache.read``, ``cache.write``, ``pipeline.pass``, ...).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import zlib
-from time import perf_counter
-from typing import Iterable, List, Optional, Sequence
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter, sleep
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..analysis.costmodel import CodeSizeCostModel
 from ..difftest.runner import check_module_semantics
+from ..faultinject import (
+    DeadlineExceeded,
+    FaultPlan,
+    active_plan,
+    checkpoint,
+    deadline_scope,
+    fire,
+    install_plan,
+    resolve_plan,
+)
 from ..frontend import compile_c
 from ..ir import parse_module, print_module, verify_module
 from ..ir.module import Module
 from ..rolag import RolagConfig, RolagStats, roll_loops_in_module
 from ..transforms.reroll import reroll_loops
 from .cache import ResultCache, job_key
+from .quarantine import QuarantineList, quarantine_key
 from .types import DriverReport, DriverStats, FunctionJob, FunctionResult
 
 #: Pool sizes beyond this stop paying off for per-function work.
@@ -81,25 +119,33 @@ def optimize_one(
     verdict and any mismatch details travel back (and into the cache)
     on the result.  Oracle time lands in the stats' ``eval`` phase so
     timed runs show evaluation next to the rolling phases.
+
+    The pipeline checkpoints the ambient deadline between stages, so a
+    budgeted run (see :func:`optimize_functions`) bails out of a slow
+    function at the next stage boundary.
     """
     config = config or RolagConfig()
     start = perf_counter()
 
     # Baseline: LLVM-style rerolling on its own fresh copy.
     llvm_module = _load_module(job)
+    checkpoint("load")
     llvm_rolled = sum(
         reroll_loops(f) for f in llvm_module.functions if not f.is_declaration
     )
     verify_module(llvm_module)
     llvm_size = _measure(llvm_module, job.name, measure_model)
+    checkpoint("reroll")
 
     # RoLAG on another fresh copy, measured before and after.
     module = _load_module(job)
     size_before = _measure(module, job.name, measure_model)
     stats = RolagStats(timed=timed)
+    fire("driver.worker.roll")
     rolag_rolled = roll_loops_in_module(module, config=config, stats=stats)
     verify_module(module)
     rolag_size = _measure(module, job.name, measure_model)
+    checkpoint("rolag")
 
     semantics_ok: Optional[bool] = None
     semantics_mismatches: List[str] = []
@@ -117,6 +163,7 @@ def optimize_one(
                 semantics_mismatches.extend(
                     f"{label}: {detail}" for detail in details
                 )
+            checkpoint("eval")
         semantics_ok = not semantics_mismatches
         if timed:
             stats.add_phase_time("eval", perf_counter() - eval_start)
@@ -143,10 +190,78 @@ def optimize_one(
     )
 
 
+# --- failure plumbing -------------------------------------------------------
+
+
+@dataclass
+class _Failure:
+    """Picklable record of one failed attempt (travels pool -> parent)."""
+
+    kind: str  # "crash" | "timeout"
+    message: str
+
+
+#: One worker-side attempt outcome.
+Outcome = Union[FunctionResult, _Failure]
+
+
+def run_one_guarded(
+    job: FunctionJob,
+    config: Optional[RolagConfig] = None,
+    measure_model: Optional[CodeSizeCostModel] = None,
+    timed: bool = False,
+    check_semantics: bool = False,
+    evaluator: str = "interp",
+    deadline: Optional[float] = None,
+) -> Outcome:
+    """One attempt at one job, with crash/timeout containment.
+
+    Runs :func:`optimize_one` under a cooperative deadline; any
+    exception (including injected faults) becomes a :class:`_Failure`
+    instead of propagating, so a worker never loses its whole chunk to
+    one pathological function.  Hard deaths (``os._exit``, segfaults)
+    cannot be caught here and are the parent pool's problem.
+    """
+    try:
+        with deadline_scope(deadline):
+            fire("driver.worker.start")
+            return optimize_one(
+                job, config, measure_model, timed, check_semantics, evaluator
+            )
+    except DeadlineExceeded as error:
+        return _Failure("timeout", str(error))
+    except Exception as error:
+        return _Failure("crash", f"{type(error).__name__}: {error}")
+
+
+def _error_result(
+    job: FunctionJob, kind: str, message: str, attempts: int
+) -> FunctionResult:
+    """Graceful degradation: the original function plus a structured error."""
+    return FunctionResult(
+        name=job.name,
+        metadata=dict(job.metadata),
+        size_before=0,
+        llvm_size=0,
+        rolag_size=0,
+        llvm_rolled=0,
+        rolag_rolled=0,
+        attempted=0,
+        schedule_rejected=0,
+        unprofitable=0,
+        node_counts={},
+        savings=[],
+        optimized_ir=job.text,
+        error=message,
+        error_kind=kind,
+        attempts=attempts,
+    )
+
+
 # --- pool plumbing ----------------------------------------------------------
 #
-# The config/model/timed triple is shipped once per worker through the
-# pool initializer instead of once per job through every pickle.
+# The per-run knobs are shipped once per worker through the pool
+# initializer instead of once per job through every pickle.
 
 _WORKER_STATE: dict = {}
 
@@ -157,28 +272,309 @@ def _init_worker(
     timed: bool,
     check_semantics: bool,
     evaluator: str,
+    deadline: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     _WORKER_STATE["config"] = config
     _WORKER_STATE["measure_model"] = measure_model
     _WORKER_STATE["timed"] = timed
     _WORKER_STATE["check_semantics"] = check_semantics
     _WORKER_STATE["evaluator"] = evaluator
+    _WORKER_STATE["deadline"] = deadline
+    # Fault-plan hit counters are per worker process by design: each
+    # worker unpickles its own zeroed copy.
+    install_plan(fault_plan)
 
 
-def _run_job(job: FunctionJob) -> FunctionResult:
-    return optimize_one(
-        job,
-        config=_WORKER_STATE["config"],
-        measure_model=_WORKER_STATE["measure_model"],
-        timed=_WORKER_STATE["timed"],
-        check_semantics=_WORKER_STATE["check_semantics"],
-        evaluator=_WORKER_STATE["evaluator"],
-    )
+def _run_chunk(jobs: Sequence[FunctionJob]) -> List[Outcome]:
+    """Worker entry point: one guarded attempt per job in the chunk."""
+    return [
+        run_one_guarded(
+            job,
+            config=_WORKER_STATE["config"],
+            measure_model=_WORKER_STATE["measure_model"],
+            timed=_WORKER_STATE["timed"],
+            check_semantics=_WORKER_STATE["check_semantics"],
+            evaluator=_WORKER_STATE["evaluator"],
+            deadline=_WORKER_STATE.get("deadline"),
+        )
+        for job in jobs
+    ]
 
 
 def _default_chunk_size(pending: int, workers: int) -> int:
     # ~4 chunks per worker balances pickle overhead against stragglers.
     return max(1, -(-pending // (workers * 4)))
+
+
+def _attempt_serially(
+    job: FunctionJob,
+    qkey: str,
+    config: Optional[RolagConfig],
+    measure_model: Optional[CodeSizeCostModel],
+    timed: bool,
+    check_semantics: bool,
+    evaluator: str,
+    deadline: Optional[float],
+    retries: int,
+    retry_backoff: float,
+    quarantine: QuarantineList,
+    stats: DriverStats,
+) -> FunctionResult:
+    """The in-process retry loop: attempt, back off, degrade."""
+    attempts = 0
+    while True:
+        attempts += 1
+        outcome = run_one_guarded(
+            job, config, measure_model, timed, check_semantics, evaluator,
+            deadline,
+        )
+        if isinstance(outcome, FunctionResult):
+            outcome.attempts = attempts
+            return outcome
+        quarantine.record_failure(qkey, job.label, outcome.kind, outcome.message)
+        if attempts <= retries:
+            stats.retried += 1
+            if retry_backoff > 0.0:
+                sleep(retry_backoff * (2 ** (attempts - 1)))
+            continue
+        if outcome.kind == "timeout":
+            stats.timed_out += 1
+        else:
+            stats.crashed += 1
+        return _error_result(job, outcome.kind, outcome.message, attempts)
+
+
+def _run_pool(
+    jobs: Sequence[FunctionJob],
+    pending: List[int],
+    config: RolagConfig,
+    measure_model: Optional[CodeSizeCostModel],
+    timed: bool,
+    check_semantics: bool,
+    evaluator: str,
+    deadline: Optional[float],
+    retries: int,
+    retry_backoff: float,
+    quarantine: QuarantineList,
+    qkey: Callable[[int], str],
+    stats: DriverStats,
+    workers: int,
+    chunk_size: Optional[int],
+    plan: Optional[FaultPlan],
+    serial_fallback: bool,
+    max_pool_respawns: int,
+) -> Dict[int, FunctionResult]:
+    """Crash/hang-isolated pool execution with respawn and retry.
+
+    A worker that dies abruptly breaks the whole
+    :class:`~concurrent.futures.ProcessPoolExecutor`; the executor
+    cannot say *which* job killed it, so in-flight chunks are requeued
+    uncharged and the pool is rebuilt -- the respawn budget bounds a
+    poison job that kills every pool it meets.  A chunk observed
+    running past its whole-chunk deadline budget is declared hung
+    (non-cooperative stall): its jobs are charged a timeout, its
+    workers are killed, and the pool is rebuilt.
+    """
+    from concurrent.futures import (
+        FIRST_COMPLETED,
+        ProcessPoolExecutor,
+        wait,
+    )
+    from concurrent.futures.process import BrokenProcessPool
+
+    computed: Dict[int, FunctionResult] = {}
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    not_before: Dict[int, float] = {i: 0.0 for i in pending}
+    queue: deque = deque(pending)
+    respawns = 0
+    poll = 0.1 if deadline is None else max(0.002, min(0.05, deadline / 4.0))
+    chunk = chunk_size or (
+        1
+        if (deadline is not None or plan is not None)
+        else _default_chunk_size(len(pending), workers)
+    )
+
+    def finish_failure(index: int, kind: str, message: str) -> None:
+        attempts[index] += 1
+        quarantine.record_failure(
+            qkey(index), jobs[index].label, kind, message
+        )
+        if attempts[index] <= retries:
+            stats.retried += 1
+            backoff = retry_backoff * (2 ** (attempts[index] - 1))
+            not_before[index] = perf_counter() + backoff
+            queue.append(index)
+            return
+        if kind == "timeout":
+            stats.timed_out += 1
+        else:
+            stats.crashed += 1
+        computed[index] = _error_result(
+            jobs[index], kind, message, attempts[index]
+        )
+
+    def harvest(indices: List[int], outcomes: List[Outcome]) -> None:
+        for index, outcome in zip(indices, outcomes):
+            if isinstance(outcome, FunctionResult):
+                outcome.attempts = attempts[index] + 1
+                computed[index] = outcome
+            else:
+                finish_failure(index, outcome.kind, outcome.message)
+
+    executor: Optional[ProcessPoolExecutor] = None
+    futures: Dict[object, dict] = {}
+
+    def shutdown(kill: bool) -> None:
+        nonlocal executor
+        if executor is None:
+            return
+        if kill:
+            for proc in list(getattr(executor, "_processes", None) or {}
+                             .values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+        try:
+            executor.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:
+            pass
+        executor = None
+
+    def drain_inflight(hung: set) -> None:
+        """Settle every in-flight chunk after a pool teardown."""
+        for future, info in list(futures.items()):
+            if future in hung:
+                for index in info["indices"]:
+                    finish_failure(
+                        index,
+                        "timeout",
+                        f"exceeded the {deadline:.3f}s wall-clock deadline "
+                        "without yielding; worker killed",
+                    )
+            elif future.done():
+                try:
+                    outcomes = future.result(timeout=0)
+                except Exception:
+                    queue.extend(info["indices"])
+                else:
+                    harvest(info["indices"], outcomes)
+            else:
+                queue.extend(info["indices"])
+        futures.clear()
+
+    try:
+        while queue or futures:
+            if executor is None and queue:
+                if respawns > max_pool_respawns:
+                    break  # pool declared unhealthy; drained below
+                executor = ProcessPoolExecutor(
+                    max_workers=min(workers, max(1, len(queue))),
+                    initializer=_init_worker,
+                    initargs=(
+                        config, measure_model, timed, check_semantics,
+                        evaluator, deadline,
+                        plan.fresh() if plan is not None else None,
+                    ),
+                )
+            if executor is not None and queue:
+                now = perf_counter()
+                eligible: List[int] = []
+                waiting: deque = deque()
+                while queue:
+                    index = queue.popleft()
+                    if not_before[index] <= now:
+                        eligible.append(index)
+                    else:
+                        waiting.append(index)
+                queue = waiting
+                for start in range(0, len(eligible), chunk):
+                    indices = eligible[start:start + chunk]
+                    future = executor.submit(
+                        _run_chunk, [jobs[i] for i in indices]
+                    )
+                    futures[future] = {
+                        "indices": indices, "first_running": None
+                    }
+            if not futures:
+                if queue:
+                    sleep(poll)  # every queued job is inside its backoff
+                continue
+
+            done, _ = wait(
+                set(futures), timeout=poll, return_when=FIRST_COMPLETED
+            )
+            now = perf_counter()
+            broken = False
+            for future in done:
+                info = futures.pop(future)
+                try:
+                    outcomes = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    queue.extend(info["indices"])
+                except Exception:
+                    # Executor infrastructure failure: treat like a death.
+                    broken = True
+                    queue.extend(info["indices"])
+                else:
+                    harvest(info["indices"], outcomes)
+            if broken:
+                respawns += 1
+                stats.pool_respawns += 1
+                drain_inflight(hung=set())
+                shutdown(kill=True)
+                continue
+
+            if deadline is not None and executor is not None:
+                hung = set()
+                for future, info in futures.items():
+                    if info["first_running"] is None and future.running():
+                        info["first_running"] = now
+                    if info["first_running"] is None:
+                        continue
+                    budget = (
+                        deadline * len(info["indices"])
+                        + max(4 * poll, 0.05)
+                    )
+                    if now - info["first_running"] > budget:
+                        hung.add(future)
+                if hung:
+                    respawns += 1
+                    stats.pool_respawns += 1
+                    drain_inflight(hung)
+                    shutdown(kill=True)
+    finally:
+        shutdown(kill=bool(futures))
+        futures.clear()
+
+    if queue:
+        # Respawn budget exhausted: the pool is unhealthy.  Either
+        # degrade to the in-process path or abandon the leftovers as
+        # structured errors -- never deadlock.
+        remaining = list(queue)
+        queue.clear()
+        if serial_fallback:
+            stats.serial_fallback = True
+            for index in remaining:
+                computed[index] = _attempt_serially(
+                    jobs[index], qkey(index), config, measure_model,
+                    timed, check_semantics, evaluator, deadline,
+                    retries, retry_backoff, quarantine, stats,
+                )
+        else:
+            for index in remaining:
+                stats.crashed += 1
+                computed[index] = _error_result(
+                    jobs[index],
+                    "pool",
+                    f"worker pool unhealthy after {respawns} respawn(s); "
+                    "job abandoned (enable serial_fallback to retry "
+                    "in-process)",
+                    attempts[index],
+                )
+    return computed
 
 
 def optimize_functions(
@@ -193,8 +589,16 @@ def optimize_functions(
     timed: bool = False,
     check_semantics: bool = False,
     evaluator: str = "interp",
+    deadline: Optional[float] = None,
+    retries: int = 1,
+    retry_backoff: float = 0.05,
+    quarantine_file: Optional[str] = None,
+    quarantine_after: int = 2,
+    fault_plan: Union[None, str, FaultPlan] = None,
+    serial_fallback: bool = False,
+    max_pool_respawns: int = 2,
 ) -> DriverReport:
-    """Optimize every job, in parallel and memoized.
+    """Optimize every job, in parallel, memoized, and fault-tolerant.
 
     ``workers`` defaults to :func:`default_worker_count`; ``workers=1``
     runs serially in-process (bit-identical to the pool path, since
@@ -206,61 +610,92 @@ def optimize_functions(
     part of the cache key, so checked and unchecked results never mix.
     ``evaluator`` picks the oracle's execution backend and is likewise
     fingerprinted into the key.
+
+    Resilience knobs (see the module docstring and
+    ``docs/robustness.md``): ``deadline`` bounds each function's wall
+    clock; failed jobs are retried ``retries`` times with exponential
+    ``retry_backoff``; functions that exhaust their retries are
+    recorded in ``quarantine_file`` and skipped once they accumulate
+    ``quarantine_after`` failed attempts.  ``fault_plan`` (a
+    :class:`~repro.faultinject.FaultPlan`, a spec string, or ``None``
+    to consult ``config.fault_plan`` and then ``ROLAG_FAULT_PLAN``)
+    injects deterministic faults for testing.  Every job always yields
+    a result: on unrecoverable failure, a degraded one carrying the
+    original text and a structured ``error``.
     """
     config = config or RolagConfig()
     workers = default_worker_count() if workers is None else max(1, workers)
     start = perf_counter()
-
-    cache = (
-        ResultCache(cache_dir) if (cache_dir and use_cache) else None
+    plan = resolve_plan(
+        fault_plan if fault_plan is not None else config.fault_plan
     )
+
     stats = DriverStats(jobs=len(jobs), workers=workers)
+    quarantine = QuarantineList(quarantine_file, threshold=quarantine_after)
+    qkey_memo: Dict[int, str] = {}
 
-    results: List[Optional[FunctionResult]] = [None] * len(jobs)
-    pending: List[int] = []
-    keys: List[Optional[str]] = [None] * len(jobs)
-    for i, job in enumerate(jobs):
-        if cache is not None:
-            keys[i] = job_key(
-                job, config, measure_model, check_semantics, evaluator
-            )
-            hit = cache.get(keys[i])
-            if hit is not None:
-                results[i] = hit
-                stats.cache_hits += 1
-                continue
-            stats.cache_misses += 1
-        pending.append(i)
+    def qkey(index: int) -> str:
+        if index not in qkey_memo:
+            qkey_memo[index] = quarantine_key(jobs[index])
+        return qkey_memo[index]
 
-    if pending:
-        todo = [jobs[i] for i in pending]
-        if workers == 1 or len(todo) == 1:
-            computed: Iterable[FunctionResult] = (
-                optimize_one(
-                    job, config, measure_model, timed, check_semantics, evaluator
-                )
-                for job in todo
-            )
-        else:
-            ctx = multiprocessing.get_context()
-            chunk = chunk_size or _default_chunk_size(len(todo), workers)
-            pool = ctx.Pool(
-                processes=min(workers, len(todo)),
-                initializer=_init_worker,
-                initargs=(
-                    config, measure_model, timed, check_semantics, evaluator
-                ),
-            )
-            try:
-                computed = pool.map(_run_job, todo, chunksize=chunk)
-            finally:
-                pool.close()
-                pool.join()
-        for i, result in zip(pending, computed):
-            results[i] = result
+    with active_plan(plan):
+        cache = (
+            ResultCache(cache_dir) if (cache_dir and use_cache) else None
+        )
+        results: List[Optional[FunctionResult]] = [None] * len(jobs)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(jobs)
+        for i, job in enumerate(jobs):
             if cache is not None:
-                cache.put(keys[i], result)
-                stats.cache_writes += 1
+                keys[i] = job_key(
+                    job, config, measure_model, check_semantics, evaluator
+                )
+                hit = cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    stats.cache_hits += 1
+                    continue
+                stats.cache_misses += 1
+            if len(quarantine) and quarantine.is_quarantined(qkey(i)):
+                stats.quarantined += 1
+                results[i] = _error_result(
+                    job, "quarantined", quarantine.describe(qkey(i)),
+                    attempts=0,
+                )
+                continue
+            pending.append(i)
+
+        if pending:
+            if workers == 1 or len(pending) == 1:
+                computed = {
+                    i: _attempt_serially(
+                        jobs[i], qkey(i), config, measure_model, timed,
+                        check_semantics, evaluator, deadline, retries,
+                        retry_backoff, quarantine, stats,
+                    )
+                    for i in pending
+                }
+            else:
+                computed = _run_pool(
+                    jobs, pending, config, measure_model, timed,
+                    check_semantics, evaluator, deadline, retries,
+                    retry_backoff, quarantine, qkey, stats, workers,
+                    chunk_size, plan, serial_fallback, max_pool_respawns,
+                )
+            for i in pending:
+                result = computed[i]
+                results[i] = result
+                # Error results are never cached: transient failures
+                # must not poison warm reruns.
+                if cache is not None and not result.failed:
+                    cache.put(keys[i], result)
+
+        quarantine.save()
+        if cache is not None:
+            stats.cache_writes = cache.writes
+            stats.cache_corrupt = cache.corrupt
+            stats.cache_write_errors = cache.write_errors
 
     final: List[FunctionResult] = [r for r in results if r is not None]
     assert len(final) == len(jobs)

@@ -1,0 +1,126 @@
+"""Persistent quarantine list for repeatedly-failing functions.
+
+Corpus-scale runs contain pathological functions that crash or hang a
+worker every time they are attempted.  Retrying them across runs wastes
+a worker (and, for hard crashes, a whole pool respawn) per run, so the
+driver records every exhausted failure here, keyed by a fingerprint of
+the function *text* (deliberately config-independent: a function that
+kills workers does so regardless of tuning knobs).  Once a function
+accumulates ``threshold`` failed attempts it is quarantined: future
+runs emit an error result for it immediately instead of dispatching it.
+
+The on-disk format is a small JSON document::
+
+    {"schema": 1,
+     "entries": {"<key>": {"name": "...", "failures": 3,
+                            "last_kind": "crash", "last_error": "..."}}}
+
+A missing or unreadable file is treated as an empty list (the
+quarantine layer must itself be corruption-resilient); saving rewrites
+the file atomically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from typing import Dict, Optional
+
+from .types import FunctionJob
+
+log = logging.getLogger(__name__)
+
+#: Bump when the on-disk layout changes meaning.
+SCHEMA_VERSION = 1
+
+
+def quarantine_key(job: FunctionJob) -> str:
+    """Config-independent fingerprint of one job's function text."""
+    material = f"{job.format}:{job.name}\n{job.text}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+
+class QuarantineList:
+    """Failure counts per function, optionally persisted to ``path``."""
+
+    def __init__(self, path: Optional[str], threshold: int = 2) -> None:
+        self.path = path
+        self.threshold = max(1, threshold)
+        self.entries: Dict[str, Dict[str, object]] = {}
+        #: The backing file existed but did not parse.
+        self.corrupt_file = False
+        self._dirty = False
+        if path:
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            entries = data["entries"]
+            if data.get("schema") != SCHEMA_VERSION:
+                raise ValueError(f"schema {data.get('schema')!r}")
+            self.entries = {
+                str(key): dict(value) for key, value in entries.items()
+            }
+        except FileNotFoundError:
+            pass
+        except Exception as error:
+            # A corrupt quarantine file must not take the run down;
+            # start empty and overwrite it on save.
+            self.corrupt_file = True
+            self._dirty = True
+            log.warning("quarantine file %s unreadable (%s); starting empty",
+                        path, error)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def failures(self, key: str) -> int:
+        entry = self.entries.get(key)
+        return int(entry["failures"]) if entry else 0
+
+    def is_quarantined(self, key: str) -> bool:
+        return self.failures(key) >= self.threshold
+
+    def describe(self, key: str) -> str:
+        """Human-readable reason used in quarantined error results."""
+        entry = self.entries.get(key, {})
+        return (
+            f"quarantined after {entry.get('failures', 0)} failed "
+            f"attempt(s); last: {entry.get('last_error', 'unknown')}"
+        )
+
+    def record_failure(
+        self, key: str, name: Optional[str], kind: str, message: str
+    ) -> bool:
+        """Count one failed attempt; True when this crossed the threshold."""
+        entry = self.entries.setdefault(
+            key, {"name": name or "?", "failures": 0}
+        )
+        entry["failures"] = int(entry["failures"]) + 1
+        entry["last_kind"] = kind
+        entry["last_error"] = f"{kind}: {message}"
+        self._dirty = True
+        return int(entry["failures"]) == self.threshold
+
+    def save(self) -> None:
+        """Atomically persist the list (no-op without a path or changes)."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {"schema": SCHEMA_VERSION, "entries": self.entries}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._dirty = False

@@ -41,6 +41,17 @@ class FunctionJob:
         """``"ir"`` or ``"c"``, the input language of :attr:`text`."""
         return "ir" if self.ir_text is not None else "c"
 
+    @property
+    def label(self) -> str:
+        """A human-readable handle for logs and quarantine entries.
+
+        Whole-module jobs (``name=None``) fall back to a ``source``
+        metadata tag (the CLI sets it to the input path).
+        """
+        if self.name:
+            return self.name
+        return dict(self.metadata).get("source", "?")
+
 
 @dataclass
 class FunctionResult:
@@ -76,15 +87,32 @@ class FunctionResult:
     wall_seconds: float = 0.0
     #: Whether this result came out of the memo cache.
     cache_hit: bool = False
+    #: Structured failure message when the pipeline could not finish;
+    #: the result then carries the *original* function text in
+    #: :attr:`optimized_ir` (graceful degradation) and zeroed metrics.
+    error: Optional[str] = None
+    #: Failure class: ``"crash"``, ``"timeout"``, ``"quarantined"`` or
+    #: ``"pool"`` (worker pool unhealthy, job not retried).
+    error_kind: Optional[str] = None
+    #: How many times the driver attempted this job (1 = no retries).
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        """Whether this is a degraded (error-carrying) result."""
+        return self.error is not None
 
     def stable_dict(self) -> Dict[str, object]:
         """The deterministic payload: everything except timings.
 
         A warm-cache rerun must reproduce this dict byte-identically;
-        wall times and the hit flag legitimately differ run to run.
+        wall times, the hit flag and the attempt count legitimately
+        differ run to run.
         """
         data = asdict(self)
-        for volatile in ("phase_seconds", "wall_seconds", "cache_hit"):
+        for volatile in (
+            "phase_seconds", "wall_seconds", "cache_hit", "attempts"
+        ):
             data.pop(volatile)
         return data
 
@@ -105,6 +133,9 @@ class FunctionResult:
         data.setdefault("semantics_mismatches", [])
         data.setdefault("phase_seconds", {})
         data.setdefault("wall_seconds", 0.0)
+        data.setdefault("error", None)
+        data.setdefault("error_kind", None)
+        data.setdefault("attempts", 1)
         return cls(cache_hit=False, **data)
 
 
@@ -120,11 +151,32 @@ class DriverStats:
     wall_seconds: float = 0.0
     #: Sum of the per-function phase timers (timed runs only).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Jobs whose final outcome was a crash-class failure.
+    crashed: int = 0
+    #: Jobs whose final outcome was a deadline timeout.
+    timed_out: int = 0
+    #: Extra attempts scheduled after a failed one.
+    retried: int = 0
+    #: Jobs skipped because the quarantine list already condemned them.
+    quarantined: int = 0
+    #: Cache entries found truncated/corrupt/mis-versioned (now misses).
+    cache_corrupt: int = 0
+    #: Cache write failures swallowed (a lost memo, not a lost result).
+    cache_write_errors: int = 0
+    #: Worker pools torn down and rebuilt after a death or hang.
+    pool_respawns: int = 0
+    #: Whether the run degraded to the in-process serial path.
+    serial_fallback: bool = False
 
     @property
     def executed(self) -> int:
         """Jobs that actually ran (were not served from the cache)."""
         return self.jobs - self.cache_hits
+
+    @property
+    def failed(self) -> int:
+        """Jobs that ended in a degraded (error-carrying) result."""
+        return self.crashed + self.timed_out + self.quarantined
 
 
 @dataclass

@@ -1,0 +1,68 @@
+"""Deterministic fault injection and cooperative deadlines.
+
+Public surface::
+
+    from repro.faultinject import (
+        FaultPlan, FaultSpec, FaultPlanError,
+        InjectedFault, InjectedHang,
+        fire, corrupt_bytes,
+        install_plan, clear_plan, get_active_plan, active_plan,
+        resolve_plan, plan_from_env,
+        Deadline, DeadlineExceeded, deadline_scope,
+        current_deadline, checkpoint,
+    )
+
+The chaos campaign (``repro chaos``) lives in
+``repro.faultinject.chaos`` and is imported lazily: it pulls in the
+driver and corpus generators, which this package must not depend on.
+"""
+
+from .deadline import (
+    Deadline,
+    DeadlineExceeded,
+    checkpoint,
+    current_deadline,
+    deadline_scope,
+)
+from .plan import (
+    ABORT_EXIT_CODE,
+    ACTIONS,
+    ENV_PLAN,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedFault,
+    InjectedHang,
+    active_plan,
+    clear_plan,
+    corrupt_bytes,
+    fire,
+    get_active_plan,
+    install_plan,
+    plan_from_env,
+    resolve_plan,
+)
+
+__all__ = [
+    "ABORT_EXIT_CODE",
+    "ACTIONS",
+    "ENV_PLAN",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedHang",
+    "active_plan",
+    "checkpoint",
+    "clear_plan",
+    "corrupt_bytes",
+    "current_deadline",
+    "deadline_scope",
+    "fire",
+    "get_active_plan",
+    "install_plan",
+    "plan_from_env",
+    "resolve_plan",
+]

@@ -1,0 +1,210 @@
+"""Chaos campaign: hammer the corpus driver with randomized fault plans.
+
+``repro chaos`` runs a small synthetic corpus through
+:func:`repro.driver.optimize_functions` for several rounds, each under
+a different seeded :class:`~repro.faultinject.FaultPlan` (worker
+crashes, cooperative hangs, cache corruption, pass failures), and
+checks the driver's resilience invariants after every round:
+
+* every job yields exactly one result, in order;
+* a failed job degrades gracefully -- original text preserved,
+  ``error_kind`` one of the documented classes;
+* the failure counters on :class:`~repro.driver.DriverStats` agree
+  with the per-result errors;
+* the run terminates (no deadlock, no lost batch).
+
+Round 0 always runs fault-free to warm the shared cache, so later
+rounds exercise the corrupt-entry path against real entries.  The
+quarantine file persists across rounds, so repeat offenders get
+skipped the way they would across real runs.
+
+Everything is derived from ``seed``: the same seed replays the same
+campaign.  This module imports the driver and the corpus generator, so
+it is deliberately *not* re-exported from ``repro.faultinject`` --
+import it as ``repro.faultinject.chaos``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .plan import FaultPlan, FaultSpec
+
+#: (site, eligible actions) the campaign draws from.  ``abort`` is
+#: deliberately absent: the serial path runs jobs in the campaign's own
+#: process, where an injected ``os._exit`` would kill the campaign.
+SITE_ACTIONS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("driver.worker.start", ("raise", "hang")),
+    ("driver.worker.roll", ("raise", "hang")),
+    ("pipeline.pass", ("raise",)),
+    ("cache.read", ("corrupt", "raise")),
+    ("cache.write", ("raise",)),
+)
+
+
+@dataclass
+class ChaosRound:
+    """One round's plan and outcome."""
+
+    index: int
+    plan: str
+    failed: int = 0
+    cache_corrupt: int = 0
+    quarantined: int = 0
+    retried: int = 0
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos campaign."""
+
+    seed: int
+    jobs: int
+    rounds: List[ChaosRound] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(r.violations for r in self.rounds)
+
+    def summary(self) -> str:
+        lines = [f"chaos: {len(self.rounds)} round(s), {self.jobs} job(s), "
+                 f"seed {self.seed}"]
+        for r in self.rounds:
+            plan = r.plan or "(no faults)"
+            lines.append(
+                f"  round {r.index}: plan [{plan}] -> "
+                f"failed {r.failed}, retried {r.retried}, "
+                f"quarantined {r.quarantined}, "
+                f"cache corrupt {r.cache_corrupt}"
+            )
+            for violation in r.violations:
+                lines.append(f"    VIOLATION: {violation}")
+        lines.append(
+            "  OK: all invariants held" if self.ok
+            else "  FAILED: resilience invariants violated"
+        )
+        return "\n".join(lines)
+
+
+def build_chaos_plan(rng: random.Random, job_count: int) -> FaultPlan:
+    """A small randomized-but-seeded plan for one round."""
+    specs: List[FaultSpec] = []
+    for site, actions in rng.sample(SITE_ACTIONS, k=rng.randint(1, 3)):
+        specs.append(
+            FaultSpec(
+                site=site,
+                action=rng.choice(list(actions)),
+                at=rng.randint(1, max(1, job_count)),
+                times=rng.choice([1, 1, 2]),
+            )
+        )
+    return FaultPlan(specs=specs, seed=rng.randint(0, 2**31 - 1))
+
+
+def check_invariants(jobs: Sequence[object], report: object) -> List[str]:
+    """The resilience contract, checked against one driver report."""
+    violations: List[str] = []
+    results = report.results
+    stats = report.stats
+    if len(results) != len(jobs):
+        violations.append(
+            f"{len(jobs)} job(s) in, {len(results)} result(s) out"
+        )
+        return violations
+    failed = 0
+    for job, result in zip(jobs, results):
+        if result.name != job.name:
+            violations.append(
+                f"result order broken: {result.name} for {job.name}"
+            )
+        if result.failed:
+            failed += 1
+            if result.error_kind not in (
+                "crash", "timeout", "quarantined", "pool"
+            ):
+                violations.append(
+                    f"{job.name}: unknown error_kind {result.error_kind!r}"
+                )
+            if result.optimized_ir != job.text:
+                violations.append(
+                    f"{job.name}: degraded result lost the original text"
+                )
+        elif not result.optimized_ir.strip():
+            violations.append(f"{job.name}: successful result carries no IR")
+    if stats.failed != failed:
+        violations.append(
+            f"stats.failed={stats.failed} but {failed} result(s) "
+            "carry errors"
+        )
+    return violations
+
+
+def run_chaos(
+    seed: int = 0,
+    job_count: int = 12,
+    rounds: int = 4,
+    workers: int = 2,
+    deadline: float = 5.0,
+    retries: int = 1,
+    base_dir: Optional[str] = None,
+) -> ChaosReport:
+    """Run the campaign; see the module docstring for the contract.
+
+    ``base_dir`` holds the shared cache and quarantine file; a
+    temporary directory is used (and discarded) when omitted.
+    """
+    import tempfile
+
+    from ..bench import angha
+    from ..driver import FunctionJob, optimize_functions
+
+    jobs = [
+        FunctionJob(
+            name=cs.name, c_source=cs.source,
+            metadata=(("family", cs.family),),
+        )
+        for cs in angha.generate_sources(count=job_count, seed=seed)
+    ]
+    report = ChaosReport(seed=seed, jobs=len(jobs))
+
+    def campaign(root: str) -> None:
+        cache_dir = os.path.join(root, "cache")
+        quarantine_file = os.path.join(root, "quarantine.json")
+        for index in range(rounds):
+            rng = random.Random((seed << 8) ^ index)
+            plan = (
+                FaultPlan(specs=[]) if index == 0
+                else build_chaos_plan(rng, job_count)
+            )
+            outcome = optimize_functions(
+                jobs,
+                workers=workers,
+                cache_dir=cache_dir,
+                deadline=deadline,
+                retries=retries,
+                quarantine_file=quarantine_file,
+                fault_plan=plan,
+            )
+            entry = ChaosRound(index=index, plan=plan.spec_string())
+            entry.failed = outcome.stats.failed
+            entry.retried = outcome.stats.retried
+            entry.quarantined = outcome.stats.quarantined
+            entry.cache_corrupt = outcome.stats.cache_corrupt
+            entry.violations = check_invariants(jobs, outcome)
+            if index == 0 and outcome.stats.failed:
+                entry.violations.append(
+                    "fault-free round reported failures"
+                )
+            report.rounds.append(entry)
+
+    if base_dir is not None:
+        os.makedirs(base_dir, exist_ok=True)
+        campaign(base_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="rolag-chaos-") as root:
+            campaign(root)
+    return report

@@ -1,0 +1,102 @@
+"""Cooperative wall-clock deadlines with a virtual-time escape hatch.
+
+A :class:`Deadline` is a budget in seconds measured from construction.
+Real elapsed time comes from ``perf_counter``; :meth:`Deadline.advance`
+adds *virtual* seconds on top, which is how injected hang faults say
+"this would have stalled for an hour" without sleeping -- resilience
+tests stay millisecond-fast and fully deterministic.
+
+Deadlines are cooperative: long-running code calls :func:`checkpoint`
+at natural boundaries (between pipeline stages, per pass, per basic
+block) and the innermost active deadline raises
+:class:`DeadlineExceeded` once its budget is gone.  Non-cooperative
+stalls (a worker stuck in native code, a genuine hang) are the parent
+driver's problem and are handled by its pool watchdog (see
+``repro.driver.core``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, List, Optional
+
+
+class DeadlineExceeded(Exception):
+    """A cooperative wall-clock (or virtual) budget ran out."""
+
+    def __init__(
+        self, message: str, elapsed: float = 0.0, budget: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class Deadline:
+    """A seconds budget, consumed by real time plus injected stalls."""
+
+    __slots__ = ("budget", "virtual", "_start")
+
+    def __init__(self, budget: float) -> None:
+        self.budget = budget
+        #: Injected (virtual) seconds consumed so far.
+        self.virtual = 0.0
+        self._start = perf_counter()
+
+    def elapsed(self) -> float:
+        """Real seconds since construction plus virtual stall time."""
+        return (perf_counter() - self._start) + self.virtual
+
+    def remaining(self) -> float:
+        """Seconds left before the budget is gone (may be negative)."""
+        return self.budget - self.elapsed()
+
+    def advance(self, seconds: float) -> None:
+        """Consume virtual time: how injected hangs stall without sleeping."""
+        self.virtual += seconds
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired():
+            elapsed = self.elapsed()
+            suffix = f" at {where}" if where else ""
+            flavour = "virtual " if self.virtual else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget:.3f}s exceeded{suffix} "
+                f"({flavour}elapsed {elapsed:.3f}s)",
+                elapsed=elapsed,
+                budget=self.budget,
+            )
+
+
+#: Innermost-last stack of active deadlines for this process.
+_STACK: List[Deadline] = []
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost active deadline, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def deadline_scope(budget: Optional[float]) -> Iterator[Optional[Deadline]]:
+    """Run the block under a deadline (``None`` budget is a no-op)."""
+    if budget is None:
+        yield None
+        return
+    deadline = Deadline(budget)
+    _STACK.append(deadline)
+    try:
+        yield deadline
+    finally:
+        _STACK.pop()
+
+
+def checkpoint(where: str = "") -> None:
+    """Cooperative check: raise if the innermost deadline expired."""
+    if _STACK:
+        _STACK[-1].check(where)

@@ -1,0 +1,422 @@
+"""Deterministic, seedable fault injection: named sites + a FaultPlan.
+
+Production code is instrumented with *sites* -- cheap named
+checkpoints such as ``fire("driver.worker.roll")`` or
+``data = corrupt_bytes("cache.read", data)``.  With no plan installed a
+site costs one global read and returns; with a plan installed, each
+visit bumps a per-site hit counter and every matching
+:class:`FaultSpec` decides (deterministically, from the plan seed and
+the hit number) whether to act:
+
+``raise``
+    raise :class:`InjectedFault` -- simulates a worker crash.
+``hang``
+    consume *virtual* seconds on the ambient deadline (see
+    ``deadline.py``) -- simulates a stall without sleeping.  With no
+    active deadline the hang raises :class:`InjectedHang` so nothing
+    ever actually blocks a test.
+``sleep``
+    a real ``time.sleep`` -- simulates a *non-cooperative* stall the
+    parent watchdog must kill (use sparingly; tests prefer ``hang``).
+``abort``
+    ``os._exit`` -- simulates a hard worker death (segfault, OOM kill).
+``corrupt``
+    deterministically mangle the bytes passing through the site --
+    simulates on-disk corruption.
+
+Plans parse from a compact spec string (also accepted via the
+``ROLAG_FAULT_PLAN`` environment variable or an ``@file.json``
+reference)::
+
+    SITE:ACTION[@N][xM][%P][~S] [; more clauses] [; seed=K]
+
+    driver.worker.start:raise@3        crash on the 3rd visit
+    driver.worker.roll:hang@2x2~1e9    stall visits 2 and 3 for 1e9s
+    cache.read:corrupt%25              corrupt ~25% of reads (seeded)
+    pipeline.pass:raise                crash on the first pass run
+
+``SITE`` may be an ``fnmatch`` glob (``driver.*``).  ``@N`` fires from
+the Nth visit (1-based, default 1), ``xM`` limits the number of
+firings (default 1, ``x*`` = unlimited), ``%P`` gates each eligible
+visit on a seeded coin with probability P percent, and ``~S`` sets the
+stall length in seconds for hang/sleep (default: effectively forever).
+
+Everything is picklable, so the driver ships a fresh copy of the plan
+to every worker process; hit counters are per-process by design.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from random import Random
+from typing import Dict, Iterator, List, Optional, Union
+
+from .deadline import current_deadline
+
+#: Environment variable consulted when no plan is passed explicitly.
+ENV_PLAN = "ROLAG_FAULT_PLAN"
+
+#: Exit status used by the ``abort`` action (recognizable in waitpid).
+ABORT_EXIT_CODE = 86
+
+#: Hang/sleep default stall: long enough to blow any sane deadline.
+FOREVER = 1e9
+
+#: Real ``sleep`` stalls are capped so a stray plan cannot wedge a
+#: process for more than a minute even without a watchdog.
+SLEEP_CAP_SECONDS = 60.0
+
+ACTIONS = ("raise", "hang", "sleep", "abort", "corrupt")
+
+
+class FaultPlanError(ValueError):
+    """A malformed plan spec (bad action, unparsable modifier, ...)."""
+
+
+class InjectedFault(RuntimeError):
+    """The ``raise`` action: a simulated in-worker crash."""
+
+
+class InjectedHang(RuntimeError):
+    """A ``hang`` fired with no ambient deadline to charge it to."""
+
+
+@dataclass
+class FaultSpec:
+    """One clause of a plan: where, what, and when to misbehave."""
+
+    #: Site name or ``fnmatch`` glob the clause applies to.
+    site: str
+    #: One of :data:`ACTIONS`.
+    action: str
+    #: First hit (1-based) that may fire.
+    at: int = 1
+    #: Maximum number of firings; ``None`` means unlimited.
+    times: Optional[int] = 1
+    #: Seeded probability gate (0..1) applied per eligible hit.
+    prob: Optional[float] = None
+    #: Stall length for hang/sleep actions.
+    seconds: float = FOREVER
+    #: Override message for raised faults.
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise FaultPlanError(
+                f"unknown fault action {self.action!r} "
+                f"(expected one of {', '.join(ACTIONS)})"
+            )
+        if self.at < 1:
+            raise FaultPlanError(f"@N must be >= 1, got {self.at}")
+
+    def spec_string(self) -> str:
+        """The compact one-clause form this spec parses back from."""
+        text = f"{self.site}:{self.action}"
+        if self.at != 1:
+            text += f"@{self.at}"
+        if self.times is None:
+            text += "x*"
+        elif self.times != 1:
+            text += f"x{self.times}"
+        if self.prob is not None:
+            text += f"%{self.prob * 100:g}"
+        if self.seconds != FOREVER:
+            text += f"~{self.seconds:g}"
+        return text
+
+    def to_json_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"site": self.site, "action": self.action}
+        if self.at != 1:
+            data["at"] = self.at
+        if self.times != 1:
+            data["times"] = self.times
+        if self.prob is not None:
+            data["prob"] = self.prob
+        if self.seconds != FOREVER:
+            data["seconds"] = self.seconds
+        if self.message:
+            data["message"] = self.message
+        return data
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` clauses plus runtime state."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+    #: Per-site visit counters (runtime state, per process).
+    hits: Dict[str, int] = field(default_factory=dict)
+    #: Per-clause firing counters (runtime state, per process).
+    fired: Dict[int, int] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the compact spec grammar documented in the module."""
+        specs: List[FaultSpec] = []
+        seed = 0
+        for raw_clause in text.replace(",", ";").split(";"):
+            clause = raw_clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[len("seed="):], 0)
+                continue
+            site, sep, rest = clause.partition(":")
+            if not sep or not site:
+                raise FaultPlanError(
+                    f"bad fault clause {clause!r}: expected SITE:ACTION[mods]"
+                )
+            specs.append(_parse_action(site.strip(), rest.strip()))
+        return cls(specs=specs, seed=seed)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        specs = [
+            FaultSpec(
+                site=str(entry["site"]),
+                action=str(entry["action"]),
+                at=int(entry.get("at", 1)),
+                times=(
+                    None
+                    if entry.get("times", 1) is None
+                    else int(entry.get("times", 1))
+                ),
+                prob=(
+                    None
+                    if entry.get("prob") is None
+                    else float(entry["prob"])
+                ),
+                seconds=float(entry.get("seconds", FOREVER)),
+                message=str(entry.get("message", "")),
+            )
+            for entry in data.get("specs", [])
+        ]
+        return cls(specs=specs, seed=int(data.get("seed", 0)))
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "specs": [spec.to_json_dict() for spec in self.specs],
+        }
+
+    def spec_string(self) -> str:
+        """The compact multi-clause form (parseable by :meth:`parse`)."""
+        clauses = [spec.spec_string() for spec in self.specs]
+        if self.seed:
+            clauses.append(f"seed={self.seed}")
+        return ";".join(clauses)
+
+    def fresh(self) -> "FaultPlan":
+        """A copy with zeroed counters (shipped to worker processes)."""
+        return FaultPlan(
+            specs=[replace(spec) for spec in self.specs], seed=self.seed
+        )
+
+    # -- runtime -----------------------------------------------------------
+
+    def visit(
+        self, site: str, data: Optional[bytes] = None
+    ) -> Optional[bytes]:
+        """One site visit: bump the counter, apply every matching clause.
+
+        Raise/hang/sleep/abort clauses act as side effects; corrupt
+        clauses apply only when ``data`` is given, and the (possibly
+        mangled) bytes are returned.
+        """
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        for index, spec in enumerate(self.specs):
+            if not fnmatch.fnmatchcase(site, spec.site):
+                continue
+            if spec.action == "corrupt":
+                if data is not None and self._should_fire(index, spec, hit):
+                    data = self._mutate(index, spec, hit, data)
+                continue
+            if self._should_fire(index, spec, hit):
+                self._trigger(spec, site, hit)
+        return data
+
+    def _should_fire(self, index: int, spec: FaultSpec, hit: int) -> bool:
+        if hit < spec.at:
+            return False
+        count = self.fired.get(index, 0)
+        if spec.times is not None and count >= spec.times:
+            return False
+        if spec.prob is not None:
+            # One deterministic draw per eligible hit: the stream is a
+            # pure function of (plan seed, clause index, hit number).
+            draw = self._rng(index, hit).random()
+            if draw >= spec.prob:
+                return False
+        self.fired[index] = count + 1
+        return True
+
+    def _rng(self, index: int, hit: int) -> Random:
+        material = f"{index}:{hit}".encode("utf-8")
+        return Random((self.seed << 32) ^ zlib.crc32(material))
+
+    def _trigger(self, spec: FaultSpec, site: str, hit: int) -> None:
+        if spec.action == "raise":
+            raise InjectedFault(
+                spec.message
+                or f"injected fault at {site} (hit {hit})"
+            )
+        if spec.action == "abort":
+            os._exit(ABORT_EXIT_CODE)
+        if spec.action == "sleep":
+            time.sleep(min(spec.seconds, SLEEP_CAP_SECONDS))
+            return
+        # hang: stall virtually against the ambient deadline.
+        deadline = current_deadline()
+        if deadline is None:
+            raise InjectedHang(
+                f"injected hang at {site} (hit {hit}) with no active "
+                "deadline; a real run would stall forever here"
+            )
+        deadline.advance(spec.seconds)
+        deadline.check(f"injected hang at {site}")
+
+    def _mutate(
+        self, index: int, spec: FaultSpec, hit: int, data: bytes
+    ) -> bytes:
+        """Deterministically mangle ``data`` (never returns it intact)."""
+        rng = self._rng(index, hit)
+        if not data:
+            return b"\xff"
+        out = bytearray(data)
+        mode = rng.randrange(3)
+        if mode == 0:
+            # Truncate: simulates a torn write.
+            return bytes(out[: rng.randrange(len(out))])
+        if mode == 1:
+            # Flip a handful of bytes: simulates bit rot.  XOR with a
+            # nonzero mask guarantees the result differs.
+            for _ in range(max(1, len(out) // 8)):
+                position = rng.randrange(len(out))
+                out[position] ^= rng.randrange(1, 256)
+            return bytes(out)
+        # Splice garbage into the middle: simulates interleaved writes.
+        position = rng.randrange(len(out) + 1)
+        garbage = bytes(rng.randrange(256) for _ in range(8))
+        return bytes(out[:position]) + garbage + bytes(out[position:])
+
+
+def _parse_action(site: str, text: str) -> FaultSpec:
+    """Parse ``ACTION[@N][xM][%P][~S]`` into a :class:`FaultSpec`."""
+    action = text
+    for marker in "@x%~":
+        head, sep, _ = action.partition(marker)
+        if sep:
+            action = head
+    mods = text[len(action):]
+    spec = {"site": site, "action": action}
+    index = 0
+    try:
+        while index < len(mods):
+            marker = mods[index]
+            index += 1
+            end = index
+            while end < len(mods) and mods[end] not in "@x%~":
+                end += 1
+            value = mods[index:end]
+            index = end
+            if marker == "@":
+                spec["at"] = int(value)
+            elif marker == "x":
+                spec["times"] = None if value == "*" else int(value)
+            elif marker == "%":
+                spec["prob"] = float(value) / 100.0
+            elif marker == "~":
+                spec["seconds"] = float(value)
+    except ValueError as error:
+        raise FaultPlanError(
+            f"bad modifier in fault clause {site}:{text!r}: {error}"
+        ) from None
+    return FaultSpec(**spec)  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------
+# Active-plan plumbing: one process-wide plan, cheap when absent.
+# --------------------------------------------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Make ``plan`` the process-wide active plan (``None`` clears)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear_plan() -> None:
+    """Remove any active plan."""
+    install_plan(None)
+
+
+def get_active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+@contextmanager
+def active_plan(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Install ``plan`` for the duration of the block, then restore."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def fire(site: str) -> None:
+    """Visit a named site; no-op (one global read) without a plan."""
+    if _ACTIVE is not None:
+        _ACTIVE.visit(site)
+
+
+def corrupt_bytes(site: str, data: bytes) -> bytes:
+    """Visit a byte-carrying site; returns possibly-mangled bytes."""
+    if _ACTIVE is None:
+        return data
+    out = _ACTIVE.visit(site, data)
+    return data if out is None else out
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The plan named by ``ROLAG_FAULT_PLAN``, if any."""
+    text = os.environ.get(ENV_PLAN, "").strip()
+    if not text:
+        return None
+    return resolve_plan(text)
+
+
+def resolve_plan(
+    value: Union[None, str, FaultPlan]
+) -> Optional[FaultPlan]:
+    """Coerce a plan argument: object, spec string, ``@file.json``, env.
+
+    ``None`` falls back to the environment so any entry point (CLI,
+    harness, plain :func:`repro.driver.optimize_functions`) can be
+    fault-injected without plumbing changes.
+    """
+    if value is None:
+        return plan_from_env()
+    if isinstance(value, FaultPlan):
+        return value
+    text = value.strip()
+    if not text:
+        return None
+    if text.startswith("@"):
+        with open(text[1:], encoding="utf-8") as handle:
+            return FaultPlan.from_json_dict(json.load(handle))
+    return FaultPlan.parse(text)

@@ -65,6 +65,12 @@ class RolagConfig:
     #: disable RoLAG on hot basic blocks".
     profile: Optional[Dict[Tuple[str, str], int]] = None
     hot_block_threshold: int = 100
+    #: Fault-injection plan spec for the resilience layer (see
+    #: ``repro.faultinject``); ``None`` falls back to the
+    #: ``ROLAG_FAULT_PLAN`` environment variable.  Participates in the
+    #: config fingerprint, so injected-fault runs never share cache
+    #: entries with clean ones.
+    fault_plan: Optional[str] = None
 
     def all_special_disabled(self) -> "RolagConfig":
         """A copy with every special node kind switched off."""

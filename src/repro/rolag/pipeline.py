@@ -17,6 +17,7 @@ from typing import Deque, List, Optional, Tuple
 from ..analysis.alias import AliasAnalysis
 from ..analysis.costmodel import CodeSizeCostModel
 from ..analysis.deps import DependenceGraph
+from ..faultinject import DeadlineExceeded, checkpoint, fire
 from ..ir.module import BasicBlock, Function, Module
 from .alignment import AlignmentGraph
 from .codegen import RolledLoop, generate_rolled_loop
@@ -50,7 +51,21 @@ def roll_loops_in_function(
         if id(block) in processed or block.parent is not fn:
             continue
         processed.add(id(block))
-        result = _roll_block(block, config, cost_model, stats)
+        # Block granularity is the pipeline's cooperative cancellation
+        # point: a budgeted run bails out between blocks, never inside
+        # a half-applied rewrite.
+        checkpoint(f"rolag:{fn.name}:{block.name}")
+        try:
+            fire("rolag.roll")
+            result = _roll_block(block, config, cost_model, stats)
+        except DeadlineExceeded:
+            raise
+        except Exception as error:
+            from ..transforms.pass_manager import PassError
+
+            if isinstance(error, PassError):
+                raise
+            raise PassError("rolag", fn.name, error) from error
         if result is not None:
             rolled += 1
             # The preheader (same block object) may still hold seeds

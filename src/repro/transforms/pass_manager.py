@@ -4,17 +4,43 @@ Runs a named pipeline of function passes over a module, optionally
 verifying the IR after each pass (the default in tests).  Function
 passes are callables ``(Function) -> int`` returning a change count,
 matching every transform in this package.
+
+A pass that raises is wrapped in :class:`PassError` carrying the pass
+and function names, so a crash deep inside a transform surfaces as
+``pass 'cse' failed on function 'foo': ...`` instead of a bare
+traceback.  Cooperative deadline signals pass through unwrapped -- the
+driver classifies those as timeouts, not crashes.  Each pass boundary
+fires the ``pipeline.pass`` fault-injection site and checkpoints the
+ambient deadline (see ``repro.faultinject``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..faultinject import DeadlineExceeded, checkpoint, fire
 from ..ir.module import Function, Module
 from ..ir.verifier import verify_function
 
 FunctionPass = Callable[[Function], int]
+
+
+class PassError(RuntimeError):
+    """A transform pass failed, with pass + function context attached."""
+
+    def __init__(
+        self,
+        pass_name: str,
+        function_name: Optional[str],
+        cause: BaseException,
+    ) -> None:
+        self.pass_name = pass_name
+        self.function_name = function_name or "?"
+        super().__init__(
+            f"pass {pass_name!r} failed on function "
+            f"{self.function_name!r}: {type(cause).__name__}: {cause}"
+        )
 
 
 @dataclass
@@ -34,11 +60,18 @@ class PassManager:
         """Run the pipeline over one function; returns total changes."""
         total = 0
         for name, fn_pass in self.passes:
-            changed = fn_pass(fn)
+            checkpoint(f"pass:{name}")
+            try:
+                fire("pipeline.pass")
+                changed = fn_pass(fn)
+                if self.verify and changed:
+                    verify_function(fn)
+            except (PassError, DeadlineExceeded):
+                raise
+            except Exception as error:
+                raise PassError(name, fn.name, error) from error
             self.changes[name] = self.changes.get(name, 0) + changed
             total += changed
-            if self.verify and changed:
-                verify_function(fn)
         return total
 
     def run(self, module: Module) -> int:

@@ -131,6 +131,7 @@ entry:
 
     def test_verify_catches_broken_pass(self):
         from repro.ir import VerificationError
+        from repro.transforms.pass_manager import PassError
 
         def breaker(fn):
             # Remove the terminator: invalid IR.
@@ -140,8 +141,11 @@ entry:
         m = parse_module("define void @f() {\nentry:\n  ret void\n}")
         pm = PassManager(verify=True)
         pm.add("breaker", breaker)
-        with pytest.raises(VerificationError):
+        # The verifier failure is wrapped with pass + function context.
+        with pytest.raises(PassError) as info:
             pm.run(m)
+        assert info.value.pass_name == "breaker"
+        assert isinstance(info.value.__cause__, VerificationError)
 
     def test_declarations_skipped(self):
         m = parse_module("declare void @x()")

@@ -1,0 +1,75 @@
+"""Chaos-campaign tests: randomized (but seeded) fault storms.
+
+The fast tests pin down plan generation; the actual multi-round
+campaign runs under ``-m slow`` like the other long smokes.
+"""
+
+import random
+
+import pytest
+
+from repro.faultinject import clear_plan
+from repro.faultinject.chaos import (
+    SITE_ACTIONS,
+    build_chaos_plan,
+    run_chaos,
+)
+
+pytestmark = pytest.mark.fault
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestChaosPlans:
+    def test_plan_generation_is_seeded(self):
+        first = build_chaos_plan(random.Random(7), job_count=10)
+        again = build_chaos_plan(random.Random(7), job_count=10)
+        assert first.spec_string() == again.spec_string()
+
+    def test_plans_stay_on_known_sites(self):
+        sites = {site for site, _ in SITE_ACTIONS}
+        for seed in range(20):
+            plan = build_chaos_plan(random.Random(seed), job_count=10)
+            for spec in plan.specs:
+                assert spec.site in sites
+                # `abort` would os._exit the campaign process on the
+                # serial path; the chaos menu must never include it.
+                assert spec.action != "abort"
+
+
+@pytest.mark.slow
+class TestChaosCampaign:
+    def test_campaign_holds_invariants(self, tmp_path):
+        report = run_chaos(
+            seed=3,
+            job_count=8,
+            rounds=3,
+            workers=2,
+            deadline=5.0,
+            base_dir=str(tmp_path),
+        )
+        assert len(report.rounds) == 3
+        # Round 0 is fault-free and must be clean.
+        assert report.rounds[0].failed == 0
+        assert report.ok, report.summary()
+        assert "OK" in report.summary()
+
+    def test_chaos_cli_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "chaos",
+            "--seed", "5",
+            "--jobs", "6",
+            "--rounds", "2",
+            "--workers", "2",
+            "--base-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "chaos" in out

@@ -389,3 +389,21 @@ class TestFuzzerParity:
     def test_parity_smoke_200(self):
         mismatches = check_backend_parity(0, 200)
         assert mismatches == [], "\n".join(mismatches)
+
+
+@pytest.mark.fault
+class TestParityUnderFaults:
+    def test_evaluator_fault_is_a_structured_entry(self):
+        from repro.faultinject import FaultPlan, active_plan, clear_plan
+
+        clear_plan()
+        try:
+            plan = FaultPlan.parse("difftest.observe:raise@1x*")
+            with active_plan(plan):
+                mismatches = check_backend_parity(0, 2, run_pipeline=False)
+        finally:
+            clear_plan()
+        # Every vector degrades to a structured "evaluator error" line
+        # instead of a traceback unwinding the whole sweep.
+        assert mismatches
+        assert all("evaluator error" in m for m in mismatches)

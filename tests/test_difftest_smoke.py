@@ -30,3 +30,84 @@ def test_smoke_campaign_finds_no_mismatches():
     # ... and the trap-preservation half of the oracle.
     assert report.trap_cases > 0
     assert elapsed < 10.0, f"smoke campaign took {elapsed:.1f}s"
+
+
+# --------------------------------------------------------------------------
+# Fault injection: campaigns degrade to structured reports, never
+# tracebacks.
+# --------------------------------------------------------------------------
+
+from repro.difftest.bisect import bisect_pipeline
+from repro.difftest.oracle import ArgumentVector
+from repro.difftest.runner import check_module_semantics
+from repro.faultinject import FaultPlan, active_plan, clear_plan
+from repro.frontend import compile_c
+from repro.ir import print_module
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+@pytest.mark.fault
+class TestDifftestUnderFaults:
+    def test_evaluator_fault_becomes_report_error(self):
+        plan = FaultPlan.parse("difftest.observe:raise@3x*")
+        with active_plan(plan):
+            report = run_difftest(seed=0, count=5)
+        assert not report.ok
+        assert report.errors
+        assert any("InjectedFault" in note for note in report.errors)
+        # The campaign still completed and can describe itself.
+        assert "ERROR" in report.summary()
+        assert report.mismatches == []
+
+    def test_case_deadline_is_a_structured_error(self):
+        # The 5th observation stalls "forever" in virtual time; the
+        # per-case deadline catches it and the campaign moves on.
+        plan = FaultPlan.parse("difftest.observe:hang@5")
+        with active_plan(plan):
+            report = run_difftest(seed=0, count=5, case_deadline=2.0)
+        assert not report.ok
+        assert any("case deadline exceeded" in n for n in report.errors)
+        # Only the faulted case errored.
+        assert len(report.errors) == 1
+
+    def test_fault_free_plan_changes_nothing(self):
+        plan = FaultPlan.parse("unmatched.site:raise@1x*")
+        with active_plan(plan):
+            report = run_difftest(seed=0, count=10)
+        assert report.ok, report.summary()
+
+    def test_bisector_names_a_raising_stage(self):
+        ir_text = print_module(compile_c("int f(int x) { return x + 2; }"))
+
+        def boom(module):
+            raise RuntimeError("injected stage failure")
+
+        record = bisect_pipeline(
+            ir_text,
+            "f",
+            stages=[("identity", lambda m: None), ("boom", boom)],
+            vectors=[ArgumentVector(values=(3,))],
+            origin="unit",
+        )
+        assert record is not None
+        assert record.stage == "boom"
+        assert record.actual.trap_kind == "stage-error"
+        assert "stage raised: RuntimeError" in record.detail
+
+    def test_check_module_semantics_reports_evaluator_error(self):
+        source = "int g(int x) { return x * 3; }"
+        original = compile_c(source)
+        transformed = compile_c(source)
+        plan = FaultPlan.parse("difftest.observe:raise@1")
+        with active_plan(plan):
+            ok, details = check_module_semantics(
+                original, transformed, seed=1
+            )
+        assert not ok
+        assert any("evaluator error" in d for d in details)

@@ -1,0 +1,311 @@
+"""Unit tests for the deterministic fault-injection layer.
+
+Everything here is fast and sleep-free: injected hangs consume
+*virtual* deadline time, and every random draw is a pure function of
+the plan seed.
+"""
+
+import json
+
+import pytest
+
+from repro.faultinject import (
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedFault,
+    InjectedHang,
+    active_plan,
+    checkpoint,
+    clear_plan,
+    corrupt_bytes,
+    current_deadline,
+    deadline_scope,
+    fire,
+    get_active_plan,
+    install_plan,
+    resolve_plan,
+)
+
+pytestmark = pytest.mark.fault
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """A test that installs a plan must not leak it into the next one."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestPlanParsing:
+    def test_single_clause(self):
+        plan = FaultPlan.parse("driver.worker.start:raise@3")
+        (spec,) = plan.specs
+        assert spec.site == "driver.worker.start"
+        assert spec.action == "raise"
+        assert spec.at == 3
+        assert spec.times == 1
+
+    @pytest.mark.parametrize(
+        "text, at, times, prob, seconds",
+        [
+            ("s:raise", 1, 1, None, None),
+            ("s:raise@5", 5, 1, None, None),
+            ("s:raise@2x4", 2, 4, None, None),
+            ("s:raise x*".replace(" ", ""), 1, None, None, None),
+            ("s:corrupt%25", 1, 1, 0.25, None),
+            ("s:hang@2~3.5", 2, 1, None, 3.5),
+            ("s:sleep~0.01", 1, 1, None, 0.01),
+        ],
+    )
+    def test_modifiers(self, text, at, times, prob, seconds):
+        (spec,) = FaultPlan.parse(text).specs
+        assert spec.at == at
+        assert spec.times == times
+        assert spec.prob == prob
+        if seconds is not None:
+            assert spec.seconds == seconds
+
+    def test_multi_clause_and_seed(self):
+        plan = FaultPlan.parse(
+            "a.b:raise@2; cache.read:corrupt, pipeline.pass:hang~9; seed=42"
+        )
+        assert [s.site for s in plan.specs] == [
+            "a.b", "cache.read", "pipeline.pass"
+        ]
+        assert plan.seed == 42
+
+    def test_spec_string_round_trips(self):
+        text = "a.b:raise@2x3;c.d:corrupt%50;e.f:hang@4~2;seed=7"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.spec_string()).spec_string() == (
+            plan.spec_string()
+        )
+
+    def test_json_round_trips(self):
+        plan = FaultPlan.parse("a.b:raise@2x*;c.d:corrupt%10~5;seed=3")
+        rebuilt = FaultPlan.from_json_dict(
+            json.loads(json.dumps(plan.to_json_dict()))
+        )
+        assert rebuilt.spec_string() == plan.spec_string()
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["justasite", "s:explode", "s:raise@zero", "s:raise@0", "s:hang~x"],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(bad)
+
+
+class TestPlanRuntime:
+    def test_fires_on_nth_hit_only(self):
+        plan = FaultPlan.parse("site:raise@3")
+        with active_plan(plan):
+            fire("site")
+            fire("site")
+            with pytest.raises(InjectedFault):
+                fire("site")
+            fire("site")  # times=1: exhausted
+
+    def test_times_limits_firings(self):
+        plan = FaultPlan.parse("site:raise@1x2")
+        with active_plan(plan):
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    fire("site")
+            fire("site")
+
+    def test_unlimited_firings(self):
+        plan = FaultPlan.parse("site:raise@1x*")
+        with active_plan(plan):
+            for _ in range(5):
+                with pytest.raises(InjectedFault):
+                    fire("site")
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan.parse("a:raise@2")
+        with active_plan(plan):
+            fire("b")
+            fire("b")
+            fire("a")
+            with pytest.raises(InjectedFault):
+                fire("a")
+
+    def test_glob_site_matches(self):
+        plan = FaultPlan.parse("driver.*:raise")
+        with active_plan(plan):
+            with pytest.raises(InjectedFault):
+                fire("driver.worker.start")
+            fire("cache.read")
+
+    def test_probability_is_deterministic(self):
+        def firing_pattern():
+            plan = FaultPlan.parse("site:raise%40x*;seed=9")
+            pattern = []
+            with active_plan(plan):
+                for _ in range(40):
+                    try:
+                        fire("site")
+                        pattern.append(0)
+                    except InjectedFault:
+                        pattern.append(1)
+            return pattern
+
+        first = firing_pattern()
+        assert first == firing_pattern()
+        assert 0 < sum(first) < 40  # the coin actually lands both ways
+
+    def test_no_plan_is_a_noop(self):
+        fire("anything")
+        assert corrupt_bytes("anything", b"data") == b"data"
+
+    def test_fresh_resets_counters(self):
+        plan = FaultPlan.parse("site:raise@1")
+        with active_plan(plan):
+            with pytest.raises(InjectedFault):
+                fire("site")
+        copy = plan.fresh()
+        assert copy.hits == {} and copy.fired == {}
+        with active_plan(copy):
+            with pytest.raises(InjectedFault):
+                fire("site")
+
+    def test_install_and_clear(self):
+        plan = FaultPlan.parse("site:raise")
+        install_plan(plan)
+        assert get_active_plan() is plan
+        clear_plan()
+        assert get_active_plan() is None
+
+    def test_active_plan_restores_previous(self):
+        outer = FaultPlan.parse("a:raise@99")
+        inner = FaultPlan.parse("b:raise@99")
+        install_plan(outer)
+        with active_plan(inner):
+            assert get_active_plan() is inner
+        assert get_active_plan() is outer
+
+
+class TestCorruption:
+    def test_corrupt_changes_bytes_deterministically(self):
+        data = json.dumps({"k": list(range(50))}).encode()
+
+        def mangle(seed):
+            plan = FaultPlan.parse(f"cache.read:corrupt;seed={seed}")
+            with active_plan(plan):
+                return corrupt_bytes("cache.read", data)
+
+        assert mangle(1) != data
+        assert mangle(1) == mangle(1)
+
+    def test_corrupt_modes_always_differ_from_input(self):
+        data = b"x" * 64
+        for seed in range(12):  # covers truncate / flip / splice modes
+            plan = FaultPlan.parse(f"s:corrupt;seed={seed}")
+            with active_plan(plan):
+                assert corrupt_bytes("s", data) != data
+
+    def test_corrupt_empty_input(self):
+        plan = FaultPlan.parse("s:corrupt")
+        with active_plan(plan):
+            assert corrupt_bytes("s", b"") == b"\xff"
+
+    def test_corrupt_only_on_selected_hit(self):
+        plan = FaultPlan.parse("s:corrupt@2")
+        with active_plan(plan):
+            assert corrupt_bytes("s", b"aaaa") == b"aaaa"
+            assert corrupt_bytes("s", b"aaaa") != b"aaaa"
+            assert corrupt_bytes("s", b"aaaa") == b"aaaa"
+
+    def test_fire_and_corrupt_share_the_hit_counter(self):
+        plan = FaultPlan.parse("s:corrupt@2")
+        with active_plan(plan):
+            fire("s")  # hit 1
+            assert corrupt_bytes("s", b"aaaa") != b"aaaa"  # hit 2
+
+
+class TestDeadline:
+    def test_checkpoint_noop_without_deadline(self):
+        assert current_deadline() is None
+        checkpoint("anywhere")
+
+    def test_virtual_advance_trips_checkpoint(self):
+        with deadline_scope(30.0) as deadline:
+            checkpoint("early")
+            deadline.advance(29.0)
+            checkpoint("still fine")
+            deadline.advance(2.0)
+            with pytest.raises(DeadlineExceeded) as info:
+                checkpoint("late")
+            assert info.value.budget == 30.0
+            assert info.value.elapsed >= 31.0
+
+    def test_none_budget_is_a_noop(self):
+        with deadline_scope(None) as deadline:
+            assert deadline is None
+            assert current_deadline() is None
+
+    def test_scopes_nest(self):
+        with deadline_scope(100.0) as outer:
+            with deadline_scope(1.0) as inner:
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_deadline_remaining(self):
+        deadline = Deadline(50.0)
+        deadline.advance(20.0)
+        assert 29.0 < deadline.remaining() <= 30.0
+        assert not deadline.expired()
+
+
+class TestHangAction:
+    def test_hang_consumes_virtual_time(self):
+        plan = FaultPlan.parse("site:hang~1e9")
+        with active_plan(plan):
+            with deadline_scope(5.0):
+                with pytest.raises(DeadlineExceeded):
+                    fire("site")
+
+    def test_short_hang_within_budget(self):
+        plan = FaultPlan.parse("site:hang~1")
+        with active_plan(plan):
+            with deadline_scope(1e6) as deadline:
+                fire("site")
+                assert deadline.virtual == 1.0
+
+    def test_hang_without_deadline_raises_not_blocks(self):
+        plan = FaultPlan.parse("site:hang")
+        with active_plan(plan):
+            with pytest.raises(InjectedHang):
+                fire("site")
+
+
+class TestResolvePlan:
+    def test_resolve_plan_object_passthrough(self):
+        plan = FaultPlan.parse("a:raise")
+        assert resolve_plan(plan) is plan
+
+    def test_resolve_spec_string(self):
+        plan = resolve_plan("a:raise@2")
+        assert plan.specs[0].at == 2
+
+    def test_resolve_blank_is_none(self):
+        assert resolve_plan("  ") is None
+
+    def test_resolve_json_file(self, tmp_path):
+        source = FaultPlan.parse("a.b:raise@3x2;seed=11")
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(source.to_json_dict()))
+        plan = resolve_plan(f"@{path}")
+        assert plan.spec_string() == source.spec_string()
+
+    def test_resolve_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("ROLAG_FAULT_PLAN", "env.site:raise@7")
+        plan = resolve_plan(None)
+        assert plan.specs[0].site == "env.site"
+        monkeypatch.delenv("ROLAG_FAULT_PLAN")
+        assert resolve_plan(None) is None
