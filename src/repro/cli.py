@@ -41,10 +41,12 @@ from typing import List, Optional
 from .bench.objsize import measure_module, reduction_percent
 from .bench.reporting import format_table
 from .driver import FunctionJob, optimize_functions
-from .frontend import compile_c
+from .frontend import CParseError, LexError, LowerError, compile_c
 from .ir import (
     EVALUATOR_CHOICES,
     Module,
+    ParseError,
+    VerificationError,
     make_machine,
     parse_module,
     print_module,
@@ -197,6 +199,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="batch mode: if the worker pool keeps dying, finish the "
         "remaining functions in-process instead of abandoning them",
     )
+    parser.add_argument(
+        "--validate",
+        choices=("off", "fast", "safe", "strict"),
+        default="off",
+        help="run every pass and rolling decision transactionally "
+        "through the online validation gate: 'fast' re-verifies touched "
+        "blocks, 'safe' adds an observation-equality check, 'strict' "
+        "adds cross-backend parity; rejected edits roll back to the "
+        "best-known-good IR (default: off)",
+    )
+    parser.add_argument(
+        "--guard-dir",
+        metavar="DIR",
+        help="with --validate: write minimized guard-failure repro "
+        "bundles under DIR (default: results/guard_reports)",
+    )
     return parser
 
 
@@ -311,6 +329,21 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         help="keep the campaign's cache and quarantine file under DIR "
         "(default: a discarded temporary directory)",
     )
+    parser.add_argument(
+        "--validate",
+        choices=("off", "fast", "safe", "strict"),
+        default="off",
+        help="run the storm with the online validation gate at this "
+        "level; the campaign then asserts no round emits "
+        "semantics-changing IR (default: off)",
+    )
+    parser.add_argument(
+        "--ir-faults",
+        action="store_true",
+        help="add corrupt-ir clauses (semantics-changing IR mutations "
+        "at pass exits) to every faulted round and oracle-check every "
+        "successful result",
+    )
     return parser
 
 
@@ -326,6 +359,8 @@ def run_chaos_command(argv: List[str]) -> int:
         workers=args.workers,
         deadline=args.deadline,
         base_dir=args.base_dir,
+        validate=args.validate,
+        ir_faults=args.ir_faults,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -451,9 +486,21 @@ def _parse_run_args(raw: List[str]) -> List[object]:
     return values
 
 
+#: Where guard-failure repro bundles land unless --guard-dir says
+#: otherwise (mirrors the difftest repro convention under results/).
+DEFAULT_GUARD_DIR = "results/guard_reports"
+
+
 def _build_config(args: argparse.Namespace) -> RolagConfig:
+    guard_dir = None
+    if args.validate != "off":
+        guard_dir = args.guard_dir or DEFAULT_GUARD_DIR
     config = RolagConfig(
-        fast_math=args.fast_math, loop_aware=args.loop_aware
+        fast_math=args.fast_math,
+        loop_aware=args.loop_aware,
+        validate=args.validate,
+        validate_evaluator=args.evaluator,
+        guard_dir=guard_dir,
     )
     if args.no_special_nodes:
         config = config.all_special_disabled()
@@ -575,6 +622,19 @@ def run_batch(args: argparse.Namespace) -> int:
             f"(attempts: {result.attempts})",
             file=sys.stderr,
         )
+    if stats.guard_failures:
+        # Rolled-back transactions are the gate *working*, not a run
+        # failure: report them without affecting the exit code.
+        print(
+            f"; guard rollbacks: {stats.guard_failures} "
+            "(rejected edits restored to best-known-good IR)"
+        )
+        from .validation import GuardReport
+
+        for path, result in zip(args.input, report.results):
+            for data in result.guard_reports:
+                guard = GuardReport.from_json_dict(data)
+                print(f"; GUARD {path}: {guard.summary()}", file=sys.stderr)
     if args.stats:
         total_rolled = sum(r.rolag_rolled for r in report.results)
         attempts = sum(r.attempted for r in report.results)
@@ -608,7 +668,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         module = load_module(args.input[0], optimize=not args.no_opt)
-    except OSError as error:
+    except (
+        OSError, ParseError, VerificationError,
+        LexError, CParseError, LowerError,
+    ) as error:
+        # Unreadable and unparseable inputs exit 1 with a clean
+        # diagnostic, the same way batch mode reports bad jobs.
         print(f"error: {error}", file=sys.stderr)
         return 1
 
@@ -635,6 +700,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         stats = RolagStats()
         rolled = roll_loops_in_module(module, config=config, stats=stats)
         print(f"; RoLAG rolled {rolled} loop(s)")
+        if stats.guard_reports:
+            from .validation import GuardReport
+
+            print(
+                f"; guard rollbacks: {len(stats.guard_reports)} "
+                "(rejected edits restored to best-known-good IR)"
+            )
+            for data in stats.guard_reports:
+                guard = GuardReport.from_json_dict(data)
+                print(f"; GUARD: {guard.summary()}", file=sys.stderr)
         if args.stats:
             print(f"; attempts: {stats.attempted}, "
                   f"schedule-rejected: {stats.schedule_rejected}, "

@@ -42,7 +42,8 @@ log = logging.getLogger(__name__)
 
 #: Bump to invalidate every existing cache entry.  4: entries gained
 #: the self-describing envelope (schema + checksum) around the result.
-SCHEMA_VERSION = 4
+#: 5: results gained ``guard_reports`` (online translation validation).
+SCHEMA_VERSION = 5
 
 
 def model_fingerprint(model: Optional[CodeSizeCostModel]) -> str:

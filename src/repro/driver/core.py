@@ -120,19 +120,49 @@ def optimize_one(
     on the result.  Oracle time lands in the stats' ``eval`` phase so
     timed runs show evaluation next to the rolling phases.
 
+    With ``config.validate`` on, both the reroll baseline and every
+    RoLAG rolling decision run transactionally through the online
+    validation gate (see ``repro.validation``): rejected edits are
+    rolled back to best-known-good IR and recorded on the result's
+    ``guard_reports``.
+
     The pipeline checkpoints the ambient deadline between stages, so a
     budgeted run (see :func:`optimize_functions`) bails out of a slow
     function at the next stage boundary.
     """
     config = config or RolagConfig()
     start = perf_counter()
+    validate = config.validate
+    # Vector seed derives from the input text, so reruns replay the
+    # same vectors (for both the oracle and the online validation gate)
+    # and the cache entry stays meaningful.
+    vector_seed = zlib.crc32(job.text.encode("utf-8")) & 0x7FFFFFFF
+    guard_reports: List[Dict[str, object]] = []
 
-    # Baseline: LLVM-style rerolling on its own fresh copy.
+    # Baseline: LLVM-style rerolling on its own fresh copy.  With
+    # validation on, reroll runs as a transaction through the gate;
+    # with it off, the historical direct path is kept bit-for-bit
+    # (including fault-site hit counts).
     llvm_module = _load_module(job)
     checkpoint("load")
-    llvm_rolled = sum(
-        reroll_loops(f) for f in llvm_module.functions if not f.is_declaration
-    )
+    if validate != "off":
+        from ..transforms.txn import TransactionalPassManager
+
+        llvm_validator = _make_validator(config, vector_seed)
+        reroll_pm = TransactionalPassManager(
+            verify=False, validator=llvm_validator
+        )
+        reroll_pm.add("reroll", reroll_loops)
+        llvm_rolled = reroll_pm.run(llvm_module)
+        guard_reports.extend(
+            report.to_json_dict() for report in llvm_validator.reports
+        )
+    else:
+        llvm_rolled = sum(
+            reroll_loops(f)
+            for f in llvm_module.functions
+            if not f.is_declaration
+        )
     verify_module(llvm_module)
     llvm_size = _measure(llvm_module, job.name, measure_model)
     checkpoint("reroll")
@@ -142,7 +172,13 @@ def optimize_one(
     size_before = _measure(module, job.name, measure_model)
     stats = RolagStats(timed=timed)
     fire("driver.worker.roll")
-    rolag_rolled = roll_loops_in_module(module, config=config, stats=stats)
+    rolag_validator = (
+        _make_validator(config, vector_seed) if validate != "off" else None
+    )
+    rolag_rolled = roll_loops_in_module(
+        module, config=config, stats=stats, validator=rolag_validator
+    )
+    guard_reports.extend(stats.guard_reports)
     verify_module(module)
     rolag_size = _measure(module, job.name, measure_model)
     checkpoint("rolag")
@@ -152,9 +188,6 @@ def optimize_one(
     if check_semantics:
         eval_start = perf_counter()
         original = _load_module(job)
-        # Vector seed derives from the input text, so reruns replay the
-        # same vectors and the cache entry stays meaningful.
-        vector_seed = zlib.crc32(job.text.encode("utf-8")) & 0x7FFFFFFF
         for label, candidate in (("reroll", llvm_module), ("rolag", module)):
             ok, details = check_module_semantics(
                 original, candidate, seed=vector_seed, evaluator=evaluator
@@ -185,8 +218,27 @@ def optimize_one(
         semantics_checked=check_semantics,
         semantics_ok=semantics_ok,
         semantics_mismatches=semantics_mismatches,
+        guard_reports=guard_reports,
         phase_seconds=dict(stats.phase_seconds),
         wall_seconds=perf_counter() - start,
+    )
+
+
+def _make_validator(config: RolagConfig, seed: int):
+    """The per-module-copy validation gate described by ``config``.
+
+    Imported lazily: ``repro.validation`` transitively pulls in the
+    difftest runner, which imports this package back.
+    """
+    from ..validation import Validator
+
+    return Validator(
+        config.validate,
+        vectors=config.validate_vectors,
+        step_limit=config.validate_step_limit,
+        guard_dir=config.guard_dir,
+        evaluator=config.validate_evaluator,
+        seed=seed,
     )
 
 
@@ -699,6 +751,7 @@ def optimize_functions(
 
     final: List[FunctionResult] = [r for r in results if r is not None]
     assert len(final) == len(jobs)
+    stats.guard_failures = sum(len(r.guard_reports) for r in final)
     for result in final:
         for phase, seconds in result.phase_seconds.items():
             stats.phase_seconds[phase] = (

@@ -81,6 +81,12 @@ class FunctionResult:
     semantics_ok: Optional[bool] = None
     #: Human-readable mismatch descriptions from the oracle.
     semantics_mismatches: List[str] = field(default_factory=list)
+    #: Rolled-back transactions recorded while online validation was
+    #: on (``repro.validation.GuardReport.to_json_dict()`` dicts, in
+    #: rollback order; empty when ``validate`` is off or nothing
+    #: misbehaved).  Deterministic for a deterministic run, so it lives
+    #: in the stable payload and the memo cache.
+    guard_reports: List[Dict[str, object]] = field(default_factory=list)
     #: Per-phase wall seconds (empty unless the driver ran timed).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: Wall seconds this function took in its worker (0 on cache hits).
@@ -131,6 +137,7 @@ class FunctionResult:
         data.setdefault("semantics_checked", False)
         data.setdefault("semantics_ok", None)
         data.setdefault("semantics_mismatches", [])
+        data.setdefault("guard_reports", [])
         data.setdefault("phase_seconds", {})
         data.setdefault("wall_seconds", 0.0)
         data.setdefault("error", None)
@@ -167,6 +174,9 @@ class DriverStats:
     pool_respawns: int = 0
     #: Whether the run degraded to the in-process serial path.
     serial_fallback: bool = False
+    #: Total rolled-back transactions across all results (validated
+    #: runs only; every one of these kept a bad edit out of the output).
+    guard_failures: int = 0
 
     @property
     def executed(self) -> int:

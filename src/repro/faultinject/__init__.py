@@ -5,7 +5,7 @@ Public surface::
     from repro.faultinject import (
         FaultPlan, FaultSpec, FaultPlanError,
         InjectedFault, InjectedHang,
-        fire, corrupt_bytes,
+        fire, fire_ir, corrupt_bytes,
         install_plan, clear_plan, get_active_plan, active_plan,
         resolve_plan, plan_from_env,
         Deadline, DeadlineExceeded, deadline_scope,
@@ -37,6 +37,7 @@ from .plan import (
     clear_plan,
     corrupt_bytes,
     fire,
+    fire_ir,
     get_active_plan,
     install_plan,
     plan_from_env,
@@ -61,6 +62,7 @@ __all__ = [
     "current_deadline",
     "deadline_scope",
     "fire",
+    "fire_ir",
     "get_active_plan",
     "install_plan",
     "plan_from_env",

@@ -18,6 +18,21 @@ rounds exercise the corrupt-entry path against real entries.  The
 quarantine file persists across rounds, so repeat offenders get
 skipped the way they would across real runs.
 
+With ``ir_faults`` the draw pool also includes the ``corrupt-ir``
+action at the pass-exit sites (``pipeline.pass.exit``,
+``rolag.roll.exit``): verifier-clean, semantics-changing IR mutations
+simulating miscompiling passes.  The corpus then ships as precompiled
+IR text (not mini-C), keeping the frontend cleanup out of the blast
+radius, and every successful result is checked against its input on
+the *gate's own evidence vectors*
+(:func:`repro.validation.evidence_check`).  The headline invariant:
+with ``validate`` on
+(the online translation-validation gate, see ``repro.validation``), a
+run must *never* emit semantics-changing IR -- every injected
+corruption is rolled back and recorded as a guard failure.  With
+``validate`` off, wrong outputs are counted (demonstrating the gate is
+load-bearing) but are not violations.
+
 Everything is derived from ``seed``: the same seed replays the same
 campaign.  This module imports the driver and the corpus generator, so
 it is deliberately *not* re-exported from ``repro.faultinject`` --
@@ -44,6 +59,13 @@ SITE_ACTIONS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("cache.write", ("raise",)),
 )
 
+#: Extra (site, actions) drawn when the campaign runs with
+#: ``ir_faults``: semantics-changing IR corruption at every pass exit.
+IR_SITE_ACTIONS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("pipeline.pass.exit", ("corrupt-ir",)),
+    ("rolag.roll.exit", ("corrupt-ir",)),
+)
+
 
 @dataclass
 class ChaosRound:
@@ -55,6 +77,11 @@ class ChaosRound:
     cache_corrupt: int = 0
     quarantined: int = 0
     retried: int = 0
+    #: Transactions the online validation gate rolled back this round.
+    guard_failures: int = 0
+    #: Successful results whose IR the oracle found semantics-changing.
+    #: A violation when validation was on; informational when off.
+    wrong_outputs: int = 0
     violations: List[str] = field(default_factory=list)
 
 
@@ -75,12 +102,18 @@ class ChaosReport:
                  f"seed {self.seed}"]
         for r in self.rounds:
             plan = r.plan or "(no faults)"
-            lines.append(
+            line = (
                 f"  round {r.index}: plan [{plan}] -> "
                 f"failed {r.failed}, retried {r.retried}, "
                 f"quarantined {r.quarantined}, "
                 f"cache corrupt {r.cache_corrupt}"
             )
+            if r.guard_failures or r.wrong_outputs:
+                line += (
+                    f", guard rollbacks {r.guard_failures}, "
+                    f"wrong outputs {r.wrong_outputs}"
+                )
+            lines.append(line)
             for violation in r.violations:
                 lines.append(f"    VIOLATION: {violation}")
         lines.append(
@@ -90,7 +123,9 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def build_chaos_plan(rng: random.Random, job_count: int) -> FaultPlan:
+def build_chaos_plan(
+    rng: random.Random, job_count: int, ir_faults: bool = False
+) -> FaultPlan:
     """A small randomized-but-seeded plan for one round."""
     specs: List[FaultSpec] = []
     for site, actions in rng.sample(SITE_ACTIONS, k=rng.randint(1, 3)):
@@ -102,6 +137,18 @@ def build_chaos_plan(rng: random.Random, job_count: int) -> FaultPlan:
                 times=rng.choice([1, 1, 2]),
             )
         )
+    if ir_faults:
+        # Corrupt-ir clauses hit every round: the campaign's point is
+        # that the validation gate (not luck) keeps outputs clean.
+        for site, actions in IR_SITE_ACTIONS:
+            specs.append(
+                FaultSpec(
+                    site=site,
+                    action=rng.choice(list(actions)),
+                    at=rng.randint(1, 4),
+                    times=rng.choice([2, 4, None]),
+                )
+            )
     return FaultPlan(specs=specs, seed=rng.randint(0, 2**31 - 1))
 
 
@@ -143,6 +190,62 @@ def check_invariants(jobs: Sequence[object], report: object) -> List[str]:
     return violations
 
 
+def oracle_check(
+    jobs: Sequence[object],
+    report: object,
+    *,
+    validate: str,
+    config: object,
+) -> Tuple[int, List[str]]:
+    """Replay every successful IR-job result against its input.
+
+    The check uses :func:`repro.validation.evidence_check` with the
+    driver's per-job vector seed, i.e. *exactly* the observations the
+    online gate attested -- the invariant "a validated run never emits
+    IR that contradicts the evidence it committed on" is deterministic,
+    unlike re-sampling fresh vectors would be.
+
+    Returns ``(wrong_outputs, violations)``.  A semantics-changing
+    output is always counted; it is a *violation* only when the round
+    ran with the validation gate on -- that is the gate's contract.
+    """
+    import zlib
+
+    from ..ir import parse_module
+    from ..validation import evidence_check
+
+    wrong = 0
+    violations: List[str] = []
+    for job, result in zip(jobs, report.results):
+        if result.failed or job.format != "ir":
+            continue
+        vector_seed = zlib.crc32(job.text.encode("utf-8")) & 0x7FFFFFFF
+        try:
+            ok, details = evidence_check(
+                parse_module(job.text),
+                parse_module(result.optimized_ir),
+                seed=vector_seed,
+                vectors=config.validate_vectors,
+                step_limit=config.validate_step_limit,
+                evaluator=config.validate_evaluator,
+            )
+        except Exception as error:
+            violations.append(
+                f"{job.label}: oracle error: "
+                f"{type(error).__name__}: {error}"
+            )
+            continue
+        if not ok:
+            wrong += 1
+            if validate != "off":
+                detail = details[0] if details else "mismatch"
+                violations.append(
+                    f"{job.label}: validated run emitted "
+                    f"semantics-changing IR: {detail}"
+                )
+    return wrong, violations
+
+
 def run_chaos(
     seed: int = 0,
     job_count: int = 12,
@@ -151,53 +254,117 @@ def run_chaos(
     deadline: float = 5.0,
     retries: int = 1,
     base_dir: Optional[str] = None,
+    validate: str = "off",
+    ir_faults: bool = False,
 ) -> ChaosReport:
     """Run the campaign; see the module docstring for the contract.
 
     ``base_dir`` holds the shared cache and quarantine file; a
     temporary directory is used (and discarded) when omitted.
+    ``validate`` turns on the online translation-validation gate at
+    that level; ``ir_faults`` adds ``corrupt-ir`` clauses to every
+    faulted round and oracle-checks each successful result.
     """
     import tempfile
 
     from ..bench import angha
     from ..driver import FunctionJob, optimize_functions
+    from ..rolag.config import RolagConfig
 
-    jobs = [
-        FunctionJob(
-            name=cs.name, c_source=cs.source,
-            metadata=(("family", cs.family),),
-        )
-        for cs in angha.generate_sources(count=job_count, seed=seed)
-    ]
+    from ..validation import VALIDATION_LEVELS
+
+    if validate not in VALIDATION_LEVELS:
+        raise ValueError(f"unknown validation level {validate!r}")
+
+    sources = angha.generate_sources(count=job_count, seed=seed)
+    oracle = ir_faults or validate != "off"
+    if oracle:
+        # Precompiled IR-text jobs: corrupt-ir fires at *pass exits*,
+        # and the oracle needs a parseable "before" module -- corrupting
+        # inside the C frontend would be neither transactional nor
+        # replayable.
+        from ..frontend.lower import compile_c
+        from ..ir import print_module
+
+        jobs = [
+            FunctionJob(
+                name=cs.name,
+                ir_text=print_module(compile_c(cs.source, cs.name)),
+                metadata=(("family", cs.family),),
+            )
+            for cs in sources
+        ]
+    else:
+        jobs = [
+            FunctionJob(
+                name=cs.name, c_source=cs.source,
+                metadata=(("family", cs.family),),
+            )
+            for cs in sources
+        ]
     report = ChaosReport(seed=seed, jobs=len(jobs))
 
     def campaign(root: str) -> None:
         cache_dir = os.path.join(root, "cache")
         quarantine_file = os.path.join(root, "quarantine.json")
+        guard_dir = (
+            os.path.join(root, "guards") if validate != "off" else None
+        )
         for index in range(rounds):
             rng = random.Random((seed << 8) ^ index)
             plan = (
                 FaultPlan(specs=[]) if index == 0
-                else build_chaos_plan(rng, job_count)
+                else build_chaos_plan(rng, job_count, ir_faults=ir_faults)
             )
-            outcome = optimize_functions(
-                jobs,
-                workers=workers,
-                cache_dir=cache_dir,
-                deadline=deadline,
-                retries=retries,
-                quarantine_file=quarantine_file,
-                fault_plan=plan,
+            spec = plan.spec_string()
+            entry = ChaosRound(index=index, plan=spec)
+            # In oracle mode the plan rides on the *config* so it lands
+            # in the cache fingerprint: a corrupt-ir round must never
+            # share memo entries with a clean one (a successful-but-
+            # wrong result would otherwise poison later rounds).
+            config = RolagConfig(
+                fault_plan=(spec or None) if oracle else None,
+                validate=validate,
+                guard_dir=guard_dir,
             )
-            entry = ChaosRound(index=index, plan=plan.spec_string())
+            try:
+                outcome = optimize_functions(
+                    jobs,
+                    config,
+                    workers=workers,
+                    cache_dir=cache_dir,
+                    deadline=deadline,
+                    retries=retries,
+                    quarantine_file=quarantine_file,
+                    fault_plan=plan,
+                )
+            except Exception as error:
+                # A chaos round must never take the campaign down with
+                # it: contain, record, and keep storming.
+                entry.violations.append(
+                    f"campaign error: {type(error).__name__}: {error}"
+                )
+                report.rounds.append(entry)
+                continue
             entry.failed = outcome.stats.failed
             entry.retried = outcome.stats.retried
             entry.quarantined = outcome.stats.quarantined
             entry.cache_corrupt = outcome.stats.cache_corrupt
+            entry.guard_failures = outcome.stats.guard_failures
             entry.violations = check_invariants(jobs, outcome)
+            if oracle:
+                wrong, oracle_violations = oracle_check(
+                    jobs, outcome, validate=validate, config=config
+                )
+                entry.wrong_outputs = wrong
+                entry.violations.extend(oracle_violations)
             if index == 0 and outcome.stats.failed:
                 entry.violations.append(
                     "fault-free round reported failures"
+                )
+            if index == 0 and outcome.stats.guard_failures:
+                entry.violations.append(
+                    "fault-free round reported guard rollbacks"
                 )
             report.rounds.append(entry)
 

@@ -23,6 +23,12 @@ the hit number) whether to act:
 ``corrupt``
     deterministically mangle the bytes passing through the site --
     simulates on-disk corruption.
+``corrupt-ir``
+    perturb one instruction operand of the function passing through an
+    IR-carrying site (:func:`fire_ir`) -- simulates a miscompiling
+    pass.  The mutation is verifier-clean by construction (a constant
+    bump, or an operand swap on a non-commutative op), so only
+    *semantic* validation can catch it.
 
 Plans parse from a compact spec string (also accepted via the
 ``ROLAG_FAULT_PLAN`` environment variable or an ``@file.json``
@@ -72,7 +78,16 @@ FOREVER = 1e9
 #: process for more than a minute even without a watchdog.
 SLEEP_CAP_SECONDS = 60.0
 
-ACTIONS = ("raise", "hang", "sleep", "abort", "corrupt")
+ACTIONS = ("raise", "hang", "sleep", "abort", "corrupt", "corrupt-ir")
+
+#: Binary opcodes where swapping the operands changes the result (for
+#: ``corrupt-ir`` when the function offers no integer constant to bump).
+_SWAPPABLE_OPCODES = frozenset(
+    {
+        "sub", "sdiv", "udiv", "srem", "urem",
+        "shl", "lshr", "ashr", "fsub", "fdiv", "frem",
+    }
+)
 
 
 class FaultPlanError(ValueError):
@@ -224,13 +239,15 @@ class FaultPlan:
     # -- runtime -----------------------------------------------------------
 
     def visit(
-        self, site: str, data: Optional[bytes] = None
+        self, site: str, data: Optional[bytes] = None, ir_fn=None
     ) -> Optional[bytes]:
         """One site visit: bump the counter, apply every matching clause.
 
         Raise/hang/sleep/abort clauses act as side effects; corrupt
         clauses apply only when ``data`` is given, and the (possibly
-        mangled) bytes are returned.
+        mangled) bytes are returned.  ``corrupt-ir`` clauses apply only
+        when ``ir_fn`` (a :class:`repro.ir.Function`) is given, and
+        mutate it in place.
         """
         hit = self.hits.get(site, 0) + 1
         self.hits[site] = hit
@@ -240,6 +257,10 @@ class FaultPlan:
             if spec.action == "corrupt":
                 if data is not None and self._should_fire(index, spec, hit):
                     data = self._mutate(index, spec, hit, data)
+                continue
+            if spec.action == "corrupt-ir":
+                if ir_fn is not None and self._should_fire(index, spec, hit):
+                    self._mutate_ir(index, spec, hit, ir_fn)
                 continue
             if self._should_fire(index, spec, hit):
                 self._trigger(spec, site, hit)
@@ -308,6 +329,54 @@ class FaultPlan:
         position = rng.randrange(len(out) + 1)
         garbage = bytes(rng.randrange(256) for _ in range(8))
         return bytes(out[:position]) + garbage + bytes(out[position:])
+
+    def _mutate_ir(self, index: int, spec: FaultSpec, hit: int, fn) -> None:
+        """Perturb one operand of ``fn`` in place, verifier-clean.
+
+        Preferred mutation: bump an integer-constant operand (flip for
+        i1).  Fallback: swap the operands of a non-commutative binary
+        op.  A function offering neither site is left untouched -- the
+        clause still counts as fired, mirroring how real miscompiles
+        only bite when the pattern they mishandle is present.
+        """
+        # Imported here: faultinject is a leaf package the IR must not
+        # become a hard dependency of.
+        from ..ir.instructions import BinaryOp, GetElementPtr
+        from ..ir.values import ConstantInt
+
+        rng = self._rng(index, hit)
+        const_sites = []
+        swap_sites = []
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, GetElementPtr):
+                    # GEP index bumps are skipped: they mostly shift an
+                    # address out of bounds, turning the wrong-output
+                    # simulation into a trap storm.
+                    for op_index, op in enumerate(inst.operands):
+                        if isinstance(op, ConstantInt):
+                            const_sites.append((inst, op_index, op))
+                if (
+                    isinstance(inst, BinaryOp)
+                    and inst.opcode in _SWAPPABLE_OPCODES
+                    and inst.operands[0] is not inst.operands[1]
+                ):
+                    swap_sites.append(inst)
+        if const_sites:
+            inst, op_index, op = const_sites[rng.randrange(len(const_sites))]
+            if op.type.bits == 1:
+                replacement = ConstantInt(op.type, 1 - (op.value & 1))
+            else:
+                replacement = ConstantInt(
+                    op.type, op.value + rng.choice((1, -1, 2, 7))
+                )
+            inst.set_operand(op_index, replacement)
+            return
+        if swap_sites:
+            inst = swap_sites[rng.randrange(len(swap_sites))]
+            first, second = inst.operands
+            inst.set_operand(0, second)
+            inst.set_operand(1, first)
 
 
 def _parse_action(site: str, text: str) -> FaultSpec:
@@ -390,6 +459,14 @@ def corrupt_bytes(site: str, data: bytes) -> bytes:
         return data
     out = _ACTIVE.visit(site, data)
     return data if out is None else out
+
+
+def fire_ir(site: str, fn) -> None:
+    """Visit an IR-carrying site: ``corrupt-ir`` clauses may mutate
+    ``fn`` in place; all other matching actions behave as in ``fire``.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.visit(site, ir_fn=fn)
 
 
 def plan_from_env() -> Optional[FaultPlan]:

@@ -84,7 +84,13 @@ from .values import (
     neutral_element,
     zero_constant_for,
 )
-from .verifier import VerificationError, verify_function, verify_module
+from .snapshot import FunctionSnapshot
+from .verifier import (
+    VerificationError,
+    verify_blocks,
+    verify_function,
+    verify_module,
+)
 
 __all__ = [
     "Alloca", "Argument", "ArrayType", "BasicBlock", "BinaryOp", "Br",
@@ -94,6 +100,7 @@ __all__ = [
     "ConstantInt", "ConstantNull", "ConstantZero", "DataLayout",
     "DEFAULT_LAYOUT", "EVALUATOR_CHOICES", "F32", "F64", "FCmp",
     "FloatType", "Function",
+    "FunctionSnapshot",
     "FunctionType", "GetElementPtr", "GlobalVariable", "I1", "I16", "I32",
     "I64", "I8", "ICmp", "IRBuilder", "Instruction", "IntType", "LABEL",
     "Load", "Machine", "Module", "ParseError", "Phi", "PointerType", "Ret",
@@ -102,6 +109,7 @@ __all__ = [
     "VerificationError", "const_float", "const_int", "make_machine",
     "neutral_element",
     "parse_function", "parse_module", "print_function", "print_module",
-    "ptr", "run_function", "types_equivalent", "verify_function",
+    "ptr", "run_function", "types_equivalent", "verify_blocks",
+    "verify_function",
     "verify_module", "zero_constant_for",
 ]

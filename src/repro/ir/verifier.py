@@ -2,11 +2,26 @@
 
 Run after every transform in tests (and optionally between passes via
 the pass manager) to catch IR corruption early.
+
+Two entry granularities:
+
+* :func:`verify_function` / :func:`verify_module` -- the full check.
+* :func:`verify_blocks` -- the incremental check the transactional
+  pass layer's ``fast`` gate uses: per-block structure, use-def
+  consistency, phi/predecessor agreement, operand dominance and type
+  sanity are re-checked for the given (just-touched) blocks only.
+  Function-global invariants (every block has a parent, return types
+  everywhere) are left to the full check.
+
+The verifier is the first line of defence against *corrupted* IR, so
+it must never crash on the garbage it exists to diagnose: a dominance
+query over an instruction whose parent pointers lie is reported as an
+error, not raised as an ``IndexError``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Sequence
 
 from .instructions import (
     BinaryOp,
@@ -22,7 +37,7 @@ from .instructions import (
     Select,
     Store,
 )
-from .module import Function, Module
+from .module import BasicBlock, Function, Module
 from .types import FloatType, IntType
 
 #: Binary opcodes restricted to integer operands.
@@ -49,14 +64,50 @@ class VerificationError(Exception):
 
 def verify_function(fn: Function) -> None:
     """Raise :class:`VerificationError` if ``fn`` is malformed."""
-    errors: List[str] = []
-
     if fn.is_declaration:
         return
+    errors: List[str] = []
     if not fn.blocks:
         errors.append("function has no blocks")
+    _check_blocks(fn, fn.blocks, errors, full=True)
+    _raise_if_any(fn, errors)
 
-    for block in fn.blocks:
+
+def verify_blocks(fn: Function, blocks: Sequence[BasicBlock]) -> None:
+    """Incrementally re-verify just ``blocks`` of ``fn``.
+
+    The dominator tree is rebuilt for the whole function (dominance is
+    a global property), but every per-instruction check runs only over
+    the given blocks -- O(touched) instead of O(function) for the
+    common case of a pass that edited a couple of blocks.  Blocks that
+    no longer belong to ``fn`` are skipped.
+    """
+    if fn.is_declaration:
+        return
+    live = [b for b in blocks if b.parent is fn]
+    if not live:
+        return
+    errors: List[str] = []
+    _check_blocks(fn, live, errors, full=False)
+    _raise_if_any(fn, errors)
+
+
+def _raise_if_any(fn: Function, errors: List[str]) -> None:
+    if errors:
+        raise VerificationError(
+            f"function @{fn.name}:\n  " + "\n  ".join(errors[:20])
+        )
+
+
+def _check_blocks(
+    fn: Function,
+    blocks: Iterable[BasicBlock],
+    errors: List[str],
+    full: bool,
+) -> None:
+    blocks = list(blocks)
+
+    for block in blocks:
         if block.parent is not fn:
             errors.append(f"block %{block.name} has wrong parent")
         if block.terminator is None:
@@ -76,7 +127,7 @@ def verify_function(fn: Function) -> None:
                 errors.append(f"terminator mid-block in %{block.name}")
 
     # Use-def chain consistency.
-    for block in fn.blocks:
+    for block in blocks:
         for inst in block.instructions:
             for index, op in enumerate(inst.operands):
                 found = any(
@@ -87,21 +138,30 @@ def verify_function(fn: Function) -> None:
                         f"operand {index} of {inst!r} missing from use list"
                     )
 
-    # Phi incoming edges match predecessors.
+    # Phi incoming edges match predecessors: every reachable
+    # predecessor contributes exactly one incoming value, and no
+    # incoming names a non-predecessor.
     from ..analysis.domtree import DominatorTree
 
     domtree = DominatorTree(fn)
-    for block in fn.blocks:
+    for block in blocks:
         if not domtree.is_reachable(block):
             continue
         preds = block.predecessors()
         for phi in block.phis():
             incoming_blocks = [b for _, b in phi.incoming]
             for pred in preds:
-                if pred not in incoming_blocks:
+                count = sum(1 for b in incoming_blocks if b is pred)
+                if count == 0:
                     errors.append(
                         f"phi {phi.short_name()} in %{block.name} missing "
                         f"incoming for %{pred.name}"
+                    )
+                elif count > 1:
+                    errors.append(
+                        f"phi {phi.short_name()} in %{block.name} has "
+                        f"{count} incoming values for %{pred.name} "
+                        "(expected exactly one)"
                     )
             for b in incoming_blocks:
                 if b not in preds:
@@ -110,30 +170,45 @@ def verify_function(fn: Function) -> None:
                         f"incoming %{b.name}"
                     )
 
-    # SSA dominance.
-    for block in fn.blocks:
+    # SSA dominance: every non-phi instruction operand must be defined
+    # in a dominating position (phi uses are checked at the end of the
+    # corresponding incoming block by ``dominates``).
+    for block in blocks:
         if not domtree.is_reachable(block):
             continue
         for inst in block.instructions:
             for op in inst.operands:
-                if isinstance(op, Instruction):
-                    if op.parent is None:
-                        errors.append(
-                            f"{inst!r} uses detached instruction {op!r}"
-                        )
-                    elif not domtree.dominates(op, inst):
-                        errors.append(
-                            f"{op.short_name()} does not dominate its use in "
-                            f"{inst!r} (block %{block.name})"
-                        )
+                if not isinstance(op, Instruction):
+                    continue
+                if op.parent is None:
+                    errors.append(
+                        f"{inst!r} uses detached instruction {op!r}"
+                    )
+                    continue
+                try:
+                    dominated = domtree.dominates(op, inst)
+                except Exception as error:
+                    # Lying parent pointers make the dominance query
+                    # itself blow up; that is corruption, not a
+                    # verifier crash.
+                    errors.append(
+                        f"dominance query failed for {op.short_name()} used "
+                        f"in {inst!r}: {type(error).__name__}: {error}"
+                    )
+                    continue
+                if not dominated:
+                    errors.append(
+                        f"{op.short_name()} does not dominate its use in "
+                        f"{inst!r} (block %{block.name})"
+                    )
 
     # Basic type sanity.
-    for block in fn.blocks:
+    for block in blocks:
         for inst in block.instructions:
             _check_types(inst, errors)
 
     # Return types.
-    for block in fn.blocks:
+    for block in blocks:
         term = block.terminator
         if isinstance(term, Ret):
             if fn.return_type.is_void:
@@ -145,11 +220,6 @@ def verify_function(fn: Function) -> None:
                 errors.append(
                     f"ret type {term.return_value.type} != {fn.return_type}"
                 )
-
-    if errors:
-        raise VerificationError(
-            f"function @{fn.name}:\n  " + "\n  ".join(errors[:20])
-        )
 
 
 def _check_types(inst: Instruction, errors: List[str]) -> None:

@@ -71,6 +71,21 @@ class RolagConfig:
     #: config fingerprint, so injected-fault runs never share cache
     #: entries with clean ones.
     fault_plan: Optional[str] = None
+    #: Online translation-validation level gating every transaction
+    #: (pipeline pass or RoLAG rolling decision): one of
+    #: :data:`repro.validation.VALIDATION_LEVELS`.  Fingerprinted, so
+    #: validated runs never share cache entries with unvalidated ones.
+    validate: str = "off"
+    #: Input vectors per function for the ``safe``/``strict`` oracles.
+    validate_vectors: int = 2
+    #: Step budget per validation observation (small by design: the
+    #: gate runs inline on every transaction).
+    validate_step_limit: int = 50_000
+    #: Evaluator backend the semantic gate observes with.
+    validate_evaluator: str = "interp"
+    #: Directory for guard-failure repro bundles (``None`` = don't
+    #: persist repros; reports are still collected in stats).
+    guard_dir: Optional[str] = None
 
     def all_special_disabled(self) -> "RolagConfig":
         """A copy with every special node kind switched off."""
@@ -128,6 +143,10 @@ class RolagStats:
     #: Accumulated wall seconds per pipeline phase (see PHASE_NAMES);
     #: stays empty unless ``timed`` is set.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Rolled-back transactions (``GuardReport.to_json_dict()`` dicts)
+    #: recorded while validation was on.  Plain dicts so stats stay
+    #: picklable across driver worker boundaries.
+    guard_reports: List[Dict[str, object]] = field(default_factory=list)
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
         """Accumulate wall time spent in one pipeline phase."""
@@ -141,5 +160,6 @@ class RolagStats:
         self.rolled += other.rolled
         self.node_counts.update(other.node_counts)
         self.savings.extend(other.savings)
+        self.guard_reports.extend(other.guard_reports)
         for phase, seconds in other.phase_seconds.items():
             self.add_phase_time(phase, seconds)

@@ -6,6 +6,13 @@ profitability against the code-size cost model, and generate the rolled
 loop when it wins.  Newly created loop blocks are themselves skipped
 (rolling a rolled loop again is never profitable and would not
 terminate).
+
+With ``config.validate`` on, every rolling decision is a transaction:
+the function is snapshotted before each block visit, and the decision
+only commits if the validation ladder (see ``repro.validation``)
+accepts it.  A rejected decision is rolled back to best-known-good IR
+and the worklist moves on -- degradation is per-decision, never
+per-function.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from typing import Deque, List, Optional, Tuple
 from ..analysis.alias import AliasAnalysis
 from ..analysis.costmodel import CodeSizeCostModel
 from ..analysis.deps import DependenceGraph
-from ..faultinject import DeadlineExceeded, checkpoint, fire
+from ..faultinject import DeadlineExceeded, checkpoint, fire, fire_ir
 from ..ir.module import BasicBlock, Function, Module
 from .alignment import AlignmentGraph
 from .codegen import RolledLoop, generate_rolled_loop
@@ -32,8 +39,14 @@ def roll_loops_in_function(
     config: Optional[RolagConfig] = None,
     cost_model: Optional[CodeSizeCostModel] = None,
     stats: Optional[RolagStats] = None,
+    validator=None,
 ) -> int:
-    """Run RoLAG over every block of ``fn``; returns rolled-loop count."""
+    """Run RoLAG over every block of ``fn``; returns rolled-loop count.
+
+    ``validator`` (a :class:`repro.validation.Validator`) gates every
+    rolling decision when given; with ``config.validate`` set and no
+    validator, one is built from the config.
+    """
     if fn.is_declaration:
         return 0
     config = config or RolagConfig()
@@ -42,6 +55,10 @@ def roll_loops_in_function(
     if stats.timed:
         for phase in PHASE_NAMES:
             stats.phase_seconds.setdefault(phase, 0.0)
+    if validator is None and config.validate != "off":
+        validator = _validator_for(config)
+    guard = validator if validator is not None and validator.level != "off" else None
+    guard_start = len(guard.reports) if guard is not None else 0
 
     rolled = 0
     work: Deque[BasicBlock] = deque(fn.blocks)
@@ -55,17 +72,32 @@ def roll_loops_in_function(
         # point: a budgeted run bails out between blocks, never inside
         # a half-applied rewrite.
         checkpoint(f"rolag:{fn.name}:{block.name}")
+        decision = f"rolag:{block.name}"
+        snapshot = guard.begin(fn) if guard is not None else None
         try:
             fire("rolag.roll")
             result = _roll_block(block, config, cost_model, stats)
+            fire_ir("rolag.roll.exit", fn)
         except DeadlineExceeded:
             raise
         except Exception as error:
+            if snapshot is not None:
+                # The decision becomes a rolled-back transaction; the
+                # block stays in ``processed`` so the worklist moves on
+                # from best-known-good IR.
+                guard.rollback_exception(fn, snapshot, decision, error)
+                continue
             from ..transforms.pass_manager import PassError
 
             if isinstance(error, PassError):
                 raise
             raise PassError("rolag", fn.name, error) from error
+        if snapshot is not None:
+            report = guard.commit_or_rollback(
+                fn, snapshot, decision, replay=_replay_for(config, cost_model)
+            )
+            if report is not None:
+                continue  # rolled back: do not count or requeue anything
         if result is not None:
             rolled += 1
             # The preheader (same block object) may still hold seeds
@@ -75,7 +107,40 @@ def roll_loops_in_function(
             processed.discard(id(block))
             work.append(block)
             work.append(result.exit)
+    if guard is not None:
+        stats.guard_reports.extend(
+            report.to_json_dict() for report in guard.reports[guard_start:]
+        )
     return rolled
+
+
+def _validator_for(config: RolagConfig):
+    """Build the gate described by ``config`` (imported lazily: the
+    validation package pulls in the difftest oracle, which must not
+    become an import-time dependency of the rolling pipeline)."""
+    from ..validation import Validator
+
+    return Validator(
+        config.validate,
+        vectors=config.validate_vectors,
+        step_limit=config.validate_step_limit,
+        guard_dir=config.guard_dir,
+        evaluator=config.validate_evaluator,
+    )
+
+
+def _replay_for(config: RolagConfig, cost_model: CodeSizeCostModel):
+    """A deterministic function-pass replay of the rolling pipeline,
+    used by the guard's repro minimizer (validation and fault firing
+    disabled: the replay must reproduce the *pass's* behaviour)."""
+    from dataclasses import replace
+
+    quiet = replace(config, validate="off", fault_plan=None)
+
+    def apply(target_fn: Function) -> int:
+        return roll_loops_in_function(target_fn, quiet, cost_model)
+
+    return apply
 
 
 def _roll_block(
@@ -271,9 +336,15 @@ def roll_loops_in_module(
     config: Optional[RolagConfig] = None,
     cost_model: Optional[CodeSizeCostModel] = None,
     stats: Optional[RolagStats] = None,
+    validator=None,
 ) -> int:
     """Run RoLAG over every function in ``module``."""
+    config = config or RolagConfig()
+    if validator is None and config.validate != "off":
+        validator = _validator_for(config)
     total = 0
     for fn in module.functions:
-        total += roll_loops_in_function(fn, config, cost_model, stats)
+        total += roll_loops_in_function(
+            fn, config, cost_model, stats, validator=validator
+        )
     return total

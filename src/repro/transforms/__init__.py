@@ -5,13 +5,16 @@ from .cse import eliminate_common_subexpressions
 from .dce import eliminate_dead_code
 from .ifconvert import convert_ifs
 from .mem2reg import promote_memory_to_registers
-from .pass_manager import PassManager, default_cleanup_pipeline
+from .pass_manager import PassError, PassManager, default_cleanup_pipeline
 from .reroll import RerollStats, reroll_loops, try_reroll_loop
 from .simplifycfg import simplify_cfg
+from .txn import TransactionalPassManager
 from .unroll import unroll_counted_loop, unroll_loops
 
 __all__ = [
+    "PassError",
     "PassManager",
+    "TransactionalPassManager",
     "convert_ifs",
     "RerollStats",
     "default_cleanup_pipeline",

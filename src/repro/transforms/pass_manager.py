@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..faultinject import DeadlineExceeded, checkpoint, fire
+from ..faultinject import DeadlineExceeded, checkpoint, fire, fire_ir
 from ..ir.module import Function, Module
 from ..ir.verifier import verify_function
 
@@ -64,6 +64,7 @@ class PassManager:
             try:
                 fire("pipeline.pass")
                 changed = fn_pass(fn)
+                fire_ir("pipeline.pass.exit", fn)
                 if self.verify and changed:
                     verify_function(fn)
             except (PassError, DeadlineExceeded):

@@ -1,0 +1,544 @@
+"""The online translation-validation gate (the transaction ladder).
+
+A :class:`Validator` decides whether one transaction's IR edit commits
+or rolls back, at one of four levels:
+
+``off``
+    no gating; transactions are free.
+``fast``
+    the incremental verifier re-checks just the blocks the pass
+    touched (:func:`repro.ir.verify_blocks`) -- catches malformed IR
+    at a cost proportional to the edit, not the function.
+``safe``
+    full verification plus an Observation-equality check: the edited
+    function is executed on a small deterministic input-vector set and
+    compared against reference observations captured from the
+    best-known-good IR before the first transaction -- the online
+    analogue of the offline difftest oracle.
+``strict``
+    ``safe`` plus cross-backend parity: the candidate must behave
+    identically (including step counts) under the interpreter and the
+    compiling evaluator.
+
+On a gate failure the validator restores the snapshot, records a
+:class:`~repro.validation.report.GuardReport` with a unified IR diff,
+and (when ``guard_dir`` is set) writes a repro bundle, minimized with
+the difftest minimizer whenever the failure replays deterministically.
+Reference observations stay valid across commits because every
+committed transaction was itself validated observation-equal.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..difftest.bisect import MismatchRecord, minimize_record
+from ..difftest.oracle import (
+    ArgumentVector,
+    Observation,
+    compare_observations,
+    make_argument_vectors,
+    observe_call,
+    program_for,
+)
+from ..faultinject import DeadlineExceeded, active_plan
+from ..ir.module import Function, Module
+from ..ir.printer import print_function, print_module
+from ..ir.snapshot import FunctionSnapshot
+from ..ir.verifier import VerificationError, verify_blocks, verify_function
+from .report import GuardReport, unified_ir_diff, write_guard_bundle
+
+#: The validation ladder, weakest to strongest.
+VALIDATION_LEVELS = ("off", "fast", "safe", "strict")
+
+#: Reference observations for one function: (vector, observation)
+#: pairs, or ``None`` when the signature defeats the vector generator
+#: (the gate then degrades to verification only for that function).
+_Reference = Optional[List[Tuple[ArgumentVector, Observation]]]
+
+#: A gate verdict: (failure kind, detail, vector, expected, actual).
+#: The last three are ``None`` unless an oracle comparison failed.
+_Failure = Tuple[
+    str, str, Optional[ArgumentVector], Optional[Observation],
+    Optional[Observation],
+]
+
+
+def function_stage(
+    fn_name: str, fn_pass: Callable[[Function], object]
+) -> Callable[[Module], object]:
+    """Lift a function pass into the module-stage shape the difftest
+    bisector/minimizer replays (applied to the one named function)."""
+
+    def apply(module: Module) -> object:
+        target = module.get_function(fn_name)
+        if target is None or target.is_declaration:
+            return 0
+        return fn_pass(target)
+
+    return apply
+
+
+def evidence_check(
+    original: Module,
+    transformed: Module,
+    *,
+    seed: int,
+    vectors: int = 2,
+    step_limit: int = 50_000,
+    evaluator: str = "interp",
+) -> Tuple[bool, List[str]]:
+    """Offline replay of the gate's exact evidence; ``(ok, details)``.
+
+    The ladder's semantic levels are *evidence-based*: a commit attests
+    observation-equality on a small deterministic vector set, not a
+    proof of equivalence.  This helper re-derives precisely the vectors
+    a :class:`Validator` with the same ``seed``/``vectors`` would have
+    used (same per-function seed mixing) and checks that the final
+    ``transformed`` module still satisfies them against ``original`` --
+    the invariant a chaos storm can hold a validated run to.  Functions
+    the gate would have degraded on (exotic signatures, evaluator
+    failures on the original) are skipped here too.
+    """
+    details: List[str] = []
+    try:
+        original_program = program_for(original, evaluator)
+        transformed_program = program_for(transformed, evaluator)
+    except DeadlineExceeded:
+        raise
+    except Exception as error:
+        return (
+            False,
+            [f"evaluator setup failed: {type(error).__name__}: {error}"],
+        )
+    for fn in original.functions:
+        if fn.is_declaration:
+            continue
+        if transformed.get_function(fn.name) is None:
+            details.append(f"@{fn.name}: missing from transformed module")
+            continue
+        fn_seed = (
+            seed * 1_000_003 + zlib.crc32(fn.name.encode("utf-8"))
+        ) & 0x7FFFFFFF
+        try:
+            fn_vectors = make_argument_vectors(fn, fn_seed, max(1, vectors))
+        except ValueError:
+            continue  # the gate degraded to verify-only here; so do we
+        for vector in fn_vectors:
+            try:
+                expected = observe_call(
+                    original,
+                    fn.name,
+                    vector,
+                    step_limit=step_limit,
+                    evaluator=evaluator,
+                    program=original_program,
+                )
+            except DeadlineExceeded:
+                raise
+            except Exception:
+                break  # no reference evidence for this function
+            try:
+                actual = observe_call(
+                    transformed,
+                    fn.name,
+                    vector,
+                    step_limit=step_limit,
+                    evaluator=evaluator,
+                    program=transformed_program,
+                )
+            except DeadlineExceeded:
+                raise
+            except Exception as error:
+                details.append(
+                    f"@{fn.name} ({vector.describe()}): evaluator error "
+                    f"on transformed IR: {type(error).__name__}: {error}"
+                )
+                continue
+            detail = compare_observations(expected, actual)
+            if detail is not None:
+                details.append(
+                    f"@{fn.name} ({vector.describe()}): {detail}"
+                )
+    return (not details, details)
+
+
+class Validator:
+    """Gates transactions for one module's pipeline run.
+
+    One validator may be shared across every function of a module (the
+    per-function reference cache is keyed by name); use a fresh
+    validator per independently-transformed module copy.
+    """
+
+    def __init__(
+        self,
+        level: str = "fast",
+        *,
+        vectors: int = 2,
+        step_limit: int = 50_000,
+        guard_dir: Optional[str] = None,
+        evaluator: str = "interp",
+        seed: int = 0,
+    ) -> None:
+        if level not in VALIDATION_LEVELS:
+            raise ValueError(
+                f"unknown validation level {level!r} "
+                f"(expected one of {', '.join(VALIDATION_LEVELS)})"
+            )
+        self.level = level
+        self.vectors = max(1, vectors)
+        self.step_limit = step_limit
+        self.guard_dir = guard_dir
+        self.evaluator = evaluator
+        self.seed = seed
+        self.reports: List[GuardReport] = []
+        self._reference: Dict[str, _Reference] = {}
+
+    # -- transaction protocol ----------------------------------------------
+
+    def begin(self, fn: Function) -> FunctionSnapshot:
+        """Open a transaction: snapshot ``fn`` as best-known-good.
+
+        For the semantic levels the first transaction per function also
+        captures the reference observations, *before* any pass has had
+        a chance to mutate the IR.
+        """
+        if (
+            self.level in ("safe", "strict")
+            and fn.name not in self._reference
+        ):
+            self._reference[fn.name] = self._capture_reference(fn)
+        return FunctionSnapshot(fn)
+
+    def commit_or_rollback(
+        self,
+        fn: Function,
+        snapshot: FunctionSnapshot,
+        pass_name: str,
+        replay: Optional[Callable[[Function], object]] = None,
+    ) -> Optional[GuardReport]:
+        """Gate the edit: ``None`` commits it, a report means it was
+        rolled back to the snapshot.
+
+        ``replay`` optionally re-applies the pass (a function-pass
+        callable) to the same function in a freshly parsed module,
+        enabling repro minimization for deterministic failures.
+        """
+        if self.level == "off" or not snapshot.changed():
+            return None
+        failure = self._gate(fn, snapshot)
+        if failure is None:
+            return None
+        kind, detail, vector, expected, actual = failure
+        return self._rollback(
+            fn, snapshot, pass_name, kind, detail, replay,
+            vector=vector, expected=expected, actual=actual,
+        )
+
+    def rollback_exception(
+        self,
+        fn: Function,
+        snapshot: FunctionSnapshot,
+        pass_name: str,
+        error: BaseException,
+    ) -> GuardReport:
+        """A pass raised mid-transaction: restore and report."""
+        detail = f"{type(error).__name__}: {error}"
+        return self._rollback(
+            fn, snapshot, pass_name, "exception", detail, replay=None
+        )
+
+    # -- the ladder ---------------------------------------------------------
+
+    def _gate(
+        self, fn: Function, snapshot: FunctionSnapshot
+    ) -> Optional[_Failure]:
+        """A failure tuple, or ``None`` when the edit is accepted."""
+        try:
+            if self.level == "fast":
+                verify_blocks(fn, snapshot.touched_blocks())
+            else:
+                verify_function(fn)
+        except DeadlineExceeded:
+            raise
+        except VerificationError as error:
+            return ("verifier", str(error), None, None, None)
+        except Exception as error:
+            # The verifier is hardened against corrupt IR, but a gate
+            # must never let a diagnostic crash masquerade as a commit.
+            return (
+                "verifier",
+                f"verifier crashed: {type(error).__name__}: {error}",
+                None, None, None,
+            )
+        if self.level in ("safe", "strict"):
+            failure = self._check_semantics(fn)
+            if failure is not None:
+                return failure
+        if self.level == "strict":
+            failure = self._check_parity(fn)
+            if failure is not None:
+                return failure
+        return None
+
+    def _check_semantics(self, fn: Function) -> Optional[_Failure]:
+        reference = self._reference.get(fn.name)
+        module = fn.module
+        if not reference or module is None:
+            return None
+        try:
+            program = program_for(module, self.evaluator)
+        except DeadlineExceeded:
+            raise
+        except Exception as error:
+            return (
+                "semantics",
+                "evaluator setup failed on candidate: "
+                f"{type(error).__name__}: {error}",
+                None, None, None,
+            )
+        for vector, expected in reference:
+            try:
+                actual = observe_call(
+                    module,
+                    fn.name,
+                    vector,
+                    step_limit=self.step_limit,
+                    evaluator=self.evaluator,
+                    program=program,
+                )
+            except DeadlineExceeded:
+                raise
+            except Exception as error:
+                return (
+                    "semantics",
+                    f"evaluator error on candidate ({vector.describe()}): "
+                    f"{type(error).__name__}: {error}",
+                    vector, expected, None,
+                )
+            detail = compare_observations(expected, actual)
+            if detail is not None:
+                return (
+                    "semantics",
+                    f"{vector.describe()}: {detail}",
+                    vector, expected, actual,
+                )
+        return None
+
+    def _check_parity(self, fn: Function) -> Optional[_Failure]:
+        reference = self._reference.get(fn.name)
+        module = fn.module
+        if not reference or module is None:
+            return None
+        try:
+            compiled_program = program_for(module, "compiled")
+        except DeadlineExceeded:
+            raise
+        except Exception as error:
+            return (
+                "parity",
+                "compiling evaluator rejected candidate: "
+                f"{type(error).__name__}: {error}",
+                None, None, None,
+            )
+        for vector, _ in reference:
+            observed: Dict[str, Observation] = {}
+            for backend, program in (
+                ("interp", None), ("compiled", compiled_program)
+            ):
+                try:
+                    observed[backend] = observe_call(
+                        module,
+                        fn.name,
+                        vector,
+                        step_limit=self.step_limit,
+                        evaluator=backend,
+                        program=program,
+                    )
+                except DeadlineExceeded:
+                    raise
+                except Exception as error:
+                    return (
+                        "parity",
+                        f"{backend} evaluator error ({vector.describe()}): "
+                        f"{type(error).__name__}: {error}",
+                        vector, None, None,
+                    )
+            interp_obs = observed["interp"]
+            compiled_obs = observed["compiled"]
+            detail = compare_observations(interp_obs, compiled_obs)
+            if (
+                detail is None
+                and interp_obs.status == "ok"
+                and compiled_obs.status == "ok"
+                and interp_obs.steps != compiled_obs.steps
+            ):
+                detail = (
+                    f"step counts diverge: interp={interp_obs.steps} "
+                    f"compiled={compiled_obs.steps}"
+                )
+            if detail is not None:
+                return (
+                    "parity",
+                    f"interp vs compiled on {vector.describe()}: {detail}",
+                    vector, interp_obs, compiled_obs,
+                )
+        return None
+
+    # -- rollback + reporting ----------------------------------------------
+
+    def _rollback(
+        self,
+        fn: Function,
+        snapshot: FunctionSnapshot,
+        pass_name: str,
+        kind: str,
+        detail: str,
+        replay: Optional[Callable[[Function], object]],
+        vector: Optional[ArgumentVector] = None,
+        expected: Optional[Observation] = None,
+        actual: Optional[Observation] = None,
+    ) -> GuardReport:
+        module = fn.module
+        # Capture the rejected IR before restore wipes it.  Printing
+        # corrupt IR can itself fail; the rollback must not.
+        try:
+            after_fn_text = print_function(fn)
+        except Exception:
+            after_fn_text = "; <rejected IR unprintable>"
+        try:
+            after_module_text = (
+                print_module(module) if module is not None else after_fn_text
+            )
+        except Exception:
+            after_module_text = after_fn_text
+        snapshot.restore()
+        before_fn_text = print_function(fn)
+        report = GuardReport(
+            pass_name=pass_name,
+            function=fn.name,
+            failure_kind=kind,
+            detail=detail,
+            ir_diff=unified_ir_diff(
+                before_fn_text, after_fn_text, f"@{fn.name}"
+            ),
+            level=self.level,
+        )
+        if self.guard_dir:
+            self._write_bundle(
+                report, fn, after_module_text, replay,
+                vector=vector, expected=expected, actual=actual,
+            )
+        self.reports.append(report)
+        return report
+
+    def _write_bundle(
+        self,
+        report: GuardReport,
+        fn: Function,
+        after_module_text: str,
+        replay: Optional[Callable[[Function], object]],
+        vector: Optional[ArgumentVector],
+        expected: Optional[Observation],
+        actual: Optional[Observation],
+    ) -> None:
+        module = fn.module
+        try:
+            before_module_text = (
+                print_module(module)
+                if module is not None
+                else print_function(fn)
+            )
+        except Exception:
+            return  # restored IR unprintable: nothing useful to persist
+        reference = self._reference.get(fn.name) or []
+        if vector is None:
+            vector = reference[0][0] if reference else ArgumentVector(())
+        if expected is None:
+            expected = reference[0][1] if reference else Observation("ok")
+        if actual is None:
+            trap = (
+                "invalid-ir"
+                if report.failure_kind == "verifier"
+                else f"guard-{report.failure_kind}"
+            )
+            actual = Observation(status="trap", trap_kind=trap)
+        record = MismatchRecord(
+            fn_name=fn.name,
+            stage=report.pass_name,
+            vector=vector,
+            detail=report.detail,
+            ir_before=before_module_text,
+            ir_after=after_module_text,
+            expected=expected,
+            actual=actual,
+            origin=f"guard level={self.level}",
+        )
+        minimized = record
+        if replay is not None:
+            # Replay with fault injection suppressed: the minimizer must
+            # shrink the *pass's* misbehaviour, not keep re-rolling the
+            # injection dice (whose hit counters have moved on anyway).
+            stages = [
+                (report.pass_name, function_stage(fn.name, replay))
+            ]
+            try:
+                with active_plan(None):
+                    minimized = minimize_record(
+                        record,
+                        stages,
+                        step_limit=self.step_limit,
+                        evaluator=self.evaluator,
+                    )
+            except Exception:
+                minimized = record
+        if minimized is record:
+            record.notes.append(
+                "not minimized: failure did not reproduce on replay "
+                "(transient or injected fault)"
+                if replay is not None
+                else "not minimized: no deterministic replay available"
+            )
+        write_guard_bundle(report, minimized.to_text(), self.guard_dir)
+
+    # -- reference capture -------------------------------------------------
+
+    def _capture_reference(self, fn: Function) -> _Reference:
+        module = fn.module
+        if module is None or fn.is_declaration:
+            return None
+        try:
+            vectors = make_argument_vectors(
+                fn, self._vector_seed(fn.name), self.vectors
+            )
+        except ValueError:
+            return None  # exotic signature: degrade to verification only
+        try:
+            program = program_for(module, self.evaluator)
+        except DeadlineExceeded:
+            raise
+        except Exception:
+            return None
+        reference: List[Tuple[ArgumentVector, Observation]] = []
+        for vector in vectors:
+            try:
+                observation = observe_call(
+                    module,
+                    fn.name,
+                    vector,
+                    step_limit=self.step_limit,
+                    evaluator=self.evaluator,
+                    program=program,
+                )
+            except DeadlineExceeded:
+                raise
+            except Exception:
+                return None
+            reference.append((vector, observation))
+        return reference
+
+    def _vector_seed(self, fn_name: str) -> int:
+        material = fn_name.encode("utf-8")
+        return (self.seed * 1_000_003 + zlib.crc32(material)) & 0x7FFFFFFF

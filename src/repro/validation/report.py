@@ -1,0 +1,122 @@
+"""Structured guard-failure reports and on-disk repro bundles.
+
+A :class:`GuardReport` is the durable record of one rolled-back
+transaction: which pass, which function, what kind of gate tripped,
+a human-readable detail and a unified IR diff of the rejected edit.
+Reports are plain-dict serializable so they travel from worker
+processes back to the driver (and into the memo cache) unchanged.
+
+:func:`write_guard_bundle` persists the matching repro: a
+self-describing ``.ll`` (the difftest :class:`MismatchRecord` format,
+minimized when the failure replays deterministically) plus a ``.json``
+sidecar with the report.  Bundle filenames are content-addressed, so
+concurrent workers and warm-cache reruns write identical paths without
+coordination.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+#: The gate outcomes a report can carry.
+FAILURE_KINDS = ("verifier", "semantics", "parity", "exception")
+
+#: Unified diffs beyond this many lines are truncated (the full before
+#: IR lives in the repro bundle anyway).
+_MAX_DIFF_LINES = 120
+
+
+@dataclass
+class GuardReport:
+    """One rolled-back transaction, in portable form."""
+
+    #: The pass (or RoLAG decision) whose output was rejected.
+    pass_name: str
+    #: Function the transaction ran over.
+    function: str
+    #: One of :data:`FAILURE_KINDS`.
+    failure_kind: str
+    #: Human-readable gate verdict (verifier message, oracle mismatch,
+    #: exception text, ...).
+    detail: str
+    #: Unified diff best-known-good -> rejected IR (may be truncated).
+    ir_diff: str = ""
+    #: Repro bundle path, when one was written.
+    repro_path: Optional[str] = None
+    #: Validation level that tripped the gate.
+    level: str = "fast"
+    notes: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One log line: pass, function, kind, repro location."""
+        where = self.repro_path or "-"
+        return (
+            f"pass {self.pass_name!r} on @{self.function} "
+            f"[{self.failure_kind}] rolled back (level={self.level}, "
+            f"repro: {where}): {self.detail}"
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "GuardReport":
+        known = {f: data.get(f) for f in (
+            "pass_name", "function", "failure_kind", "detail", "ir_diff",
+            "repro_path", "level", "notes",
+        )}
+        known["ir_diff"] = known.get("ir_diff") or ""
+        known["level"] = known.get("level") or "fast"
+        known["notes"] = list(known.get("notes") or [])
+        return cls(**known)
+
+
+def unified_ir_diff(before: str, after: str, label: str = "") -> str:
+    """A unified diff of two IR texts, truncated for report transport."""
+    lines = list(
+        difflib.unified_diff(
+            before.splitlines(),
+            after.splitlines(),
+            fromfile=f"{label or 'ir'} (best known good)",
+            tofile=f"{label or 'ir'} (rejected)",
+            lineterm="",
+        )
+    )
+    if len(lines) > _MAX_DIFF_LINES:
+        dropped = len(lines) - _MAX_DIFF_LINES
+        lines = lines[:_MAX_DIFF_LINES] + [f"... ({dropped} lines truncated)"]
+    return "\n".join(lines)
+
+
+def write_guard_bundle(
+    report: GuardReport, repro_text: str, guard_dir: str
+) -> Optional[str]:
+    """Write the ``.ll`` repro + ``.json`` report pair under ``guard_dir``.
+
+    Returns the ``.ll`` path, or ``None`` when the directory cannot be
+    created or written (a lost repro must never take the run down).
+    The filename embeds a content hash: deterministic for a
+    deterministic failure, collision-free across workers.
+    """
+    try:
+        os.makedirs(guard_dir, exist_ok=True)
+        digest = hashlib.sha256(repro_text.encode("utf-8")).hexdigest()[:10]
+        safe_pass = report.pass_name.replace(":", "_").replace("/", "_")
+        stem = f"{report.function}_{safe_pass}_{digest}"
+        ll_path = os.path.join(guard_dir, f"{stem}.ll")
+        with open(ll_path, "w", encoding="utf-8") as handle:
+            handle.write(repro_text)
+        report.repro_path = ll_path
+        with open(
+            os.path.join(guard_dir, f"{stem}.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(report.to_json_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return ll_path
+    except OSError:
+        return None

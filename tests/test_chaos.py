@@ -41,6 +41,20 @@ class TestChaosPlans:
                 # serial path; the chaos menu must never include it.
                 assert spec.action != "abort"
 
+    def test_ir_faults_adds_corrupt_ir_at_every_pass_exit(self):
+        plan = build_chaos_plan(
+            random.Random(3), job_count=8, ir_faults=True
+        )
+        ir_specs = {
+            spec.site: spec.action
+            for spec in plan.specs
+            if spec.site.endswith(".exit")
+        }
+        assert ir_specs == {
+            "pipeline.pass.exit": "corrupt-ir",
+            "rolag.roll.exit": "corrupt-ir",
+        }
+
 
 @pytest.mark.slow
 class TestChaosCampaign:
@@ -58,6 +72,44 @@ class TestChaosCampaign:
         assert report.rounds[0].failed == 0
         assert report.ok, report.summary()
         assert "OK" in report.summary()
+
+    @pytest.mark.guard
+    def test_validated_ir_storm_commits_no_corruption(self, tmp_path):
+        report = run_chaos(
+            seed=3,
+            job_count=4,
+            rounds=3,
+            workers=1,
+            deadline=10.0,
+            base_dir=str(tmp_path),
+            validate="safe",
+            ir_faults=True,
+        )
+        assert report.ok, report.summary()
+        # Round 0 is fault-free: the gate must stay silent.
+        assert report.rounds[0].guard_failures == 0
+        # The storm rounds actually exercised the gate...
+        assert sum(r.guard_failures for r in report.rounds) > 0
+        # ...and nothing semantics-changing got through.
+        assert all(r.wrong_outputs == 0 for r in report.rounds)
+        assert "guard rollbacks" in report.summary()
+
+    @pytest.mark.guard
+    def test_unvalidated_ir_storm_miscompiles(self, tmp_path):
+        report = run_chaos(
+            seed=3,
+            job_count=4,
+            rounds=3,
+            workers=1,
+            deadline=10.0,
+            base_dir=str(tmp_path),
+            validate="off",
+            ir_faults=True,
+        )
+        # Wrong outputs are informational with the gate off: the same
+        # storm the validated campaign survives provably miscompiles.
+        assert report.ok, report.summary()
+        assert sum(r.wrong_outputs for r in report.rounds) >= 1
 
     def test_chaos_cli_exits_zero(self, tmp_path, capsys):
         from repro.cli import main

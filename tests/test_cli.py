@@ -75,6 +75,24 @@ class TestLoading:
         assert main(["/nonexistent/x.c", "--size"]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_unparsable_ll_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.ll"
+        path.write_text("define i32 @f( this is not IR")
+        assert main([str(path), "--size"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "Traceback" not in err
+
+    def test_unverifiable_ll_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.ll"
+        path.write_text(
+            "define void @f() {\nentry:\n  %x = add i32 1, 2\n}\n"
+        )
+        assert main([str(path), "--size"]) == 1
+        err = capsys.readouterr().err
+        assert "terminator" in err
+        assert "Traceback" not in err
+
 
 class TestActions:
     def test_roll_and_size(self, c_file, capsys):
@@ -141,5 +159,28 @@ class TestArgParser:
         parser = build_arg_parser()
         text = parser.format_help()
         for flag in ("--roll", "--reroll", "--unroll", "--size", "--run",
-                     "--loop-aware", "--emit-ir"):
+                     "--loop-aware", "--emit-ir", "--validate",
+                     "--guard-dir"):
             assert flag in text
+
+    def test_validate_flag_parses(self):
+        parser = build_arg_parser()
+        args = parser.parse_args(
+            ["x.c", "--validate", "safe", "--guard-dir", "guards"]
+        )
+        assert args.validate == "safe"
+        assert args.guard_dir == "guards"
+        assert parser.parse_args(["x.c"]).validate == "off"
+
+    def test_unknown_validate_level_rejected(self, capsys):
+        parser = build_arg_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["x.c", "--validate", "paranoid"])
+
+
+class TestValidatedSingleModule:
+    @pytest.mark.guard
+    def test_roll_under_validation_succeeds(self, c_file, capsys):
+        assert main([c_file, "--roll", "--validate", "safe", "--size"]) == 0
+        out = capsys.readouterr().out
+        assert "RoLAG rolled 1 loop(s)" in out

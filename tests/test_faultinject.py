@@ -24,6 +24,7 @@ from repro.faultinject import (
     current_deadline,
     deadline_scope,
     fire,
+    fire_ir,
     get_active_plan,
     install_plan,
     resolve_plan,
@@ -226,6 +227,71 @@ class TestCorruption:
         with active_plan(plan):
             fire("s")  # hit 1
             assert corrupt_bytes("s", b"aaaa") != b"aaaa"  # hit 2
+
+
+class TestCorruptIR:
+    SRC = """
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = sub i32 %a, 2
+  ret i32 %b
+}
+"""
+
+    def _module(self):
+        from repro.ir import parse_module
+
+        return parse_module(self.SRC)
+
+    def test_mutates_deterministically_and_verifier_clean(self):
+        from repro.ir import print_module, verify_module
+
+        def mutate():
+            module = self._module()
+            plan = FaultPlan.parse("site:corrupt-ir;seed=5")
+            with active_plan(plan):
+                fire_ir("site", module.get_function("f"))
+            # The corruption models a miscompiling pass: the verifier
+            # must stay happy, only the semantics may change.
+            verify_module(module)
+            return print_module(module)
+
+        original = print_module(self._module())
+        first = mutate()
+        assert first != original
+        assert first == mutate()
+
+    def test_noop_without_ir_function(self):
+        from repro.ir import print_module
+
+        module = self._module()
+        before = print_module(module)
+        plan = FaultPlan.parse("site:corrupt-ir")
+        with active_plan(plan):
+            fire("site")  # non-IR visit: nothing to corrupt, no crash
+        assert print_module(module) == before
+
+    def test_only_on_selected_hit(self):
+        from repro.ir import print_module
+
+        module = self._module()
+        fn = module.get_function("f")
+        before = print_module(module)
+        plan = FaultPlan.parse("site:corrupt-ir@2")
+        with active_plan(plan):
+            fire_ir("site", fn)
+            assert print_module(module) == before
+            fire_ir("site", fn)
+            assert print_module(module) != before
+
+    def test_spec_string_round_trips(self):
+        plan = FaultPlan.parse("rolag.roll.exit:corrupt-ir@2x*")
+        (spec,) = plan.specs
+        assert spec.action == "corrupt-ir"
+        assert FaultPlan.parse(plan.spec_string()).spec_string() == (
+            plan.spec_string()
+        )
 
 
 class TestDeadline:

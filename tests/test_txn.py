@@ -1,0 +1,423 @@
+"""Transactional pass execution and the online validation gate.
+
+Everything here exercises the real production ladder: snapshots are
+captured, passes run, and commits are gated exactly as in a validated
+corpus run.  The storm tests replay the ISSUE acceptance scenario --
+``corrupt-ir`` injected at every pass exit -- and hold the driver to
+the gate's contract with :func:`repro.validation.evidence_check`.
+"""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.bench import angha
+from repro.driver import FunctionJob, optimize_functions
+from repro.faultinject import clear_plan
+from repro.frontend import compile_c
+from repro.ir import (
+    ConstantInt,
+    FunctionSnapshot,
+    I32,
+    parse_module,
+    print_function,
+    print_module,
+    verify_function,
+)
+from repro.rolag import RolagConfig
+from repro.transforms.pass_manager import PassError
+from repro.transforms.txn import TransactionalPassManager
+from repro.validation import (
+    FAILURE_KINDS,
+    GuardReport,
+    Validator,
+    evidence_check,
+)
+
+pytestmark = pytest.mark.guard
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+SRC = """
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 2
+  ret i32 %b
+}
+"""
+
+TWO_BLOCK_SRC = """
+define i32 @g(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  br label %exit
+exit:
+  %b = mul i32 %a, 2
+  ret i32 %b
+}
+"""
+
+
+def _fn(src=SRC, name="f"):
+    module = parse_module(src)
+    return module, module.get_function(name)
+
+
+def bump_constant(fn):
+    """Verifier-clean but semantics-changing: the classic miscompile."""
+    for block in fn.blocks:
+        for inst in block.instructions:
+            for index, op in enumerate(inst.operands):
+                if isinstance(op, ConstantInt):
+                    inst.set_operand(
+                        index, ConstantInt(op.type, op.value + 1)
+                    )
+                    return 1
+    return 0
+
+
+def break_ssa(fn):
+    """Malformed output: hoist a user above its definition."""
+    insts = fn.blocks[0].instructions
+    insts[0], insts[1] = insts[1], insts[0]
+    return 1
+
+
+def explode(fn):
+    raise ZeroDivisionError("kaboom")
+
+
+class TestFunctionSnapshot:
+    def test_restore_roundtrip(self):
+        module, fn = _fn()
+        before = print_function(fn)
+        snapshot = FunctionSnapshot(fn)
+        assert not snapshot.changed()
+        bump_constant(fn)
+        break_ssa(fn)
+        assert snapshot.changed()
+        snapshot.restore()
+        assert print_function(fn) == before
+        verify_function(fn)
+        assert not snapshot.changed()
+
+    def test_identity_preserved_across_restore(self):
+        module, fn = _fn()
+        block_ids = [id(b) for b in fn.blocks]
+        inst_ids = [
+            id(i) for b in fn.blocks for i in b.instructions
+        ]
+        snapshot = FunctionSnapshot(fn)
+        first = fn.blocks[0].instructions[0]
+        first.replace_all_uses_with(fn.arguments[0])
+        first.erase_from_parent()
+        snapshot.restore()
+        assert [id(b) for b in fn.blocks] == block_ids
+        assert [
+            id(i) for b in fn.blocks for i in b.instructions
+        ] == inst_ids
+        verify_function(fn)
+
+    def test_touched_blocks_scoped_to_the_edit(self):
+        module, fn = _fn(TWO_BLOCK_SRC, "g")
+        snapshot = FunctionSnapshot(fn)
+        assert snapshot.touched_blocks() == []
+        exit_block = fn.blocks[1]
+        exit_block.instructions[0].set_operand(1, ConstantInt(I32, 3))
+        assert snapshot.touched_blocks() == [exit_block]
+        assert snapshot.changed()
+
+    def test_added_globals_rolled_back(self):
+        module, fn = _fn()
+        snapshot = FunctionSnapshot(fn)
+        module.add_global("__rolag_test", I32)
+        assert snapshot.changed()
+        snapshot.restore()
+        assert module.get_global("__rolag_test") is None
+
+
+class TestTransactionalRollback:
+    def test_semantic_corruption_rolled_back_at_safe(self):
+        module, fn = _fn()
+        before = print_function(fn)
+        validator = Validator("safe", seed=7)
+        pm = TransactionalPassManager(verify=False, validator=validator)
+        pm.add("evil", bump_constant)
+        assert pm.run(module) == 0
+        assert print_function(fn) == before
+        (report,) = validator.reports
+        assert report.pass_name == "evil"
+        assert report.function == "f"
+        assert report.failure_kind == "semantics"
+        assert report.level == "safe"
+        assert "@f" in report.ir_diff and "+" in report.ir_diff
+
+    def test_fast_level_misses_semantic_corruption(self):
+        # The ladder is honest about what each rung buys: a
+        # verifier-clean miscompile sails through `fast`.
+        module, fn = _fn()
+        before = print_function(fn)
+        validator = Validator("fast")
+        pm = TransactionalPassManager(verify=False, validator=validator)
+        pm.add("evil", bump_constant)
+        assert pm.run(module) == 1
+        assert print_function(fn) != before
+        assert validator.reports == []
+
+    def test_malformed_ir_rolled_back_at_fast(self):
+        module, fn = _fn()
+        before = print_function(fn)
+        validator = Validator("fast")
+        pm = TransactionalPassManager(verify=False, validator=validator)
+        pm.add("breaker", break_ssa)
+        assert pm.run(module) == 0
+        assert print_function(fn) == before
+        (report,) = validator.reports
+        assert report.failure_kind == "verifier"
+        assert "dominate" in report.detail
+
+    def test_raising_pass_degrades_one_decision(self):
+        module, fn = _fn()
+        before = print_function(fn)
+        ran = []
+
+        def witness(fn):
+            ran.append(fn.name)
+            return 0
+
+        validator = Validator("fast")
+        pm = TransactionalPassManager(verify=False, validator=validator)
+        pm.add("explode", explode).add("witness", witness)
+        assert pm.run(module) == 0
+        assert ran == ["f"]  # the pipeline continued past the crash
+        (report,) = validator.reports
+        assert report.failure_kind == "exception"
+        assert "ZeroDivisionError" in report.detail
+        assert print_function(fn) == before
+
+    def test_level_off_keeps_the_plain_contract(self):
+        module, fn = _fn()
+        pm = TransactionalPassManager(
+            verify=False, validator=Validator("off")
+        )
+        pm.add("explode", explode)
+        with pytest.raises(PassError):
+            pm.run(module)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown validation level"):
+            Validator("paranoid")
+
+
+class TestGuardBundles:
+    def test_bundle_written_and_self_describing(self, tmp_path):
+        module, fn = _fn()
+        guard_dir = str(tmp_path / "guards")
+        validator = Validator("safe", guard_dir=guard_dir, seed=1)
+        pm = TransactionalPassManager(verify=False, validator=validator)
+        pm.add("evil", bump_constant)
+        pm.run(module)
+        (report,) = validator.reports
+        assert report.repro_path and os.path.exists(report.repro_path)
+        assert os.path.basename(report.repro_path).startswith("f_evil_")
+        repro_text = open(report.repro_path).read()
+        assert "@f" in repro_text
+        sidecar = report.repro_path[:-3] + ".json"
+        data = json.loads(open(sidecar).read())
+        assert data["pass_name"] == "evil"
+        assert data["function"] == "f"
+        assert data["failure_kind"] == "semantics"
+        summary = GuardReport.from_json_dict(data).summary()
+        assert "'evil'" in summary and "@f" in summary
+        assert report.repro_path in summary
+
+
+class TestEvidenceCheck:
+    def test_identical_modules_pass(self):
+        ok, details = evidence_check(
+            parse_module(SRC), parse_module(SRC), seed=7
+        )
+        assert ok and details == []
+
+    def test_detects_a_miscompile(self):
+        module, fn = _fn()
+        bump_constant(fn)
+        ok, details = evidence_check(parse_module(SRC), module, seed=7)
+        assert not ok
+        assert details and "@f" in details[0]
+
+
+#: The ISSUE acceptance plan: semantics-changing corruption at *every*
+#: pass exit and every RoLAG rolling decision, unlimited firings.
+STORM_PLAN = (
+    "pipeline.pass.exit:corrupt-irx*;rolag.roll.exit:corrupt-irx*;seed=13"
+)
+
+
+def _ir_jobs(count, seed=2022):
+    # Precompiled IR text keeps the frontend out of the blast radius
+    # and gives the evidence oracle a parseable "before" module.
+    return [
+        FunctionJob(
+            name=cs.name,
+            ir_text=print_module(compile_c(cs.source, cs.name)),
+            metadata=(("family", cs.family),),
+        )
+        for cs in angha.generate_sources(count=count, seed=seed)
+    ]
+
+
+def _evidence(job, result, config):
+    vector_seed = zlib.crc32(job.text.encode("utf-8")) & 0x7FFFFFFF
+    return evidence_check(
+        parse_module(job.text),
+        parse_module(result.optimized_ir),
+        seed=vector_seed,
+        vectors=config.validate_vectors,
+        step_limit=config.validate_step_limit,
+        evaluator=config.validate_evaluator,
+    )
+
+
+@pytest.mark.fault
+class TestValidatedStorm:
+    """Corrupt-ir storm: validated runs commit nothing wrong; the same
+    storm unvalidated provably miscompiles (the gate is load-bearing)."""
+
+    def test_safe_storm_commits_no_corruption(self, tmp_path):
+        jobs = _ir_jobs(3)
+        config = RolagConfig(
+            validate="safe", guard_dir=str(tmp_path / "guards")
+        )
+        report = optimize_functions(
+            jobs, config, workers=1, retries=0, retry_backoff=0.0,
+            fault_plan=STORM_PLAN,
+        )
+        assert not any(r.failed for r in report.results)
+        assert report.stats.guard_failures > 0
+        assert report.stats.guard_failures == sum(
+            len(r.guard_reports) for r in report.results
+        )
+        for job, result in zip(jobs, report.results):
+            ok, details = _evidence(job, result, config)
+            assert ok, details
+        guards = [
+            GuardReport.from_json_dict(data)
+            for result in report.results
+            for data in result.guard_reports
+        ]
+        assert all(g.failure_kind in FAILURE_KINDS for g in guards)
+        with_repro = [g for g in guards if g.repro_path]
+        assert with_repro
+        for guard in with_repro:
+            assert os.path.exists(guard.repro_path)
+
+    def test_same_storm_unvalidated_miscompiles(self):
+        jobs = _ir_jobs(3)
+        config = RolagConfig()  # validate="off"
+        report = optimize_functions(
+            jobs, config, workers=1, retries=0, retry_backoff=0.0,
+            fault_plan=STORM_PLAN,
+        )
+        assert report.stats.guard_failures == 0
+        wrong = sum(
+            1
+            for job, result in zip(jobs, report.results)
+            if not result.failed and not _evidence(job, result, config)[0]
+        )
+        assert wrong >= 1
+
+    def test_validate_level_splits_the_cache(self, tmp_path):
+        jobs = _ir_jobs(1)
+        cache_dir = str(tmp_path / "cache")
+        first = optimize_functions(
+            jobs, RolagConfig(), workers=1, cache_dir=cache_dir
+        )
+        assert first.stats.cache_writes == 1
+        # A validated rerun must recompute: a result that was never
+        # gated is not evidence for a validated configuration.
+        second = optimize_functions(
+            jobs, RolagConfig(validate="fast"), workers=1,
+            cache_dir=cache_dir,
+        )
+        assert second.stats.cache_hits == 0
+
+
+@pytest.mark.fault
+class TestGuardContextPropagation:
+    """Satellite: GuardReport context (pass, function, repro path)
+    survives the trip through driver batches and the CLI summary."""
+
+    def _assert_context(self, report):
+        assert report.stats.guard_failures > 0
+        guards = [
+            GuardReport.from_json_dict(data)
+            for result in report.results
+            for data in result.guard_reports
+        ]
+        assert guards
+        for guard in guards:
+            assert guard.pass_name and guard.function
+            line = guard.summary()
+            assert guard.pass_name in line
+            assert f"@{guard.function}" in line
+            if guard.repro_path:
+                assert os.path.exists(guard.repro_path)
+                assert guard.repro_path in line
+
+    def test_serial_batch_carries_guard_context(self, tmp_path):
+        jobs = _ir_jobs(2)
+        config = RolagConfig(
+            validate="safe", guard_dir=str(tmp_path / "guards")
+        )
+        report = optimize_functions(
+            jobs, config, workers=1, retries=0, retry_backoff=0.0,
+            fault_plan=STORM_PLAN,
+        )
+        self._assert_context(report)
+
+    @pytest.mark.parallel
+    def test_parallel_batch_carries_guard_context(self, tmp_path):
+        jobs = _ir_jobs(4)
+        config = RolagConfig(
+            validate="safe", guard_dir=str(tmp_path / "guards")
+        )
+        report = optimize_functions(
+            jobs, config, workers=2, retries=0, retry_backoff=0.0,
+            fault_plan=STORM_PLAN,
+        )
+        self._assert_context(report)
+
+    def test_cli_batch_summary_names_pass_function_and_repro(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        paths = []
+        for cs in angha.generate_sources(count=2, seed=2022):
+            path = tmp_path / f"{cs.name}.c"
+            path.write_text(cs.source)
+            paths.append(str(path))
+        guard_dir = str(tmp_path / "guards")
+        code = main(paths + [
+            "--roll", "--jobs", "1", "--retries", "0",
+            "--validate", "safe", "--guard-dir", guard_dir,
+            "--fault-plan", STORM_PLAN,
+        ])
+        captured = capsys.readouterr()
+        # Rollbacks are the gate working, not a run failure.
+        assert code == 0, captured.err
+        assert "guard rollbacks:" in captured.out
+        assert "; GUARD" in captured.err
+        assert "rolled back" in captured.err
+        assert paths[0] in captured.err or paths[1] in captured.err
+        assert os.path.isdir(guard_dir) and os.listdir(guard_dir)

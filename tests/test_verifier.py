@@ -20,6 +20,7 @@ from repro.ir import (
     VerificationError,
     parse_module,
     ptr,
+    verify_blocks,
     verify_function,
     verify_module,
 )
@@ -131,6 +132,18 @@ class TestSSADominance:
         with pytest.raises(VerificationError, match="missing incoming"):
             verify_function(fn)
 
+    def test_phi_duplicate_incoming(self):
+        module, fn, entry = make_fn(ret=I32)
+        exit_block = fn.add_block("exit")
+        IRBuilder(entry).br(exit_block)
+        phi = Phi(I32)
+        phi.add_incoming(ConstantInt(I32, 1), entry)
+        phi.add_incoming(ConstantInt(I32, 2), entry)  # same edge twice
+        exit_block.append(phi)
+        IRBuilder(exit_block).ret(phi)
+        with pytest.raises(VerificationError, match="expected exactly one"):
+            verify_function(fn)
+
     def test_detached_operand(self):
         module, fn, block = make_fn(ret=I32)
         builder = IRBuilder(block)
@@ -197,6 +210,45 @@ class TestTypeChecks:
         IRBuilder(block).ret()
         with pytest.raises(VerificationError, match="arity"):
             verify_function(fn)
+
+
+class TestIncrementalVerify:
+    """`verify_blocks` backs the transactional `fast` gate: it must
+    see every error inside the touched set, and nothing else."""
+
+    def _two_block_fn(self):
+        module, fn, entry = make_fn(ret=I32, params=[I32])
+        exit_block = fn.add_block("exit")
+        IRBuilder(entry).br(exit_block)
+        builder = IRBuilder(exit_block)
+        x = builder.add(fn.arguments[0], builder.i32(1))
+        builder.ret(x)
+        return fn, entry, exit_block
+
+    def test_catches_corruption_in_touched_block(self):
+        fn, entry, exit_block = self._two_block_fn()
+        insts = exit_block.instructions
+        insts[0], insts[1] = insts[1], insts[0]  # use before def
+        with pytest.raises(VerificationError):
+            verify_blocks(fn, [exit_block])
+
+    def test_untouched_blocks_are_not_rechecked(self):
+        fn, entry, exit_block = self._two_block_fn()
+        insts = exit_block.instructions
+        insts[0], insts[1] = insts[1], insts[0]
+        # Incremental contract: trusting the untouched set means a
+        # corruption outside it goes unseen -- that is the `fast`
+        # level's documented blind spot, not a bug.
+        verify_blocks(fn, [entry])
+
+    def test_foreign_blocks_are_skipped(self):
+        fn, entry, exit_block = self._two_block_fn()
+        module, other_fn, other_block = make_fn()
+        verify_blocks(fn, [other_block])  # not ours: no-op, no crash
+
+    def test_empty_selection_is_a_noop(self):
+        fn, entry, exit_block = self._two_block_fn()
+        verify_blocks(fn, [])
 
 
 class TestUseListIntegrity:
