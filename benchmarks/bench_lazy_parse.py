@@ -1,0 +1,103 @@
+"""Lazy module parsing: sub-linear cost when only a few bodies matter.
+
+``parse_module(source, lazy=True)`` tokenizes and indexes function
+boundaries up front but materializes each body only on first touch of
+``fn.blocks``.  On a large multi-function module where a consumer
+needs one function -- the driver picking a single job out of a corpus
+dump, the bisector replaying one suspect -- the eager parser pays for
+every body while the lazy parser pays for one.
+
+Three timed configurations over the same large module source:
+
+* eager parse (every body built),
+* lazy parse, untouched (top-level scan only),
+* lazy parse + touching exactly one body (the realistic consumer).
+
+Correctness bar: forcing *every* lazy body and printing must be
+byte-identical to the eager parse's print.  Performance bar: the
+touch-one configuration must beat eager parsing by at least
+``MIN_SPEEDUP``x (asserted on min-of-rounds to shrug off scheduler
+noise; skipped in ``--bench-quick`` runs where the module is small).
+"""
+
+from time import perf_counter
+
+from conftest import save_and_print
+
+from repro.difftest.fuzzer import FunctionFuzzer
+from repro.ir import parse_module, print_module
+
+ROUNDS = 5
+MIN_SPEEDUP = 3.0
+
+
+def _large_module_source(functions):
+    """One module holding ``functions`` fuzzed bodies (distinct names)."""
+    fuzzer = FunctionFuzzer(2022)
+    parts = []
+    for index in range(functions):
+        module, fn_name = fuzzer.build(index)
+        text = print_module(module)
+        parts.append(text.replace(f"@{fn_name}", f"@{fn_name}_{index}"))
+    return "\n".join(parts)
+
+
+def _best(fn):
+    times = []
+    for _ in range(ROUNDS):
+        start = perf_counter()
+        fn()
+        times.append(perf_counter() - start)
+    return min(times)
+
+
+def test_lazy_parse_scales_with_touched_bodies(results_dir, bench_quick):
+    functions = 30 if bench_quick else 150
+    source = _large_module_source(functions)
+
+    # Correctness first: forcing everything reproduces the eager parse.
+    eager_module = parse_module(source)
+    lazy_module = parse_module(source, lazy=True)
+    assert print_module(lazy_module) == print_module(eager_module)
+
+    target = eager_module.functions[functions // 2].name
+
+    def eager():
+        parse_module(source)
+
+    def lazy_untouched():
+        parse_module(source, lazy=True)
+
+    def lazy_touch_one():
+        module = parse_module(source, lazy=True)
+        module.get_function(target).blocks
+
+    # Warm once each (token cache, allocator steady state).
+    eager()
+    lazy_untouched()
+    lazy_touch_one()
+
+    best_eager = _best(eager)
+    best_scan = _best(lazy_untouched)
+    best_one = _best(lazy_touch_one)
+
+    text = "\n".join(
+        [
+            "=== Lazy module parsing "
+            f"({functions} functions, {len(source)} bytes) ===",
+            f"eager parse (all bodies):    best {best_eager * 1e3:8.1f} ms",
+            f"lazy parse (scan only):      best {best_scan * 1e3:8.1f} ms",
+            f"lazy parse + one body:       best {best_one * 1e3:8.1f} ms",
+            f"speedup, touch-one vs eager: {best_eager / best_one:6.2f}x "
+            f"(bar: {MIN_SPEEDUP:.1f}x)",
+            f"speedup, scan-only vs eager: {best_eager / best_scan:6.2f}x",
+        ]
+    )
+    save_and_print(results_dir, "lazy_parse.txt", text)
+
+    assert best_scan <= best_eager, "a bare scan must not cost more than a full parse"
+    if not bench_quick:
+        assert best_eager / best_one >= MIN_SPEEDUP, (
+            f"lazy touch-one speedup {best_eager / best_one:.2f}x below "
+            f"{MIN_SPEEDUP:.1f}x bar"
+        )

@@ -21,7 +21,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 
@@ -29,7 +28,12 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
-from repro.bench.perfsuite import render_perf_suite, run_perf_suite
+from repro.bench.perfsuite import (
+    BACKENDS,
+    render_perf_suite,
+    run_perf_suite,
+    write_bench_json,
+)
 
 
 def main(argv=None) -> int:
@@ -39,6 +43,12 @@ def main(argv=None) -> int:
         "--count", type=int, default=2000, help="difftest campaign size"
     )
     parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="let a --quick run overwrite an existing full-run JSON "
+        "(by default it is diverted to a *_quick.json sidecar)",
+    )
     parser.add_argument("--json", default="BENCH_compiled_eval.json")
     parser.add_argument("--text", default="results/ext_compiled_eval.txt")
     args = parser.parse_args(argv)
@@ -47,20 +57,18 @@ def main(argv=None) -> int:
         seed=args.seed, difftest_count=args.count, quick=args.quick
     )
     text = render_perf_suite(results)
-    with open(args.json, "w", encoding="utf-8") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    wrote_primary = write_bench_json(args.json, results, force=args.force)
     os.makedirs(os.path.dirname(args.text) or ".", exist_ok=True)
     with open(args.text, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
     print(text)
-    print(f"; json written: {args.json}")
+    if wrote_primary:
+        print(f"; json written: {args.json}")
     print(f"; text written: {args.text}")
 
     campaign = results["difftest_campaign"]
     ok = (
-        campaign["interp"]["mismatches"] == 0
-        and campaign["compiled"]["mismatches"] == 0
+        all(campaign[backend]["mismatches"] == 0 for backend in BACKENDS)
         and results["parity"]["mismatches"] == 0
         and results["tsvc_dynamic"]["steps_equal"]
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from ..ir.instructions import Alloca, Call, Cast, GetElementPtr, Store
 from ..ir.module import Function
@@ -92,6 +92,32 @@ class AliasAnalysis:
         self.function = fn
         self.layout = layout
         self._escaped: Set[int] = self._compute_escaped(fn)
+        # Memo tables keyed by value identity.  Valid for the lifetime
+        # of this analysis because queries run while the function body
+        # is unmodified (the rolling pipeline rebuilds the analysis
+        # after any mutation).  Each entry also keeps the queried value
+        # alive so a recycled id() can never resurrect a stale answer.
+        self._bases: Dict[int, Tuple[Value, Value]] = {}
+        self._offsets: Dict[int, Tuple[Value, Optional[int]]] = {}
+        self._queries: Dict[Tuple[int, int, int, int], AliasResult] = {}
+
+    def base_of(self, pointer: Value) -> Value:
+        """Memoized :func:`underlying_object`."""
+        key = id(pointer)
+        hit = self._bases.get(key)
+        if hit is None:
+            hit = (pointer, underlying_object(pointer))
+            self._bases[key] = hit
+        return hit[1]
+
+    def offset_of(self, pointer: Value) -> Optional[int]:
+        """Memoized :func:`constant_offset` (layout-consistent)."""
+        key = id(pointer)
+        hit = self._offsets.get(key)
+        if hit is None:
+            hit = (pointer, constant_offset(pointer, self.layout))
+            self._offsets[key] = hit
+        return hit[1]
 
     @staticmethod
     def _compute_escaped(fn: Function) -> Set[int]:
@@ -118,12 +144,30 @@ class AliasAnalysis:
         size_b: int,
     ) -> AliasResult:
         """Do ``[ptr_a, ptr_a+size_a)`` and ``[ptr_b, ptr_b+size_b)`` overlap?"""
-        base_a = underlying_object(ptr_a)
-        base_b = underlying_object(ptr_b)
+        key = (id(ptr_a), size_a, id(ptr_b), size_b)
+        cached = self._queries.get(key)
+        if cached is not None:
+            return cached
+        result = self._alias_uncached(ptr_a, size_a, ptr_b, size_b)
+        # The memoized base_of/offset_of entries already pin both
+        # pointers, so the id-based key stays unambiguous.
+        self._queries[key] = result
+        self._queries[(id(ptr_b), size_b, id(ptr_a), size_a)] = result
+        return result
+
+    def _alias_uncached(
+        self,
+        ptr_a: Value,
+        size_a: int,
+        ptr_b: Value,
+        size_b: int,
+    ) -> AliasResult:
+        base_a = self.base_of(ptr_a)
+        base_b = self.base_of(ptr_b)
 
         if base_a is base_b:
-            off_a = constant_offset(ptr_a, self.layout)
-            off_b = constant_offset(ptr_b, self.layout)
+            off_a = self.offset_of(ptr_a)
+            off_b = self.offset_of(ptr_b)
             if off_a is None or off_b is None:
                 return AliasResult.MAY
             if off_a == off_b and size_a == size_b:

@@ -64,19 +64,27 @@ class DependenceGraph:
                 if i is not None and i < j:
                     self.edges[j].add(i)
 
-        # Memory ordering edges.
-        mem_ops = [
-            (i, inst) for i, inst in enumerate(insts) if any(_access_kind(inst))
-        ]
+        # Memory ordering edges.  Classify and locate each access once
+        # up front: the pair loop below is quadratic in the number of
+        # memory operations, so per-pair re-derivation dominates the
+        # build on store-heavy (i.e. rollable) blocks.
+        mem_ops = []
+        for i, inst in enumerate(insts):
+            reads, writes = _access_kind(inst)
+            if reads or writes:
+                mem_ops.append((i, inst, writes, self._location(inst, layout)))
+        alias = aa.alias
         for a_pos in range(len(mem_ops)):
-            i, inst_i = mem_ops[a_pos]
-            reads_i, writes_i = _access_kind(inst_i)
+            i, inst_i, writes_i, loc_i = mem_ops[a_pos]
             for b_pos in range(a_pos + 1, len(mem_ops)):
-                j, inst_j = mem_ops[b_pos]
-                reads_j, writes_j = _access_kind(inst_j)
+                j, inst_j, writes_j, loc_j = mem_ops[b_pos]
                 if not (writes_i or writes_j):
                     continue  # read-read never conflicts
-                if self._may_conflict(inst_i, inst_j, aa, layout):
+                if loc_i is None or loc_j is None:
+                    # A call with unknown effects conflicts with
+                    # everything except the read-read pairs above.
+                    self.edges[j].add(i)
+                elif alias(*loc_i, *loc_j) is not AliasResult.NO:
                     self.edges[j].add(i)
 
     @staticmethod

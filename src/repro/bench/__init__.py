@@ -13,7 +13,7 @@ from .harness import (
     run_tsvc_experiment,
 )
 from .objsize import SizeReport, function_size, measure_module, reduction_percent
-from .perfsuite import render_perf_suite, run_perf_suite
+from .perfsuite import render_perf_suite, run_perf_suite, write_bench_json
 from .reporting import ascii_curve, format_table, histogram
 
 __all__ = [
@@ -38,4 +38,5 @@ __all__ = [
     "run_tsvc_ablation",
     "run_tsvc_experiment",
     "tsvc",
+    "write_bench_json",
 ]

@@ -1,10 +1,12 @@
 """Evaluator-backend performance suite (machine-readable).
 
-One entry point, :func:`run_perf_suite`, measures the compiled
-evaluator (``repro.ir.compile_eval``) against the reference
-interpreter on the workloads that motivated it and returns a plain
-JSON-serializable dict -- the payload behind ``repro bench``,
-``benchmarks/emit_bench_json.py`` and ``BENCH_compiled_eval.json``.
+One entry point, :func:`run_perf_suite`, measures every execution
+backend -- the reference interpreter, the closure-compiling evaluator
+(``repro.ir.compile_eval``) and the superinstruction bytecode machine
+(``repro.ir.bytecode_eval``) -- on the workloads that motivated them
+and returns a plain JSON-serializable dict: the payload behind
+``repro bench``, ``benchmarks/emit_bench_json.py`` and
+``BENCH_compiled_eval.json``.
 
 Four experiments:
 
@@ -13,7 +15,9 @@ Four experiments:
     mismatch count (which must be zero).  The campaign also parses,
     prints, rolls and bisects, so by Amdahl's law its speedup is
     bounded by the share of time spent evaluating -- the honest
-    whole-campaign number, reported as measured.
+    whole-campaign number.  Each backend's campaign is timed
+    ``campaign_repeats`` times and the best run is recorded (the
+    standard defence against scheduler noise on short regions).
 ``oracle_observations``
     The evaluation-dominated slice of the same campaign: repeated
     observations of already-built fuzzer modules (no transforms, one
@@ -25,11 +29,13 @@ Four experiments:
     payoff.
 ``parity``
     The fuzzer parity smoke: full Observation equality (status, trap
-    kind, memory, extern traces, steps) across backends.
+    kind, memory, extern traces, steps) across all backends.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from typing import Dict, List, Optional
 
@@ -42,16 +48,29 @@ from ..difftest.oracle import (
 from ..difftest.parity import check_backend_parity
 from ..difftest.runner import run_difftest
 from ..ir import parse_module, print_module
-from ..ir.compile_eval import make_machine
+from ..ir.compile_eval import EVALUATOR_CHOICES, make_machine
 from . import tsvc
 
+#: Every measured backend, reference interpreter first.
+BACKENDS = tuple(EVALUATOR_CHOICES)
 
-def _time_difftest(seed: int, count: int, evaluator: str) -> Dict[str, object]:
-    start = time.perf_counter()
-    report = run_difftest(seed=seed, count=count, evaluator=evaluator)
+
+def _time_difftest(
+    seed: int, count: int, evaluator: str, repeats: int = 2
+) -> Dict[str, object]:
+    """Best-of-``repeats`` campaign wall time for one backend."""
+    best = None
+    report = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        report = run_difftest(seed=seed, count=count, evaluator=evaluator)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
     return {
         "evaluator": evaluator,
-        "seconds": time.perf_counter() - start,
+        "seconds": best,
+        "runs": max(repeats, 1),
         "mismatches": len(report.mismatches),
         "unexplained": len(report.unexplained),
         "rolled_loops": report.rolled_loops,
@@ -128,6 +147,10 @@ def _time_tsvc_dynamic(
     }
 
 
+def _speedup(reference: float, candidate: float) -> float:
+    return reference / candidate if candidate else 0.0
+
+
 def run_perf_suite(
     seed: int = 0,
     difftest_count: int = 2000,
@@ -137,8 +160,9 @@ def run_perf_suite(
     tsvc_kernels: Optional[List[str]] = None,
     tsvc_calls: int = 100,
     quick: bool = False,
+    campaign_repeats: int = 2,
 ) -> Dict[str, object]:
-    """Measure compiled vs. interpreted on every headline workload.
+    """Measure every backend against the interpreter on each workload.
 
     ``quick`` shrinks every count for smoke-test runs; the saved JSON
     records the effective sizes either way so numbers are never
@@ -152,49 +176,58 @@ def run_perf_suite(
 
     kernels = tsvc_kernels or tsvc.kernel_names()[:12]
 
-    campaign = {
-        "seed": seed,
-        "count": difftest_count,
-        "interp": _time_difftest(seed, difftest_count, "interp"),
-        "compiled": _time_difftest(seed, difftest_count, "compiled"),
-    }
-    campaign["speedup"] = (
-        campaign["interp"]["seconds"] / campaign["compiled"]["seconds"]
-        if campaign["compiled"]["seconds"]
-        else 0.0
+    campaign: Dict[str, object] = {"seed": seed, "count": difftest_count}
+    for backend in BACKENDS:
+        campaign[backend] = _time_difftest(
+            seed, difftest_count, backend, repeats=campaign_repeats
+        )
+    campaign["speedup"] = _speedup(
+        campaign["interp"]["seconds"], campaign["compiled"]["seconds"]
+    )
+    campaign["speedup_bytecode"] = _speedup(
+        campaign["interp"]["seconds"], campaign["bytecode"]["seconds"]
     )
 
-    # Short timed regions are noisy: best-of-two keeps the row stable.
-    oracle_interp = min(
-        _time_oracle_only(seed, oracle_count, "interp") for _ in range(2)
-    )
-    oracle_compiled = min(
-        _time_oracle_only(seed, oracle_count, "compiled") for _ in range(2)
-    )
+    # Short timed regions are noisy: best-of-two keeps each row stable.
+    oracle_seconds = {
+        backend: min(
+            _time_oracle_only(seed, oracle_count, backend) for _ in range(2)
+        )
+        for backend in BACKENDS
+    }
     oracle = {
         "seed": seed,
         "count": oracle_count,
-        "interp_seconds": oracle_interp,
-        "compiled_seconds": oracle_compiled,
-        "speedup": oracle_interp / oracle_compiled if oracle_compiled else 0.0,
+        "interp_seconds": oracle_seconds["interp"],
+        "compiled_seconds": oracle_seconds["compiled"],
+        "bytecode_seconds": oracle_seconds["bytecode"],
+        "speedup": _speedup(
+            oracle_seconds["interp"], oracle_seconds["compiled"]
+        ),
+        "speedup_bytecode": _speedup(
+            oracle_seconds["interp"], oracle_seconds["bytecode"]
+        ),
     }
 
-    tsvc_interp = _time_tsvc_dynamic(kernels, tsvc_factor, "interp", tsvc_calls)
-    tsvc_compiled = _time_tsvc_dynamic(
-        kernels, tsvc_factor, "compiled", tsvc_calls
-    )
+    tsvc_runs = {
+        backend: _time_tsvc_dynamic(kernels, tsvc_factor, backend, tsvc_calls)
+        for backend in BACKENDS
+    }
     tsvc_dynamic = {
         "kernels": kernels,
         "factor": tsvc_factor,
-        "interp": tsvc_interp,
-        "compiled": tsvc_compiled,
-        "steps_equal": tsvc_interp["steps"] == tsvc_compiled["steps"],
-        "speedup": (
-            tsvc_interp["seconds"] / tsvc_compiled["seconds"]
-            if tsvc_compiled["seconds"]
-            else 0.0
+        "steps_equal": all(
+            tsvc_runs[backend]["steps"] == tsvc_runs["interp"]["steps"]
+            for backend in BACKENDS
+        ),
+        "speedup": _speedup(
+            tsvc_runs["interp"]["seconds"], tsvc_runs["compiled"]["seconds"]
+        ),
+        "speedup_bytecode": _speedup(
+            tsvc_runs["interp"]["seconds"], tsvc_runs["bytecode"]["seconds"]
         ),
     }
+    tsvc_dynamic.update(tsvc_runs)
 
     parity_mismatches = check_backend_parity(seed, parity_count)
     parity = {
@@ -214,6 +247,41 @@ def run_perf_suite(
     }
 
 
+def write_bench_json(
+    path: str, results: Dict[str, object], force: bool = False
+) -> bool:
+    """Write one perf-suite payload, refusing quick-over-full clobbers.
+
+    A ``--bench-quick`` run measures smoke-sized workloads; letting it
+    silently replace a full-run ``BENCH_*.json`` poisons trend
+    tracking (it happened: a committed payload carried
+    ``"quick": true``).  A quick payload aimed at a path holding a
+    full-run payload is therefore diverted to a ``*_quick.json``
+    sidecar unless ``force`` is set.  Returns ``True`` when ``path``
+    itself was written, ``False`` when the sidecar was used.
+    """
+    diverted = False
+    if results.get("quick") and not force and os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict) and not existing.get("quick", False):
+            base, ext = os.path.splitext(path)
+            path = f"{base}_quick{ext or '.json'}"
+            diverted = True
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if diverted:
+        print(
+            f"; quick run diverted to {path} "
+            "(existing full-run payload preserved; pass --force to overwrite)"
+        )
+    return not diverted
+
+
 def render_perf_suite(results: Dict[str, object]) -> str:
     """A human-readable report of one :func:`run_perf_suite` payload."""
     from .reporting import format_table
@@ -228,30 +296,42 @@ def render_perf_suite(results: Dict[str, object]) -> str:
             f"--count {campaign['count']}",
             f"{campaign['interp']['seconds']:.2f}s",
             f"{campaign['compiled']['seconds']:.2f}s",
+            f"{campaign['bytecode']['seconds']:.2f}s",
             f"{campaign['speedup']:.2f}x",
+            f"{campaign['speedup_bytecode']:.2f}x",
         ),
         (
             f"oracle observations ({oracle['count']} fuzzed cases, "
             f"repeated sweeps)",
             f"{oracle['interp_seconds']:.2f}s",
             f"{oracle['compiled_seconds']:.2f}s",
+            f"{oracle['bytecode_seconds']:.2f}s",
             f"{oracle['speedup']:.2f}x",
+            f"{oracle['speedup_bytecode']:.2f}x",
         ),
         (
             f"TSVC dynamic execution ({len(tsvc_dyn['kernels'])} kernels, "
             f"factor {tsvc_dyn['factor']}, x{tsvc_dyn['interp']['calls']})",
             f"{tsvc_dyn['interp']['seconds']:.2f}s",
             f"{tsvc_dyn['compiled']['seconds']:.2f}s",
+            f"{tsvc_dyn['bytecode']['seconds']:.2f}s",
             f"{tsvc_dyn['speedup']:.2f}x",
+            f"{tsvc_dyn['speedup_bytecode']:.2f}x",
         ),
     ]
-    lines = ["Compiled evaluator vs reference interpreter"]
+    lines = ["Evaluator backends vs reference interpreter"]
     lines.append(
-        format_table(["Workload", "interp", "compiled", "speedup"], rows)
+        format_table(
+            ["Workload", "interp", "compiled", "bytecode", "comp", "byte"],
+            rows,
+        )
     )
     lines.append(
-        f"difftest mismatches: interp={campaign['interp']['mismatches']} "
-        f"compiled={campaign['compiled']['mismatches']}"
+        "difftest mismatches: "
+        + " ".join(
+            f"{backend}={campaign[backend]['mismatches']}"
+            for backend in BACKENDS
+        )
     )
     lines.append(
         f"TSVC step counts identical across backends: "

@@ -404,28 +404,32 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 
 def run_bench_command(argv: List[str]) -> int:
-    """``repro bench ...``: measure both backends, write JSON (+ text)."""
-    import json
-
-    from .bench.perfsuite import render_perf_suite, run_perf_suite
+    """``repro bench ...``: measure every backend, write JSON (+ text)."""
+    from .bench.perfsuite import (
+        BACKENDS,
+        render_perf_suite,
+        run_perf_suite,
+        write_bench_json,
+    )
 
     args = build_bench_parser().parse_args(argv)
     results = run_perf_suite(
         seed=args.seed, difftest_count=args.count, quick=args.quick
     )
-    with open(args.json, "w", encoding="utf-8") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    wrote_primary = write_bench_json(args.json, results)
     text = render_perf_suite(results)
     print(text)
-    print(f"; json written: {args.json}")
+    if wrote_primary:
+        print(f"; json written: {args.json}")
     if args.text:
         with open(args.text, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
         print(f"; text written: {args.text}")
     failed = (
-        results["difftest_campaign"]["interp"]["mismatches"]
-        or results["difftest_campaign"]["compiled"]["mismatches"]
+        any(
+            results["difftest_campaign"][backend]["mismatches"]
+            for backend in BACKENDS
+        )
         or results["parity"]["mismatches"]
         or not results["tsvc_dynamic"]["steps_equal"]
     )

@@ -150,7 +150,7 @@ def _make_handler(name: str, return_type):
     return handler
 
 
-def program_for(module: Module, evaluator: str) -> Optional[CompiledProgram]:
+def program_for(module: Module, evaluator: str):
     """A shareable compilation cache, or ``None`` for the interpreter.
 
     Pass the result to every :func:`observe_call` against the same
@@ -158,6 +158,10 @@ def program_for(module: Module, evaluator: str) -> Optional[CompiledProgram]:
     """
     if evaluator == "compiled":
         return CompiledProgram(module)
+    if evaluator == "bytecode":
+        from ..ir.bytecode_eval import BytecodeProgram
+
+        return BytecodeProgram(module)
     return None
 
 
@@ -167,7 +171,7 @@ def observe_call(
     vector: ArgumentVector,
     step_limit: int = DEFAULT_STEP_LIMIT,
     evaluator: str = "interp",
-    program: Optional[CompiledProgram] = None,
+    program: Optional[object] = None,
 ) -> Observation:
     """Run ``@fn_name`` on a fresh machine and capture the observation.
 

@@ -1,14 +1,16 @@
-"""Cross-backend parity: compiled evaluator vs. reference interpreter.
+"""Cross-backend parity: every evaluator tier vs. the reference interpreter.
 
 PR 2's differential oracle checks *transforms* against the
 interpreter; this layer turns the same fuzzer corpus into a harness
-for *evaluator backends* (``repro.ir.compile_eval``).  Every fuzzed
-function is observed under each backend on identical argument vectors,
-and the full :class:`~repro.difftest.oracle.Observation` must compare
-**equal** -- not merely :func:`compare_observations`-equivalent.  That
-pins results, final global/buffer bytes, extern traces, trap statuses
-*and kinds*, and the dynamic step count, which the cost model's
-profile guidance relies on.
+for *evaluator backends* (``repro.ir.compile_eval``'s closure compiler
+and ``repro.ir.bytecode_eval``'s superinstruction register machine).
+Every fuzzed function is observed under each backend on identical
+argument vectors, and the full
+:class:`~repro.difftest.oracle.Observation` must compare **equal** --
+not merely :func:`compare_observations`-equivalent.  That pins
+results, final global/buffer bytes, extern traces, trap statuses *and
+kinds*, and the dynamic step count, which the cost model's profile
+guidance relies on.
 
 With ``run_pipeline=True`` each case is additionally pushed through
 the full cleanup + reroll + RoLAG pipeline and the transformed module
@@ -34,7 +36,13 @@ from .oracle import (
 )
 
 
-def _describe_diff(reference: Observation, candidate: Observation) -> str:
+#: Non-reference backends the parity sweep checks against the interpreter.
+PARITY_BACKENDS = ("compiled", "bytecode")
+
+
+def _describe_diff(
+    reference: Observation, candidate: Observation, backend: str = "compiled"
+) -> str:
     if reference == candidate:
         return "equal"
     parts = []
@@ -50,7 +58,7 @@ def _describe_diff(reference: Observation, candidate: Observation) -> str:
         ref = getattr(reference, name)
         cand = getattr(candidate, name)
         if ref != cand:
-            parts.append(f"{name}: interp={ref!r} compiled={cand!r}")
+            parts.append(f"{name}: interp={ref!r} {backend}={cand!r}")
     return "; ".join(parts)
 
 
@@ -62,13 +70,16 @@ def check_backend_parity(
     run_pipeline: bool = True,
     config: Optional[RolagConfig] = None,
     fuzz_config: Optional[FuzzConfig] = None,
+    backends: tuple = PARITY_BACKENDS,
 ) -> List[str]:
-    """Observe ``count`` fuzzed cases under both backends.
+    """Observe ``count`` fuzzed cases under every backend.
 
-    Returns a list of human-readable mismatch descriptions; an empty
-    list is the passing verdict.  Timeouts must also agree: both
-    backends count steps identically, so a budget exhausted under one
-    must be exhausted under the other at the same count.
+    Each backend in ``backends`` (default: all non-interpreter tiers)
+    is compared against the reference interpreter.  Returns a list of
+    human-readable mismatch descriptions; an empty list is the passing
+    verdict.  Timeouts must also agree: all backends count steps
+    identically, so a budget exhausted under one must be exhausted
+    under the others at the same count.
     """
     fuzzer = FunctionFuzzer(seed, fuzz_config)
     mismatches: List[str] = []
@@ -97,42 +108,58 @@ def check_backend_parity(
             fn, (seed * 1_000_003 + index) & 0x7FFFFFFF, vectors_per_case
         )
         for variant_name, variant in variants:
-            try:
-                program = program_for(variant, "compiled")
-            except Exception as error:
-                mismatches.append(
-                    f"seed={seed} index={index} {variant_name} "
-                    f"@{fn_name}: compiled backend failed to build: "
-                    f"{type(error).__name__}: {error}"
-                )
+            programs = {}
+            build_failed = False
+            for backend in backends:
+                try:
+                    programs[backend] = program_for(variant, backend)
+                except Exception as error:
+                    mismatches.append(
+                        f"seed={seed} index={index} {variant_name} "
+                        f"@{fn_name}: {backend} backend failed to build: "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    build_failed = True
+            if build_failed:
                 continue
             for vector in vectors:
                 try:
                     reference = observe_call(
                         variant, fn_name, vector, step_limit=step_limit
                     )
-                    candidate = observe_call(
-                        variant,
-                        fn_name,
-                        vector,
-                        step_limit=step_limit,
-                        evaluator="compiled",
-                        program=program,
-                    )
                 except Exception as error:
-                    # An evaluator that raises (backend bug or injected
-                    # fault) is itself a parity finding: report it per
-                    # vector, structurally, and keep going.
                     mismatches.append(
                         f"seed={seed} index={index} {variant_name} "
                         f"@{fn_name} {vector.describe()}: evaluator "
                         f"error: {type(error).__name__}: {error}"
                     )
                     continue
-                if reference != candidate:
-                    mismatches.append(
-                        f"seed={seed} index={index} {variant_name} "
-                        f"@{fn_name} {vector.describe()}: "
-                        f"{_describe_diff(reference, candidate)}"
-                    )
+                for backend in backends:
+                    try:
+                        candidate = observe_call(
+                            variant,
+                            fn_name,
+                            vector,
+                            step_limit=step_limit,
+                            evaluator=backend,
+                            program=programs[backend],
+                        )
+                    except Exception as error:
+                        # An evaluator that raises (backend bug or
+                        # injected fault) is itself a parity finding:
+                        # report it per vector, structurally, and keep
+                        # going.
+                        mismatches.append(
+                            f"seed={seed} index={index} {variant_name} "
+                            f"@{fn_name} {vector.describe()}: {backend} "
+                            f"evaluator error: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                        continue
+                    if reference != candidate:
+                        mismatches.append(
+                            f"seed={seed} index={index} {variant_name} "
+                            f"@{fn_name} {vector.describe()}: "
+                            f"{_describe_diff(reference, candidate, backend)}"
+                        )
     return mismatches

@@ -216,7 +216,11 @@ def _run_difftest_case(
         1 for obs in reference if obs.status == "timeout"
     )
 
-    transformed = parse_module(text)
+    # The reference module is only ever *read* above (observation runs
+    # in per-machine memory, and the bisector replays from ``text``),
+    # so the pipeline can consume it in place instead of paying a
+    # second parse of the identical source.
+    transformed = reference_module
     detail: Optional[str] = None
     try:
         for stage_name, apply_stage in stages:

@@ -43,7 +43,9 @@ log = logging.getLogger(__name__)
 #: Bump to invalidate every existing cache entry.  4: entries gained
 #: the self-describing envelope (schema + checksum) around the result.
 #: 5: results gained ``guard_reports`` (online translation validation).
-SCHEMA_VERSION = 5
+#: 6: stats gained the ``parse`` phase timer, and the evaluator knob
+#: grew the ``bytecode`` tier (same knob string keys different code).
+SCHEMA_VERSION = 6
 
 
 def model_fingerprint(model: Optional[CodeSizeCostModel]) -> str:

@@ -132,6 +132,17 @@ def optimize_one(
     """
     config = config or RolagConfig()
     start = perf_counter()
+    parse_seconds = 0.0
+
+    def load() -> Module:
+        # Parse/verify wall time books under the stats' ``parse`` phase
+        # so timed runs attribute the Amdahl floor directly.
+        nonlocal parse_seconds
+        parse_start = perf_counter()
+        loaded = _load_module(job)
+        parse_seconds += perf_counter() - parse_start
+        return loaded
+
     validate = config.validate
     # Vector seed derives from the input text, so reruns replay the
     # same vectors (for both the oracle and the online validation gate)
@@ -143,7 +154,7 @@ def optimize_one(
     # validation on, reroll runs as a transaction through the gate;
     # with it off, the historical direct path is kept bit-for-bit
     # (including fault-site hit counts).
-    llvm_module = _load_module(job)
+    llvm_module = load()
     checkpoint("load")
     if validate != "off":
         from ..transforms.txn import TransactionalPassManager
@@ -168,7 +179,7 @@ def optimize_one(
     checkpoint("reroll")
 
     # RoLAG on another fresh copy, measured before and after.
-    module = _load_module(job)
+    module = load()
     size_before = _measure(module, job.name, measure_model)
     stats = RolagStats(timed=timed)
     fire("driver.worker.roll")
@@ -186,8 +197,8 @@ def optimize_one(
     semantics_ok: Optional[bool] = None
     semantics_mismatches: List[str] = []
     if check_semantics:
+        original = load()
         eval_start = perf_counter()
-        original = _load_module(job)
         for label, candidate in (("reroll", llvm_module), ("rolag", module)):
             ok, details = check_module_semantics(
                 original, candidate, seed=vector_seed, evaluator=evaluator
@@ -200,6 +211,9 @@ def optimize_one(
         semantics_ok = not semantics_mismatches
         if timed:
             stats.add_phase_time("eval", perf_counter() - eval_start)
+
+    if timed:
+        stats.add_phase_time("parse", parse_seconds)
 
     return FunctionResult(
         name=job.name,

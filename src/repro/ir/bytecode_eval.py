@@ -1,0 +1,1291 @@
+"""Bytecode evaluator: a flat-array register machine with superinstructions.
+
+The third rung of the evaluator ladder.  The tree-walking interpreter
+(:mod:`repro.ir.interp`) pays full dispatch per executed instruction;
+the closure compiler (:mod:`repro.ir.compile_eval`) removes dispatch
+but pays a *compile* cost -- building one Python closure per
+instruction -- that difftest-style workloads (hundreds of small
+modules, each executed a handful of times) never amortize.
+
+This backend lowers a function to a flat tuple of **bytecode records**:
+
+* each record is a plain tuple ``(handler, ...operands, next_pc)``;
+  handlers are shared module-level functions, so compiling is tuple
+  construction -- no closure allocation, no code objects -- an order of
+  magnitude cheaper than the closure compiler;
+* all SSA values live in a flat register list exactly as in the
+  closure compiler (slot 0 is the return value; constants and
+  global/function addresses bind once per machine into a register
+  prototype);
+* control flow is a threaded program counter: every CFG edge gets a
+  tiny prologue (block counting + phi moves pre-resolved against that
+  predecessor) that falls into the shared block body, and terminators
+  return the pc of the target edge's prologue;
+* hot shapes fuse into **superinstructions**: compare+branch pairs, the
+  dec/jnz-style ``binop; icmp; br`` loop back-edge, and
+  constant-folded GEP addressing feeding a load or store.  A fused
+  record batches its constituents' step-count bumps into one addition.
+
+Step-count parity is preserved exactly.  The interpreter ticks before
+executing each instruction and raises :class:`StepLimitExceeded` at
+``steps == step_limit + 1``; fused records only batch *pure* register
+operations (a trapping memory access may only sit last, after the
+batched bump, which is the count the interpreter would have reached),
+and on overrun or when an ``instruction_hook`` is installed they fall
+back to a slow path that ticks per constituent instruction in original
+order.  Observation equality across all three backends -- result,
+traps, memory, extern trace, ``block_counts`` and ``steps`` -- is
+pinned by the parity suite (:mod:`repro.difftest.parity`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .compile_eval import _FCMP_ORDERED, _ICMP_SIGNED, _ICMP_UNSIGNED
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .interp import (
+    ExternHandler,
+    FLOAT_BINOP_IMPLS,
+    INT_BINOP_IMPLS,
+    Machine,
+    StepLimitExceeded,
+    TrapError,
+    _as_unsigned,
+    _round_float,
+    _wrap_signed,
+    constant_value,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    ArrayType,
+    DataLayout,
+    DEFAULT_LAYOUT,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+)
+from .values import Argument, ConstantInt, Value
+
+#: Integer binops that can never trap; only these may sit inside a
+#: fused record before its batched step bump is "spent".
+_PURE_INT_OPCODES = frozenset(
+    {"add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"}
+)
+
+
+def _tick1(m: Machine, inst: Instruction) -> None:
+    """One interpreter-exact step: bump, limit-check, hook."""
+    steps = m.steps + 1
+    m.steps = steps
+    if steps > m.step_limit:
+        raise StepLimitExceeded(f"exceeded {m.step_limit} steps")
+    hook = m.instruction_hook
+    if hook is not None:
+        hook(inst)
+
+
+# ----- handlers -------------------------------------------------------------
+#
+# Calling convention: ``handler(machine, regs, record) -> next_pc``;
+# ``record[0]`` is the handler itself, ``record[1]`` the source
+# instruction (for hooks), and the last field is usually the next pc.
+# A negative return ends the run (the return value sits in slot 0).
+
+
+def _h_edge(m, regs, ins):
+    counts = m.block_counts
+    key = ins[1]
+    counts[key] = counts.get(key, 0) + 1
+    return ins[2]
+
+
+def _h_phis(m, regs, ins):
+    # (h, pred_name, moves, k, next); no move is missing an incoming.
+    _, pred_name, moves, k, nxt = ins
+    steps = m.steps + k
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        if k == 1:
+            _phi, dst, src = moves[0]
+            regs[dst] = regs[src]
+        else:
+            values = [regs[src] for _phi, _dst, src in moves]
+            for (_phi, dst, _src), value in zip(moves, values):
+                regs[dst] = value
+        return nxt
+    values = []
+    for phi, _dst, src in moves:
+        values.append(regs[src])
+        _tick1(m, phi)
+    for (_phi, dst, _src), value in zip(moves, values):
+        regs[dst] = value
+    return nxt
+
+
+def _h_phis_slow(m, regs, ins):
+    # Variant for blocks where some predecessor edge lacks an incoming:
+    # the trap must fire before that phi's tick, so never batch.
+    _, pred_name, moves, _k, nxt = ins
+    values = []
+    for phi, _dst, src in moves:
+        if src is None:
+            raise TrapError(
+                f"phi {phi.short_name()} has no incoming for %{pred_name}"
+            )
+        values.append(regs[src])
+        _tick1(m, phi)
+    for (_phi, dst, _src), value in zip(moves, values):
+        regs[dst] = value
+    return nxt
+
+
+def _h_raise(m, regs, ins):
+    # Deferred compile-time errors: tick, then trap (as the interpreter
+    # would on first executing the offending instruction).  Indexed
+    # access: a dead next-pc field may trail the record.
+    _tick1(m, ins[1])
+    raise ins[2]
+
+
+def _h_trap(m, regs, ins):
+    # Trap with no instruction to charge a step to (fell-through block).
+    raise ins[1]
+
+
+def _h_ret_void(m, regs, ins):
+    _tick1(m, ins[1])
+    return -1
+
+
+def _h_ret_value(m, regs, ins):
+    _, inst, src = ins
+    _tick1(m, inst)
+    regs[0] = regs[src]
+    return -1
+
+
+def _h_br(m, regs, ins):
+    _, inst, target = ins
+    _tick1(m, inst)
+    return target
+
+
+def _h_br_cond(m, regs, ins):
+    _, inst, cond, t, f = ins
+    _tick1(m, inst)
+    return t if regs[cond] else f
+
+
+def _h_int_binop(m, regs, ins):
+    _, inst, impl, bits, a, b, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = impl(bits, regs[a], regs[b])
+    return nxt
+
+
+def _h_float_binop(m, regs, ins):
+    _, inst, impl, bits, a, b, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = impl(bits, float(regs[a]), float(regs[b]))
+    return nxt
+
+
+def _h_icmp_s(m, regs, ins):
+    _, inst, op, a, b, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = 1 if op(regs[a], regs[b]) else 0
+    return nxt
+
+
+def _h_icmp_u(m, regs, ins):
+    _, inst, op, mask, a, b, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = 1 if op(regs[a] & mask, regs[b] & mask) else 0
+    return nxt
+
+
+def _h_fcmp_order(m, regs, ins):
+    _, inst, when_unordered, a, b, dst, nxt = ins
+    _tick1(m, inst)
+    x = float(regs[a])
+    y = float(regs[b])
+    unordered = x != x or y != y
+    regs[dst] = when_unordered if unordered else 1 - when_unordered
+    return nxt
+
+
+def _h_fcmp(m, regs, ins):
+    _, inst, op, a, b, dst, nxt = ins
+    _tick1(m, inst)
+    x = float(regs[a])
+    y = float(regs[b])
+    if x != x or y != y:
+        regs[dst] = 0
+    else:
+        regs[dst] = 1 if op(x, y) else 0
+    return nxt
+
+
+def _h_select(m, regs, ins):
+    _, inst, cond, a, b, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = regs[a] if regs[cond] else regs[b]
+    return nxt
+
+
+def _h_cast(m, regs, ins):
+    _, inst, convert, a, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = convert(regs[a])
+    return nxt
+
+
+def _h_bitcast_raw(m, regs, ins):
+    _, inst, src_ty, dst_ty, a, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = m._value_of(m._bits_of(regs[a], src_ty), dst_ty)
+    return nxt
+
+
+def _h_gep_const(m, regs, ins):
+    _, inst, base, static, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = regs[base] + static
+    return nxt
+
+
+def _h_gep_one(m, regs, ins):
+    _, inst, base, static, slot, scale, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = regs[base] + static + regs[slot] * scale
+    return nxt
+
+
+def _h_gep_many(m, regs, ins):
+    _, inst, base, static, dynamic, dst, nxt = ins
+    _tick1(m, inst)
+    addr = regs[base] + static
+    for slot, scale in dynamic:
+        addr += regs[slot] * scale
+    regs[dst] = addr
+    return nxt
+
+
+def _h_gep_generic(m, regs, ins):
+    _, inst, base, idx_slots, source_type, dst, nxt = ins
+    _tick1(m, inst)
+    layout = m.layout
+    addr = int(regs[base])
+    addr += int(regs[idx_slots[0]]) * layout.size_of(source_type)
+    ty = source_type
+    for slot in idx_slots[1:]:
+        index = int(regs[slot])
+        if isinstance(ty, ArrayType):
+            addr += index * layout.size_of(ty.element)
+            ty = ty.element
+        elif isinstance(ty, StructType):
+            addr += layout.field_offset(ty, index)
+            ty = ty.fields[index]
+        else:
+            raise TrapError(f"gep into {ty}")
+    regs[dst] = addr
+    return nxt
+
+
+def _h_load_int(m, regs, ins):
+    _, inst, ptr, size, bits, dst, nxt = ins
+    _tick1(m, inst)
+    raw = m.read_bytes(regs[ptr], size)
+    regs[dst] = _wrap_signed(int.from_bytes(raw, "little"), bits)
+    return nxt
+
+
+def _h_load_float(m, regs, ins):
+    _, inst, ptr, size, unpack, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = unpack(m.read_bytes(regs[ptr], size))[0]
+    return nxt
+
+
+def _h_load_ptr(m, regs, ins):
+    _, inst, ptr, size, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = int.from_bytes(m.read_bytes(regs[ptr], size), "little")
+    return nxt
+
+
+def _h_load_bad(m, regs, ins):
+    # read_value bounds-checks before rejecting the type: preserve that
+    # order (an out-of-bounds aggregate load traps as oob).  Indexed
+    # access: a dead next-pc field trails the record.
+    _tick1(m, ins[1])
+    m.read_bytes(regs[ins[2]], ins[3])
+    raise ins[4]
+
+
+def _h_store_int(m, regs, ins):
+    _, inst, src, ptr, size, mask, nxt = ins
+    _tick1(m, inst)
+    m.write_bytes(regs[ptr], (int(regs[src]) & mask).to_bytes(size, "little"))
+    return nxt
+
+
+def _h_store_float(m, regs, ins):
+    _, inst, src, ptr, pack, nxt = ins
+    _tick1(m, inst)
+    m.write_bytes(regs[ptr], pack(regs[src]))
+    return nxt
+
+
+def _h_store_ptr(m, regs, ins):
+    _, inst, src, ptr, nxt = ins
+    _tick1(m, inst)
+    m.write_bytes(regs[ptr], int(regs[src]).to_bytes(8, "little"))
+    return nxt
+
+
+def _h_alloca(m, regs, ins):
+    _, inst, size, align, dst, nxt = ins
+    _tick1(m, inst)
+    regs[dst] = m.alloc(size, align)
+    return nxt
+
+
+def _h_call_extern(m, regs, ins):
+    _, inst, callee, arg_slots, dst, nxt = ins
+    _tick1(m, inst)
+    result = m._call_extern(callee, [regs[i] for i in arg_slots])
+    if dst:
+        regs[dst] = result
+    return nxt
+
+
+def _h_call_direct(m, regs, ins):
+    _, inst, callee, arg_slots, dst, program, cell, nxt = ins
+    _tick1(m, inst)
+    bf = cell[0]
+    if bf is None:
+        # Resolved lazily so mutual/self recursion compiles.
+        bf = cell[0] = program.compiled(callee)
+    result = bf.run(m, [regs[i] for i in arg_slots])
+    if dst:
+        regs[dst] = result
+    return nxt
+
+
+def _h_call_indirect(m, regs, ins):
+    _, inst, callee_slot, arg_slots, dst, nxt = ins
+    _tick1(m, inst)
+    addr = regs[callee_slot]
+    target = m._function_addresses.get(addr)
+    if target is None:
+        raise TrapError(f"indirect call to invalid address {addr}")
+    result = m.call(target, [regs[i] for i in arg_slots])
+    if dst:
+        regs[dst] = result
+    return nxt
+
+
+# ----- superinstructions ----------------------------------------------------
+
+
+def _h_cmp_br(m, regs, ins):
+    # Fused compare + conditional branch: both pure, batch two steps.
+    _, cmp_inst, br_inst, cmpf, a, b, dst, t, f = ins
+    steps = m.steps + 2
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        if cmpf(regs[a], regs[b]):
+            regs[dst] = 1
+            return t
+        regs[dst] = 0
+        return f
+    _tick1(m, cmp_inst)
+    cond = 1 if cmpf(regs[a], regs[b]) else 0
+    regs[dst] = cond
+    _tick1(m, br_inst)
+    return t if cond else f
+
+
+def _h_binop_cmp_br(m, regs, ins):
+    # The dec/jnz loop back-edge: pure int binop, compare on any
+    # operands (typically the binop result), conditional branch.
+    (
+        _,
+        b_inst,
+        c_inst,
+        br_inst,
+        impl,
+        bits,
+        ba,
+        bb,
+        bdst,
+        cmpf,
+        ca,
+        cb,
+        cdst,
+        t,
+        f,
+    ) = ins
+    steps = m.steps + 3
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        regs[bdst] = impl(bits, regs[ba], regs[bb])
+        if cmpf(regs[ca], regs[cb]):
+            regs[cdst] = 1
+            return t
+        regs[cdst] = 0
+        return f
+    _tick1(m, b_inst)
+    regs[bdst] = impl(bits, regs[ba], regs[bb])
+    _tick1(m, c_inst)
+    cond = 1 if cmpf(regs[ca], regs[cb]) else 0
+    regs[cdst] = cond
+    _tick1(m, br_inst)
+    return t if cond else f
+
+
+def _h_gep_load_int(m, regs, ins):
+    # Fused address computation + load; the (trapping) access sits
+    # after the batched bump, which is exactly the interpreter's count
+    # at its trap point.
+    _, g_inst, l_inst, base, static, islot, scale, gdst, size, bits, dst, nxt = ins
+    steps = m.steps + 2
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        addr = regs[base] + static
+        if islot >= 0:
+            addr += regs[islot] * scale
+        regs[gdst] = addr
+        raw = m.read_bytes(addr, size)
+        regs[dst] = _wrap_signed(int.from_bytes(raw, "little"), bits)
+        return nxt
+    _tick1(m, g_inst)
+    addr = regs[base] + static
+    if islot >= 0:
+        addr += regs[islot] * scale
+    regs[gdst] = addr
+    _tick1(m, l_inst)
+    raw = m.read_bytes(addr, size)
+    regs[dst] = _wrap_signed(int.from_bytes(raw, "little"), bits)
+    return nxt
+
+
+def _h_gep_load_float(m, regs, ins):
+    _, g_inst, l_inst, base, static, islot, scale, gdst, size, unpack, dst, nxt = ins
+    steps = m.steps + 2
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        addr = regs[base] + static
+        if islot >= 0:
+            addr += regs[islot] * scale
+        regs[gdst] = addr
+        regs[dst] = unpack(m.read_bytes(addr, size))[0]
+        return nxt
+    _tick1(m, g_inst)
+    addr = regs[base] + static
+    if islot >= 0:
+        addr += regs[islot] * scale
+    regs[gdst] = addr
+    _tick1(m, l_inst)
+    regs[dst] = unpack(m.read_bytes(addr, size))[0]
+    return nxt
+
+
+def _h_gep_load_ptr(m, regs, ins):
+    _, g_inst, l_inst, base, static, islot, scale, gdst, size, dst, nxt = ins
+    steps = m.steps + 2
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        addr = regs[base] + static
+        if islot >= 0:
+            addr += regs[islot] * scale
+        regs[gdst] = addr
+        regs[dst] = int.from_bytes(m.read_bytes(addr, size), "little")
+        return nxt
+    _tick1(m, g_inst)
+    addr = regs[base] + static
+    if islot >= 0:
+        addr += regs[islot] * scale
+    regs[gdst] = addr
+    _tick1(m, l_inst)
+    regs[dst] = int.from_bytes(m.read_bytes(addr, size), "little")
+    return nxt
+
+
+def _h_gep_store_int(m, regs, ins):
+    _, g_inst, s_inst, base, static, islot, scale, gdst, src, size, mask, nxt = ins
+    steps = m.steps + 2
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        addr = regs[base] + static
+        if islot >= 0:
+            addr += regs[islot] * scale
+        regs[gdst] = addr
+        m.write_bytes(addr, (int(regs[src]) & mask).to_bytes(size, "little"))
+        return nxt
+    _tick1(m, g_inst)
+    addr = regs[base] + static
+    if islot >= 0:
+        addr += regs[islot] * scale
+    regs[gdst] = addr
+    _tick1(m, s_inst)
+    m.write_bytes(addr, (int(regs[src]) & mask).to_bytes(size, "little"))
+    return nxt
+
+
+def _h_gep_store_float(m, regs, ins):
+    _, g_inst, s_inst, base, static, islot, scale, gdst, src, pack, nxt = ins
+    steps = m.steps + 2
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        addr = regs[base] + static
+        if islot >= 0:
+            addr += regs[islot] * scale
+        regs[gdst] = addr
+        m.write_bytes(addr, pack(regs[src]))
+        return nxt
+    _tick1(m, g_inst)
+    addr = regs[base] + static
+    if islot >= 0:
+        addr += regs[islot] * scale
+    regs[gdst] = addr
+    _tick1(m, s_inst)
+    m.write_bytes(addr, pack(regs[src]))
+    return nxt
+
+
+def _h_gep_store_ptr(m, regs, ins):
+    _, g_inst, s_inst, base, static, islot, scale, gdst, src, nxt = ins
+    steps = m.steps + 2
+    if steps <= m.step_limit and m.instruction_hook is None:
+        m.steps = steps
+        addr = regs[base] + static
+        if islot >= 0:
+            addr += regs[islot] * scale
+        regs[gdst] = addr
+        m.write_bytes(addr, int(regs[src]).to_bytes(8, "little"))
+        return nxt
+    _tick1(m, g_inst)
+    addr = regs[base] + static
+    if islot >= 0:
+        addr += regs[islot] * scale
+    regs[gdst] = addr
+    _tick1(m, s_inst)
+    m.write_bytes(addr, int(regs[src]).to_bytes(8, "little"))
+    return nxt
+
+
+# ----- compilation ----------------------------------------------------------
+
+
+class _Ref:
+    """Symbolic pc of a not-yet-emitted edge prologue."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+
+class BytecodeProgram:
+    """Per-module compilation cache, lazily built per function."""
+
+    def __init__(self, module: Module, layout: DataLayout = DEFAULT_LAYOUT):
+        self.module = module
+        self.layout = layout
+        self._compiled: Dict[int, "BytecodeFunction"] = {}
+
+    def compiled(self, fn: Function) -> "BytecodeFunction":
+        """The bytecode form of ``fn``, assembling on first request."""
+        bf = self._compiled.get(id(fn))
+        if bf is None:
+            bf = self._compiled[id(fn)] = BytecodeFunction(self, fn)
+        return bf
+
+
+class BytecodeFunction:
+    """One function assembled into a flat bytecode tuple.
+
+    Register layout matches :class:`~repro.ir.compile_eval.CompiledFunction`:
+    slot 0 holds the return value; arguments, instruction results and
+    distinct constant operands own one slot each, with machine-dependent
+    constants bound once into a shared register prototype.
+    """
+
+    def __init__(self, program: BytecodeProgram, fn: Function) -> None:
+        self.program = program
+        self.fn = fn
+        self.n_slots = 1  # slot 0: return value
+        self._slots: Dict[int, int] = {}
+        self._const_bindings: List[Tuple[int, Value]] = []
+        self.arg_slots: Tuple[int, ...] = tuple(
+            self._slot_for(a) for a in fn.arguments
+        )
+        self.code: Tuple[tuple, ...] = ()
+        self.entry_pc = 0
+        self._proto: Optional[list] = None
+        self._assemble()
+
+    # ----- slots ----------------------------------------------------------
+
+    def _slot_for(self, value: Value) -> int:
+        key = id(value)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = self.n_slots
+            self.n_slots += 1
+            self._slots[key] = slot
+        return slot
+
+    def _operand_slot(self, value: Value) -> int:
+        key = id(value)
+        slot = self._slots.get(key)
+        if slot is not None:
+            return slot
+        slot = self._slot_for(value)
+        if not isinstance(value, (Instruction, Argument)):
+            self._const_bindings.append((slot, value))
+        return slot
+
+    # ----- running --------------------------------------------------------
+
+    def bind(self, machine: Machine) -> list:
+        """Register prototype with constants resolved against ``machine``.
+
+        Global and function addresses are allocated deterministically,
+        so one binding serves every machine of this module+layout.
+        """
+        proto = [None] * self.n_slots
+        for slot, value in self._const_bindings:
+            proto[slot] = constant_value(value, machine)
+        return proto
+
+    def run(self, machine: Machine, args: Sequence[object]) -> object:
+        """Execute on ``machine`` (callers check arity beforehand)."""
+        proto = self._proto
+        if proto is None:
+            proto = self._proto = self.bind(machine)
+        regs = proto.copy()
+        arg_slots = self.arg_slots
+        for i, value in enumerate(args):
+            regs[arg_slots[i]] = value
+        code = self.code
+        pc = self.entry_pc
+        while pc >= 0:
+            ins = code[pc]
+            pc = ins[0](machine, regs, ins)
+        return regs[0]
+
+    # ----- assembly -------------------------------------------------------
+
+    def _assemble(self) -> None:
+        fn = self.fn
+        code: List[list] = []
+        edge_pc: Dict[tuple, int] = {}
+        body_pc: Dict[int, int] = {}
+        pending: List[Tuple[Optional[BasicBlock], BasicBlock]] = []
+        seen = set()
+
+        def edge_ref(pred: Optional[BasicBlock], succ: BasicBlock) -> _Ref:
+            key = (id(pred) if pred is not None else None, id(succ))
+            if key not in seen:
+                seen.add(key)
+                pending.append((pred, succ))
+            return _Ref(key)
+
+        edge_ref(None, fn.entry)
+        while pending:
+            pred, block = pending.pop()
+            key = (id(pred) if pred is not None else None, id(block))
+            edge_pc[key] = len(code)
+            prologue = [_h_edge, (fn.name, block.name), None]
+            code.append(prologue)
+            phis = block.phis()
+            if phis:
+                prologue[2] = len(code)
+                pred_name = pred.name if pred is not None else "<entry>"
+                moves = tuple(
+                    (
+                        phi,
+                        self._slot_for(phi),
+                        None
+                        if phi.incoming_for(pred) is None
+                        else self._operand_slot(phi.incoming_for(pred)),
+                    )
+                    for phi in phis
+                )
+                handler = (
+                    _h_phis_slow
+                    if any(src is None for _p, _d, src in moves)
+                    else _h_phis
+                )
+                code.append([handler, pred_name, moves, len(moves), None])
+                tail = code[-1]
+            else:
+                tail = prologue
+            bpc = body_pc.get(id(block))
+            if bpc is None:
+                body_pc[id(block)] = tail[-1] = len(code)
+                self._emit_body(block, code, edge_ref)
+            else:
+                tail[-1] = bpc
+
+        self.entry_pc = edge_pc[(None, id(fn.entry))]
+        self.code = tuple(
+            tuple(edge_pc[f.key] if isinstance(f, _Ref) else f for f in raw)
+            for raw in code
+        )
+
+    def _emit_body(self, block: BasicBlock, code: List[list], edge_ref) -> None:
+        insts = block.instructions[block.first_non_phi_index():]
+        n = len(insts)
+        i = 0
+        emitted_term = False
+        while i < n:
+            inst = insts[i]
+            if inst.is_terminator:
+                code.append(self._emit_terminator(inst, block, edge_ref))
+                emitted_term = True
+                break
+            fused = self._try_fuse(insts, i, block, edge_ref)
+            if fused is not None:
+                record, consumed = fused
+                if record[-1] is _NEXT:
+                    record[-1] = len(code) + 1
+                else:
+                    emitted_term = True  # fused compare+branch
+                code.append(record)
+                i += consumed
+                if emitted_term:
+                    break
+                continue
+            record = self._emit_inst(inst)
+            record.append(len(code) + 1)
+            code.append(record)
+            i += 1
+        if not emitted_term:
+            code.append([_h_trap, TrapError(f"block %{block.name} fell through")])
+
+    # ----- fusion ---------------------------------------------------------
+
+    def _cmp_callable(self, inst: ICmp) -> Callable:
+        pred = inst.predicate
+        op = _ICMP_SIGNED.get(pred)
+        if op is not None:
+            return op
+        ty = inst.operands[0].type
+        bits = ty.bits if isinstance(ty, IntType) else 64
+        mask = (1 << bits) - 1
+        uop = _ICMP_UNSIGNED[pred]
+        return lambda x, y, op=uop, mask=mask: op(x & mask, y & mask)
+
+    def _try_fuse(
+        self, insts: List[Instruction], i: int, block: BasicBlock, edge_ref
+    ) -> Optional[Tuple[list, int]]:
+        inst = insts[i]
+        n = len(insts)
+        # binop ; icmp ; br  (the dec/jnz loop back-edge)
+        if (
+            isinstance(inst, BinaryOp)
+            and inst.opcode in _PURE_INT_OPCODES
+            and isinstance(inst.type, IntType)
+            and i + 2 < n
+            and isinstance(insts[i + 1], ICmp)
+            and isinstance(insts[i + 2], Br)
+            and insts[i + 2].is_conditional
+            and insts[i + 2].condition is insts[i + 1]
+        ):
+            cmp = insts[i + 1]
+            br = insts[i + 2]
+            succs = br.successors()
+            record = [
+                _h_binop_cmp_br,
+                inst,
+                cmp,
+                br,
+                INT_BINOP_IMPLS[inst.opcode],
+                inst.type.bits,
+                self._operand_slot(inst.operands[0]),
+                self._operand_slot(inst.operands[1]),
+                self._slot_for(inst),
+                self._cmp_callable(cmp),
+                self._operand_slot(cmp.operands[0]),
+                self._operand_slot(cmp.operands[1]),
+                self._slot_for(cmp),
+                edge_ref(block, succs[0]),
+                edge_ref(block, succs[1]),
+            ]
+            return record, 3
+        # icmp ; br
+        if (
+            isinstance(inst, ICmp)
+            and i + 1 < n
+            and isinstance(insts[i + 1], Br)
+            and insts[i + 1].is_conditional
+            and insts[i + 1].condition is inst
+        ):
+            br = insts[i + 1]
+            succs = br.successors()
+            record = [
+                _h_cmp_br,
+                inst,
+                br,
+                self._cmp_callable(inst),
+                self._operand_slot(inst.operands[0]),
+                self._operand_slot(inst.operands[1]),
+                self._slot_for(inst),
+                edge_ref(block, succs[0]),
+                edge_ref(block, succs[1]),
+            ]
+            return record, 2
+        # gep ; load / gep ; store (through the just-computed address)
+        if isinstance(inst, GetElementPtr) and i + 1 < n:
+            addressing = self._fold_gep(inst)
+            nxt_inst = insts[i + 1]
+            if addressing is not None:
+                static, dynamic = addressing
+                if len(dynamic) <= 1:
+                    islot, scale = dynamic[0] if dynamic else (-1, 0)
+                    base = self._operand_slot(inst.pointer)
+                    gdst = self._slot_for(inst)
+                    if isinstance(nxt_inst, Load) and nxt_inst.pointer is inst:
+                        record = self._fuse_gep_load(
+                            inst, nxt_inst, base, static, islot, scale, gdst
+                        )
+                        if record is not None:
+                            return record, 2
+                    if (
+                        isinstance(nxt_inst, Store)
+                        and nxt_inst.pointer is inst
+                    ):
+                        record = self._fuse_gep_store(
+                            inst, nxt_inst, base, static, islot, scale, gdst
+                        )
+                        if record is not None:
+                            return record, 2
+        return None
+
+    def _fuse_gep_load(
+        self, gep, load, base, static, islot, scale, gdst
+    ) -> Optional[list]:
+        ty = load.type
+        size = self.program.layout.size_of(ty)
+        if isinstance(ty, IntType):
+            return [
+                _h_gep_load_int, gep, load, base, static, islot, scale,
+                gdst, size, ty.bits, self._slot_for(load), _NEXT,
+            ]
+        if isinstance(ty, FloatType):
+            unpack = struct.Struct("<f" if ty.bits == 32 else "<d").unpack
+            return [
+                _h_gep_load_float, gep, load, base, static, islot, scale,
+                gdst, size, unpack, self._slot_for(load), _NEXT,
+            ]
+        if isinstance(ty, PointerType):
+            return [
+                _h_gep_load_ptr, gep, load, base, static, islot, scale,
+                gdst, size, self._slot_for(load), _NEXT,
+            ]
+        return None
+
+    def _fuse_gep_store(
+        self, gep, store, base, static, islot, scale, gdst
+    ) -> Optional[list]:
+        ty = store.value.type
+        size = self.program.layout.size_of(ty)
+        src = self._operand_slot(store.value)
+        if isinstance(ty, IntType):
+            mask = (1 << (size * 8)) - 1
+            return [
+                _h_gep_store_int, gep, store, base, static, islot, scale,
+                gdst, src, size, mask, _NEXT,
+            ]
+        if isinstance(ty, FloatType):
+            pack = struct.Struct("<f" if ty.bits == 32 else "<d").pack
+            return [
+                _h_gep_store_float, gep, store, base, static, islot, scale,
+                gdst, src, pack, _NEXT,
+            ]
+        if isinstance(ty, PointerType):
+            return [
+                _h_gep_store_ptr, gep, store, base, static, islot, scale,
+                gdst, src, _NEXT,
+            ]
+        return None
+
+    def _fold_gep(
+        self, inst: GetElementPtr
+    ) -> Optional[Tuple[int, List[Tuple[int, int]]]]:
+        """Constant-fold a GEP to ``(static, [(slot, scale), ...])``.
+
+        Returns ``None`` when the walk needs the generic fallback
+        (dynamic struct index, indexing a scalar).
+        """
+        layout = self.program.layout
+        indices = inst.indices
+        static = 0
+        dynamic: List[Tuple[int, int]] = []
+        first = indices[0]
+        first_scale = layout.size_of(inst.source_type)
+        if isinstance(first, ConstantInt):
+            static += int(first.value) * first_scale
+        else:
+            dynamic.append((self._operand_slot(first), first_scale))
+        ty = inst.source_type
+        for idx in indices[1:]:
+            if isinstance(ty, ArrayType):
+                scale = layout.size_of(ty.element)
+                if isinstance(idx, ConstantInt):
+                    static += int(idx.value) * scale
+                else:
+                    dynamic.append((self._operand_slot(idx), scale))
+                ty = ty.element
+            elif isinstance(ty, StructType):
+                if not isinstance(idx, ConstantInt):
+                    return None
+                field = int(idx.value)
+                static += layout.field_offset(ty, field)
+                ty = ty.fields[field]
+            else:
+                return None
+        return static, dynamic
+
+    # ----- single-instruction emission ------------------------------------
+
+    def _emit_terminator(
+        self, inst: Instruction, block: BasicBlock, edge_ref
+    ) -> list:
+        if isinstance(inst, Ret):
+            if inst.return_value is None:
+                return [_h_ret_void, inst]
+            return [_h_ret_value, inst, self._operand_slot(inst.return_value)]
+        if isinstance(inst, Br):
+            succs = inst.successors()
+            if inst.is_conditional:
+                return [
+                    _h_br_cond,
+                    inst,
+                    self._operand_slot(inst.condition),
+                    edge_ref(block, succs[0]),
+                    edge_ref(block, succs[1]),
+                ]
+            return [_h_br, inst, edge_ref(block, succs[0])]
+        if isinstance(inst, Unreachable):
+            return [_h_raise, inst, TrapError("executed unreachable")]
+        return [_h_raise, inst, TrapError(f"cannot execute {inst!r}")]
+
+    def _emit_inst(self, inst: Instruction) -> list:
+        """The record for one instruction, sans its trailing next-pc."""
+        if isinstance(inst, BinaryOp):
+            return self._emit_binop(inst)
+        if isinstance(inst, ICmp):
+            return self._emit_icmp(inst)
+        if isinstance(inst, FCmp):
+            return self._emit_fcmp(inst)
+        if isinstance(inst, Select):
+            return [
+                _h_select,
+                inst,
+                self._operand_slot(inst.operands[0]),
+                self._operand_slot(inst.operands[1]),
+                self._operand_slot(inst.operands[2]),
+                self._slot_for(inst),
+            ]
+        if isinstance(inst, Cast):
+            return self._emit_cast(inst)
+        if isinstance(inst, GetElementPtr):
+            return self._emit_gep(inst)
+        if isinstance(inst, Load):
+            return self._emit_load(inst)
+        if isinstance(inst, Store):
+            return self._emit_store(inst)
+        if isinstance(inst, Alloca):
+            layout = self.program.layout
+            return [
+                _h_alloca,
+                inst,
+                layout.size_of(inst.allocated_type),
+                layout.align_of(inst.allocated_type),
+                self._slot_for(inst),
+            ]
+        if isinstance(inst, Call):
+            return self._emit_call(inst)
+        return self._emit_raise(TrapError(f"cannot execute {inst!r}"), inst)
+
+    def _emit_raise(self, error: Exception, inst: Instruction) -> list:
+        # _h_raise never falls through; the next-pc field _emit_body
+        # appends is dead, and the handler reads by index to ignore it.
+        return [_h_raise, inst, error]
+
+    def _emit_binop(self, inst: BinaryOp) -> list:
+        a = self._operand_slot(inst.operands[0])
+        b = self._operand_slot(inst.operands[1])
+        dst = self._slot_for(inst)
+        ty = inst.type
+        if isinstance(ty, IntType):
+            impl = INT_BINOP_IMPLS.get(inst.opcode)
+            if impl is None:
+                return self._emit_raise(
+                    TrapError(f"bad int opcode {inst.opcode}"), inst
+                )
+            return [_h_int_binop, inst, impl, ty.bits, a, b, dst]
+        if isinstance(ty, FloatType):
+            fimpl = FLOAT_BINOP_IMPLS.get(inst.opcode)
+            if fimpl is None:
+                return self._emit_raise(
+                    TrapError(f"bad float opcode {inst.opcode}"), inst
+                )
+            return [_h_float_binop, inst, fimpl, ty.bits, a, b, dst]
+        return self._emit_raise(TrapError(f"binary op on {ty}"), inst)
+
+    def _emit_icmp(self, inst: ICmp) -> list:
+        a = self._operand_slot(inst.operands[0])
+        b = self._operand_slot(inst.operands[1])
+        dst = self._slot_for(inst)
+        pred = inst.predicate
+        op = _ICMP_SIGNED.get(pred)
+        if op is not None:
+            return [_h_icmp_s, inst, op, a, b, dst]
+        ty = inst.operands[0].type
+        bits = ty.bits if isinstance(ty, IntType) else 64
+        return [
+            _h_icmp_u, inst, _ICMP_UNSIGNED[pred], (1 << bits) - 1, a, b, dst
+        ]
+
+    def _emit_fcmp(self, inst: FCmp) -> list:
+        a = self._operand_slot(inst.operands[0])
+        b = self._operand_slot(inst.operands[1])
+        dst = self._slot_for(inst)
+        pred = inst.predicate
+        if pred in ("ord", "uno"):
+            return [_h_fcmp_order, inst, 1 if pred == "uno" else 0, a, b, dst]
+        return [_h_fcmp, inst, _FCMP_ORDERED[pred], a, b, dst]
+
+    def _emit_cast(self, inst: Cast) -> list:
+        a = self._operand_slot(inst.operands[0])
+        dst = self._slot_for(inst)
+        src = inst.operands[0].type
+        dst_ty = inst.type
+        op = inst.opcode
+        # One converter per cast kind, pre-bound to the involved widths;
+        # the shapes mirror Machine._cast exactly.
+        if op == "trunc" or op == "sext" or op == "ptrtoint":
+            bits = dst_ty.bits
+            convert = lambda v, bits=bits: _wrap_signed(int(v), bits)
+        elif op == "zext":
+            sbits, dbits = src.bits, dst_ty.bits
+            convert = lambda v, s=sbits, d=dbits: _wrap_signed(
+                _as_unsigned(int(v), s), d
+            )
+        elif op == "bitcast":
+            if isinstance(src, PointerType) and isinstance(dst_ty, PointerType):
+                convert = lambda v: v
+            else:
+                # Raw-bit reinterpretation is cold; route through the
+                # machine's helpers for exact parity.
+                return [_h_bitcast_raw, inst, src, dst_ty, a, dst]
+        elif op == "inttoptr":
+            convert = lambda v: _as_unsigned(int(v), 64)
+        elif op == "sitofp":
+            bits = dst_ty.bits
+            convert = lambda v, bits=bits: _round_float(float(int(v)), bits)
+        elif op == "uitofp":
+            sbits, dbits = src.bits, dst_ty.bits
+            convert = lambda v, s=sbits, d=dbits: _round_float(
+                float(_as_unsigned(int(v), s)), d
+            )
+        elif op in ("fptosi", "fptoui"):
+            bits = dst_ty.bits
+
+            def convert(v, bits=bits):
+                try:
+                    result = int(float(v))
+                except (OverflowError, ValueError):
+                    result = 0
+                return _wrap_signed(result, bits)
+
+        elif op == "fpext":
+            convert = float
+        elif op == "fptrunc":
+            bits = dst_ty.bits
+            convert = lambda v, bits=bits: _round_float(float(v), bits)
+        else:
+            return self._emit_raise(TrapError(f"bad cast {op}"), inst)
+        return [_h_cast, inst, convert, a, dst]
+
+    def _emit_gep(self, inst: GetElementPtr) -> list:
+        base = self._operand_slot(inst.pointer)
+        dst = self._slot_for(inst)
+        addressing = self._fold_gep(inst)
+        if addressing is None:
+            ty = inst.source_type
+            # A scalar mid-walk is a compile-time-known trap; a dynamic
+            # struct index needs the layout walk at run time.
+            walk = ty
+            for idx in inst.indices[1:]:
+                if isinstance(walk, ArrayType):
+                    walk = walk.element
+                elif isinstance(walk, StructType):
+                    if not isinstance(idx, ConstantInt):
+                        return [
+                            _h_gep_generic,
+                            inst,
+                            base,
+                            tuple(self._operand_slot(i) for i in inst.indices),
+                            ty,
+                            dst,
+                        ]
+                    walk = walk.fields[int(idx.value)]
+                else:
+                    return self._emit_raise(TrapError(f"gep into {walk}"), inst)
+            return [
+                _h_gep_generic,
+                inst,
+                base,
+                tuple(self._operand_slot(i) for i in inst.indices),
+                ty,
+                dst,
+            ]
+        static, dynamic = addressing
+        if not dynamic:
+            return [_h_gep_const, inst, base, static, dst]
+        if len(dynamic) == 1:
+            slot, scale = dynamic[0]
+            return [_h_gep_one, inst, base, static, slot, scale, dst]
+        return [_h_gep_many, inst, base, static, tuple(dynamic), dst]
+
+    def _emit_load(self, inst: Load) -> list:
+        ptr = self._operand_slot(inst.pointer)
+        dst = self._slot_for(inst)
+        ty = inst.type
+        size = self.program.layout.size_of(ty)
+        if isinstance(ty, IntType):
+            return [_h_load_int, inst, ptr, size, ty.bits, dst]
+        if isinstance(ty, FloatType):
+            unpack = struct.Struct("<f" if ty.bits == 32 else "<d").unpack
+            return [_h_load_float, inst, ptr, size, unpack, dst]
+        if isinstance(ty, PointerType):
+            return [_h_load_ptr, inst, ptr, size, dst]
+        return [_h_load_bad, inst, ptr, size, TrapError(f"cannot load type {ty}")]
+
+    def _emit_store(self, inst: Store) -> list:
+        src = self._operand_slot(inst.value)
+        ptr = self._operand_slot(inst.pointer)
+        ty = inst.value.type
+        size = self.program.layout.size_of(ty)
+        if isinstance(ty, IntType):
+            return [_h_store_int, inst, src, ptr, size, (1 << (size * 8)) - 1]
+        if isinstance(ty, FloatType):
+            pack = struct.Struct("<f" if ty.bits == 32 else "<d").pack
+            return [_h_store_float, inst, src, ptr, pack]
+        if isinstance(ty, PointerType):
+            return [_h_store_ptr, inst, src, ptr]
+        return self._emit_raise(TrapError(f"cannot store type {ty}"), inst)
+
+    def _emit_call(self, inst: Call) -> list:
+        arg_slots = tuple(self._operand_slot(a) for a in inst.args)
+        dst = 0 if inst.type.is_void else self._slot_for(inst)
+        callee = inst.callee
+        if isinstance(callee, Function):
+            if callee.is_declaration:
+                return [_h_call_extern, inst, callee, arg_slots, dst]
+            if len(inst.args) != len(callee.arguments):
+                # The interpreter's per-call arity check, decided once.
+                return self._emit_raise(
+                    TrapError(
+                        f"@{callee.name} expects {len(callee.arguments)} "
+                        f"args, got {len(inst.args)}"
+                    ),
+                    inst,
+                )
+            return [
+                _h_call_direct, inst, callee, arg_slots, dst,
+                self.program, [None],
+            ]
+        return [
+            _h_call_indirect, inst, self._operand_slot(callee), arg_slots, dst
+        ]
+
+
+#: Sentinel marking "next sequential pc"; _emit_body fusion records use
+#: it because the record is built before its position is known.
+_NEXT = object()
+
+
+class BytecodeMachine(Machine):
+    """A :class:`Machine` whose ``call`` runs assembled bytecode.
+
+    Shares every piece of observable state with the base class --
+    memory, globals, extern handlers and trace, ``block_counts``,
+    ``steps``, ``instruction_hook`` -- so everything written against
+    ``Machine`` works unchanged.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        layout: DataLayout = DEFAULT_LAYOUT,
+        step_limit: int = 5_000_000,
+        program: Optional[BytecodeProgram] = None,
+    ) -> None:
+        super().__init__(module, layout=layout, step_limit=step_limit)
+        if program is None:
+            program = BytecodeProgram(module, layout=layout)
+        else:
+            if program.module is not module:
+                raise ValueError(
+                    "program was compiled from a different module"
+                )
+            if program.layout is not layout:
+                raise ValueError(
+                    "program was compiled against a different data layout"
+                )
+        self.program = program
+
+    def call(self, fn: Function, args: Sequence[object]) -> object:
+        """Execute ``fn`` through its bytecode form."""
+        if fn.is_declaration:
+            return self._call_extern(fn, args)
+        if len(args) != len(fn.arguments):
+            raise TrapError(
+                f"@{fn.name} expects {len(fn.arguments)} args, got {len(args)}"
+            )
+        return self.program.compiled(fn).run(self, args)
+
+
+def run_function(
+    module: Module,
+    name: str,
+    args: Sequence[object] = (),
+    externs: Optional[Dict[str, ExternHandler]] = None,
+    step_limit: int = 5_000_000,
+    program: Optional[BytecodeProgram] = None,
+) -> Tuple[object, Machine]:
+    """Bytecode counterpart of :func:`repro.ir.interp.run_function`."""
+    machine = BytecodeMachine(module, step_limit=step_limit, program=program)
+    for extern_name, handler in (externs or {}).items():
+        machine.register_extern(extern_name, handler)
+    fn = module.get_function(name)
+    if fn is None:
+        raise KeyError(f"no function @{name}")
+    result = machine.call(fn, args)
+    return result, machine

@@ -66,10 +66,11 @@ class Instruction(User):
 
     # ----- classification -------------------------------------------------
 
-    @property
-    def is_terminator(self) -> bool:
-        """Whether this instruction ends a basic block."""
-        return isinstance(self, (Br, Ret, Unreachable))
+    #: Whether this instruction ends a basic block.  A plain class
+    #: attribute (overridden by Br/Ret/Unreachable): the flag is static
+    #: per opcode and hot enough that property dispatch shows up in
+    #: campaign profiles.
+    is_terminator: bool = False
 
     def may_read_memory(self) -> bool:
         """Whether execution may observe memory."""
@@ -459,6 +460,7 @@ class Br(Instruction):
     """Branch: unconditional (1 operand) or conditional (3 operands)."""
 
     opcode = "br"
+    is_terminator = True
 
     def __init__(
         self,
@@ -502,6 +504,7 @@ class Ret(Instruction):
     """Function return, optionally carrying a value."""
 
     opcode = "ret"
+    is_terminator = True
 
     def __init__(self, value: Optional[Value] = None) -> None:
         super().__init__(VOID)
@@ -527,6 +530,7 @@ class Unreachable(Instruction):
     """Marks statically unreachable control flow."""
 
     opcode = "unreachable"
+    is_terminator = True
 
     def __init__(self) -> None:
         super().__init__(VOID)

@@ -1,15 +1,44 @@
 """Parser for the textual IR emitted by :mod:`repro.ir.printer`.
 
-Implements a hand-written lexer and recursive-descent parser for the
-LLVM-flavoured syntax.  Forward references (phi operands, branch
-targets, values used before their definition line) are resolved through
-placeholder values that are patched once the function body is complete.
+A hand-written lexer and recursive-descent parser for the
+LLVM-flavoured syntax, engineered for batch throughput: difftest
+campaigns and batch drivers parse thousands of module variants, so the
+parser is the single hottest component of an end-to-end run.
+
+Three structural decisions keep it fast:
+
+* **Array tokens.** The lexer produces three parallel arrays (integer
+  kinds, interned texts, source offsets) instead of per-token objects,
+  and never tracks line numbers on the hot path -- ``line:column``
+  positions are recovered lazily from the token offset only when a
+  :class:`ParseError` is actually raised.  Token arrays are memoized in
+  a small keyed-by-source cache, so the two parses the difftest runner
+  performs per case (reference and transformed) tokenize once.
+
+* **Interning.**  Token texts are interned process-wide; types are
+  interned by the type system itself; integer/float constants and the
+  ``undef``/``null``/``zeroinitializer`` singletons are interned in a
+  module-wide :class:`InternTable`, so a constant that appears a
+  hundred times in a module is one object with one parse of its text.
+
+* **Lazy bodies.**  Module parsing scans top-level structure only:
+  struct definitions, globals, and function *signatures* are
+  materialized, while a ``define`` body is recorded as a token span on
+  a :class:`LazyFunction` and parsed on first touch of ``fn.blocks``.
+  Signature queries (``is_declaration``, ``return_type``,
+  ``arguments``) never force a body.  A body that fails to parse
+  raises :class:`ParseError` deterministically on first touch and on
+  every touch thereafter.
+
+Forward references (phi operands, branch targets, values used before
+their definition line) are resolved through placeholder values that are
+patched once the function body is complete.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .instructions import (
     Alloca,
@@ -38,6 +67,13 @@ from .types import (
     PointerType,
     StructType,
     Type,
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
     VOID,
 )
 from .values import (
@@ -53,57 +89,251 @@ from .values import (
 
 
 class ParseError(Exception):
-    """Raised on malformed IR text."""
+    """Raised on malformed IR text, carrying ``line``/``column``."""
 
-    def __init__(self, message: str, line: int) -> None:
-        super().__init__(f"line {line}: {message}")
+    def __init__(self, message: str, line: int, column: Optional[int] = None) -> None:
+        where = f"line {line}" if column is None else f"line {line}:{column}"
+        super().__init__(f"{where}: {message}")
         self.line = line
+        self.column = column
 
 
+# ----- lexer ----------------------------------------------------------------
+
+# Group numbers double as token kinds; ``match.lastindex`` is the kind.
+# Whitespace has no group: the lexer matches real tokens only and
+# verifies the gaps between them are blank, so roughly half the match
+# objects of a ws-as-token scheme are never created.
+_K_EOF = 0
+_K_COMMENT = 1
+_K_LOCAL = 2
+_K_GLOBAL = 3
+_K_FLOAT = 4
+_K_INT = 5
+_K_IDENT = 6
+_K_ELLIPSIS = 7
+_K_PUNCT = 8
+
+_KIND_NAMES = {
+    _K_EOF: "eof",
+    _K_LOCAL: "local",
+    _K_GLOBAL: "global",
+    _K_FLOAT: "float",
+    _K_INT: "int",
+    _K_IDENT: "ident",
+    _K_ELLIPSIS: "ellipsis",
+    _K_PUNCT: "punct",
+}
+
+# One capture group around the whole alternation: ``re.split`` then
+# hands back ``[gap, token, gap, token, ..., gap]`` at C speed, with
+# no per-token Match object.  The token's *kind* is recovered from its
+# first character (see ``_KIND_BY_CHAR``); only numeric tokens need a
+# second look (``.`` distinguishes float from int).
 _TOKEN_RE = re.compile(
-    r"""
-      (?P<ws>[ \t\r\n]+)
-    | (?P<comment>;[^\n]*)
-    | (?P<local>%[A-Za-z0-9._$-]+)
-    | (?P<global>@[A-Za-z0-9._$-]+)
-    | (?P<float>-?\d+\.\d+(e[+-]?\d+)?)
-    | (?P<int>-?\d+)
-    | (?P<ident>[A-Za-z_][A-Za-z0-9._]*)
-    | (?P<ellipsis>\.\.\.)
-    | (?P<punct>[()\[\]{}<>,=:*])
-    """,
+    r"""(
+      ;[^\n]*
+    | %[A-Za-z0-9._$-]+
+    | @[A-Za-z0-9._$-]+
+    | -?\d+\.\d+(?:e[+-]?\d+)?
+    | -?\d+
+    | [A-Za-z_][A-Za-z0-9._]*
+    | \.\.\.
+    | [()\[\]{}<>,=:*]
+    )""",
     re.VERBOSE,
 )
 
+#: First token character -> kind.  ``-1`` flags numeric tokens, whose
+#: kind depends on whether the literal contains a ``.``.
+_KIND_BY_CHAR: Dict[str, int] = {
+    ";": _K_COMMENT,
+    "%": _K_LOCAL,
+    "@": _K_GLOBAL,
+    ".": _K_ELLIPSIS,
+    "-": -1,
+    "_": _K_IDENT,
+}
+_KIND_BY_CHAR.update({c: -1 for c in "0123456789"})
+_KIND_BY_CHAR.update(
+    {c: _K_IDENT for c in "abcdefghijklmnopqrstuvwxyz"}
+)
+_KIND_BY_CHAR.update(
+    {c: _K_IDENT for c in "ABCDEFGHIJKLMNOPQRSTUVWXYZ"}
+)
+_KIND_BY_CHAR.update({c: _K_PUNCT for c in "()[]{}<>,=:*"})
 
-class _Token:
-    __slots__ = ("kind", "text", "line")
+#: Process-wide text intern pool, bounded so adversarial inputs cannot
+#: grow it without limit (past the cap, texts are simply not shared).
+_TEXT_INTERN: Dict[str, str] = {}
+_TEXT_INTERN_CAP = 1 << 16
 
-    def __init__(self, kind: str, text: str, line: int) -> None:
-        self.kind = kind
-        self.text = text
-        self.line = line
+#: Token-array memo keyed by source text: the difftest runner parses
+#: the identical text twice per case (reference and transformed side),
+#: and the bisector re-parses one text per stage; sharing the token
+#: arrays removes the second lex entirely.  Entries are immutable.
+_TOKEN_CACHE: Dict[str, Tuple[List[int], List[str], List[int]]] = {}
+_TOKEN_CACHE_MAX = 32
 
-    def __repr__(self) -> str:
-        return f"Token({self.kind},{self.text!r})"
+_Tokens = Tuple[List[int], List[str], List[int]]
 
 
-def _tokenize(source: str) -> List[_Token]:
-    tokens: List[_Token] = []
+def _location(source: str, offset: int) -> Tuple[int, int]:
+    """(line, column) of a byte offset, 1-based, computed on demand."""
+    line = source.count("\n", 0, offset) + 1
+    column = offset - source.rfind("\n", 0, offset)
+    return line, column
+
+
+def _lex(source: str) -> _Tokens:
+    kinds: List[int] = []
+    texts: List[str] = []
+    starts: List[int] = []
+    kinds_append = kinds.append
+    texts_append = texts.append
+    starts_append = starts.append
+    intern = _TEXT_INTERN
+    intern_get = intern.get
+    kind_by_char = _KIND_BY_CHAR
+    parts = _TOKEN_RE.split(source)
     pos = 0
-    line = 1
-    while pos < len(source):
-        match = _TOKEN_RE.match(source, pos)
-        if match is None:
-            raise ParseError(f"unexpected character {source[pos]!r}", line)
-        kind = match.lastgroup
-        text = match.group()
-        line += text.count("\n")
-        if kind not in ("ws", "comment"):
-            tokens.append(_Token(kind, text, line))
-        pos = match.end()
-    tokens.append(_Token("eof", "", line))
+    for i in range(0, len(parts) - 1, 2):
+        gap = parts[i]
+        if gap:
+            if not gap.isspace():
+                offset = pos + len(gap) - len(gap.lstrip())
+                line, column = _location(source, offset)
+                raise ParseError(
+                    f"unexpected character {source[offset]!r}", line, column
+                )
+            pos += len(gap)
+        text = parts[i + 1]
+        start = pos
+        pos += len(text)
+        kind = kind_by_char[text[0]]
+        if kind < 0:
+            kind = _K_FLOAT if "." in text else _K_INT
+        elif kind == _K_COMMENT:
+            continue
+        shared = intern_get(text)
+        if shared is None:
+            if len(intern) < _TEXT_INTERN_CAP:
+                intern[text] = text
+            shared = text
+        kinds_append(kind)
+        texts_append(shared)
+        starts_append(start)
+    tail = parts[-1]
+    if tail and not tail.isspace():
+        offset = pos + len(tail) - len(tail.lstrip())
+        line, column = _location(source, offset)
+        raise ParseError(
+            f"unexpected character {source[offset]!r}", line, column
+        )
+    kinds_append(_K_EOF)
+    texts_append("")
+    starts_append(len(source))
+    return kinds, texts, starts
+
+
+def _tokens_for(source: str) -> _Tokens:
+    cached = _TOKEN_CACHE.get(source)
+    if cached is not None:
+        return cached
+    tokens = _lex(source)
+    if len(_TOKEN_CACHE) >= _TOKEN_CACHE_MAX:
+        _TOKEN_CACHE.pop(next(iter(_TOKEN_CACHE)))
+    _TOKEN_CACHE[source] = tokens
     return tokens
+
+
+# ----- interning ------------------------------------------------------------
+
+
+class InternTable:
+    """Module-wide value interning: one object per distinct constant.
+
+    Keys combine the (already interned) type object with the literal
+    text, so parsing a constant that occurred before is a dict hit with
+    no integer/float conversion.  Sharing constant *objects* across
+    uses is safe: use lists record (user, index) pairs, and every
+    use-count heuristic in the compiler guards on ``isinstance(...,
+    Instruction)`` first.
+    """
+
+    __slots__ = ("constants",)
+
+    def __init__(self) -> None:
+        self.constants: Dict[tuple, Constant] = {}
+
+    def int_constant(self, ty: IntType, text: str) -> ConstantInt:
+        key = (ty, text)
+        c = self.constants.get(key)
+        if c is None:
+            c = self.constants[key] = ConstantInt(ty, int(text))
+        return c  # type: ignore[return-value]
+
+    def float_constant(self, ty: Type, text: str) -> ConstantFloat:
+        key = (ty, text)
+        c = self.constants.get(key)
+        if c is None:
+            c = self.constants[key] = ConstantFloat(ty, float(text))
+        return c  # type: ignore[return-value]
+
+    def singleton(self, cls, ty: Type) -> Constant:
+        key = (cls, ty)
+        c = self.constants.get(key)
+        if c is None:
+            c = self.constants[key] = cls(ty)
+        return c
+
+
+# ----- lazy function bodies -------------------------------------------------
+
+
+class LazyFunction(Function):
+    """A function whose body parses from the token stream on first touch.
+
+    Until ``blocks`` is first read, only the signature exists;
+    ``is_declaration`` answers from a has-body flag without forcing.
+    A body whose parse fails stores the :class:`ParseError` and
+    re-raises it on this and every subsequent touch -- errors surface
+    deterministically at first touch, they are never swallowed.
+    """
+
+    _thunk: Optional[Callable[[], None]] = None
+    _parse_error: Optional[ParseError] = None
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        error = self._parse_error
+        if error is not None:
+            raise error
+        thunk = self._thunk
+        if thunk is not None:
+            self._thunk = None
+            try:
+                thunk()
+            except ParseError as parse_error:
+                self._parse_error = parse_error
+                raise
+        return self._blocks
+
+    @blocks.setter
+    def blocks(self, value: List[BasicBlock]) -> None:
+        self._blocks = value
+
+    @property
+    def is_declaration(self) -> bool:
+        """Whether the function has no body (never forces a parse)."""
+        if self._thunk is not None or self._parse_error is not None:
+            return False
+        return not self._blocks
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the body (if any) has already been parsed."""
+        return self._thunk is None and self._parse_error is None
 
 
 class _Forward(Value):
@@ -113,301 +343,361 @@ class _Forward(Value):
         super().__init__(VOID, name)
 
 
+def _coerce(value: Value, ty: Type) -> Value:
+    """Give forward placeholders their real type once it is known."""
+    if isinstance(value, _Forward) and value.type.is_void:
+        value.type = ty
+    return value
+
+
+# ----- parser ---------------------------------------------------------------
+
+_SIMPLE_TYPES: Dict[str, Type] = {
+    "void": VOID,
+    "float": F32,
+    "double": F64,
+    "i1": I1,
+    "i8": I8,
+    "i16": I16,
+    "i32": I32,
+    "i64": I64,
+}
+
+
 class Parser:
     """Parses a whole module.  Use :func:`parse_module` instead."""
 
     def __init__(self, source: str) -> None:
-        self.tokens = _tokenize(source)
+        self.source = source
+        self.kinds, self.texts, self.starts = _tokens_for(source)
         self.pos = 0
         self.module = Module()
+        self.interns = InternTable()
+        # Name -> object maps mirroring the module lists; the module's
+        # own lookups are linear scans, far too slow for call-heavy
+        # bodies.
+        self._functions: Dict[str, Function] = {}
+        self._globals: Dict[str, Value] = {}
+
+    # ----- errors ---------------------------------------------------------
+
+    def error(self, message: str, pos: Optional[int] = None) -> ParseError:
+        """A ParseError located at token ``pos`` (default: current)."""
+        index = self.pos if pos is None else pos
+        if index >= len(self.starts):
+            index = len(self.starts) - 1
+        line, column = _location(self.source, self.starts[index])
+        return ParseError(message, line, column)
+
+    def _expected(self, want: str) -> ParseError:
+        pos = self.pos
+        if self.kinds[pos] == _K_EOF:
+            got = "end of input"
+        else:
+            got = repr(self.texts[pos])
+        return self.error(f"expected {want!r}, got {got}")
 
     # ----- token helpers --------------------------------------------------
 
-    @property
-    def tok(self) -> _Token:
-        """The current token."""
-        return self.tokens[self.pos]
+    def expect_punct(self, text: str) -> None:
+        pos = self.pos
+        if self.kinds[pos] == _K_PUNCT and self.texts[pos] == text:
+            self.pos = pos + 1
+            return
+        raise self._expected(text)
 
-    def advance(self) -> _Token:
-        """Consume and return the current token."""
-        token = self.tok
-        self.pos += 1
-        return token
+    def accept_punct(self, text: str) -> bool:
+        pos = self.pos
+        if self.kinds[pos] == _K_PUNCT and self.texts[pos] == text:
+            self.pos = pos + 1
+            return True
+        return False
 
-    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
-        """Consume the token if it matches; else None."""
-        token = self.tok
-        if token.kind == kind and (text is None or token.text == text):
-            return self.advance()
-        return None
+    def expect_ident(self, text: Optional[str] = None) -> str:
+        pos = self.pos
+        if self.kinds[pos] == _K_IDENT:
+            got = self.texts[pos]
+            if text is None or got == text:
+                self.pos = pos + 1
+                return got
+        raise self._expected(text or "ident")
 
-    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
-        """Consume a required token or raise ParseError."""
-        token = self.accept(kind, text)
-        if token is None:
-            want = text or kind
-            raise ParseError(f"expected {want!r}, got {self.tok.text!r}", self.tok.line)
-        return token
+    def accept_ident(self, text: str) -> bool:
+        pos = self.pos
+        if self.kinds[pos] == _K_IDENT and self.texts[pos] == text:
+            self.pos = pos + 1
+            return True
+        return False
 
-    def error(self, message: str) -> ParseError:
-        """A ParseError at the current position."""
-        return ParseError(message, self.tok.line)
+    def expect_kind(self, kind: int) -> str:
+        pos = self.pos
+        if self.kinds[pos] == kind:
+            self.pos = pos + 1
+            return self.texts[pos]
+        raise self._expected(_KIND_NAMES[kind])
 
-    # ----- types ------------------------------------------------------------
+    # ----- types ----------------------------------------------------------
 
     def parse_type(self) -> Type:
         """Parse a type (with pointer suffixes)."""
-        ty = self._parse_base_type()
-        while self.accept("punct", "*"):
-            ty = PointerType(ty)
-        return ty
-
-    def _parse_base_type(self) -> Type:
-        token = self.tok
-        if token.kind == "ident":
-            text = token.text
-            if text == "void":
-                self.advance()
-                return VOID
-            if text == "float":
-                self.advance()
-                return FloatType(32)
-            if text == "double":
-                self.advance()
-                return FloatType(64)
-            match = re.fullmatch(r"i(\d+)", text)
-            if match:
-                self.advance()
-                return IntType(int(match.group(1)))
-            raise self.error(f"unknown type {text!r}")
-        if token.kind == "local" and token.text.startswith("%struct."):
-            self.advance()
-            name = token.text[len("%struct."):]
+        pos = self.pos
+        kinds = self.kinds
+        texts = self.texts
+        kind = kinds[pos]
+        if kind == _K_IDENT:
+            text = texts[pos]
+            ty = _SIMPLE_TYPES.get(text)
+            if ty is None:
+                if text[0] == "i" and text[1:].isdigit():
+                    try:
+                        ty = IntType(int(text[1:]))
+                    except ValueError as error:
+                        raise self.error(str(error)) from None
+                else:
+                    raise self.error(f"unknown type {text!r}")
+            pos += 1
+        elif kind == _K_LOCAL and texts[pos].startswith("%struct."):
+            name = texts[pos][len("%struct."):]
             struct = StructType.get_named(name)
             if struct is None:
                 struct = StructType((), name)
-            return struct
-        if self.accept("punct", "["):
-            count = int(self.expect("int").text)
-            self.expect("ident", "x")
+            ty = struct
+            pos += 1
+        elif kind == _K_PUNCT and texts[pos] == "[":
+            self.pos = pos + 1
+            count_text = self.expect_kind(_K_INT)
+            self.expect_ident("x")
             element = self.parse_type()
-            self.expect("punct", "]")
-            return ArrayType(element, count)
-        if self.accept("punct", "{"):
+            self.expect_punct("]")
+            try:
+                ty = ArrayType(element, int(count_text))
+            except ValueError as error:
+                raise self.error(str(error)) from None
+            pos = self.pos
+        elif kind == _K_PUNCT and texts[pos] == "{":
+            self.pos = pos + 1
             fields = []
-            if not self.accept("punct", "}"):
+            if not self.accept_punct("}"):
                 fields.append(self.parse_type())
-                while self.accept("punct", ","):
+                while self.accept_punct(","):
                     fields.append(self.parse_type())
-                self.expect("punct", "}")
-            return StructType(fields)
-        raise self.error(f"expected type, got {token.text!r}")
+                self.expect_punct("}")
+            ty = StructType(fields)
+            pos = self.pos
+        else:
+            raise self._expected("type")
+        while kinds[pos] == _K_PUNCT and texts[pos] == "*":
+            pos += 1
+            ty = PointerType(ty)
+        self.pos = pos
+        return ty
 
-    # ----- module level -------------------------------------------------------
+    # ----- module level ---------------------------------------------------
 
-    def parse_module(self) -> Module:
-        """Parse the whole module."""
-        self._prescan_signatures()
-        while self.tok.kind != "eof":
-            if self.tok.kind == "local" and self.tok.text.startswith("%struct."):
+    def parse_module(self, lazy: bool = False) -> Module:
+        """Parse the whole module.
+
+        With ``lazy`` set, function bodies are left as token spans on
+        :class:`LazyFunction` and parse on first touch of ``.blocks``;
+        otherwise every body materializes before returning (so all
+        parse errors surface here, exactly as the eager parser did).
+        """
+        kinds = self.kinds
+        texts = self.texts
+        while True:
+            kind = kinds[self.pos]
+            if kind == _K_EOF:
+                break
+            text = texts[self.pos]
+            if kind == _K_LOCAL and text.startswith("%struct."):
                 self._parse_struct_def()
-            elif self.tok.kind == "global":
+            elif kind == _K_GLOBAL:
                 self._parse_global()
-            elif self.tok.kind == "ident" and self.tok.text == "define":
+            elif kind == _K_IDENT and text == "define":
                 self._parse_define()
-            elif self.tok.kind == "ident" and self.tok.text == "declare":
+            elif kind == _K_IDENT and text == "declare":
                 self._parse_declare()
             else:
-                raise self.error(f"unexpected top-level token {self.tok.text!r}")
+                raise self.error(f"unexpected top-level token {text!r}")
+        if not lazy:
+            for fn in self.module.functions:
+                fn.blocks  # force materialization, surfacing body errors
         return self.module
 
-    def _prescan_signatures(self) -> None:
-        """Register struct names and function signatures before bodies.
-
-        Allows a function to call another one defined later in the file
-        and lets types reference named structs defined anywhere.
-        """
-        saved = self.pos
-        # First register all struct definitions (their bodies may be
-        # needed to parse function signatures).
-        i = 0
-        while i < len(self.tokens):
-            token = self.tokens[i]
-            if (
-                token.kind == "local"
-                and token.text.startswith("%struct.")
-                and i + 2 < len(self.tokens)
-                and self.tokens[i + 1].text == "="
-                and self.tokens[i + 2].text == "type"
-            ):
-                self.pos = i
-                self._parse_struct_def()
-                i = self.pos
-                continue
-            i += 1
-        # Then register every define/declare signature.
-        i = 0
-        while i < len(self.tokens):
-            token = self.tokens[i]
-            if token.kind == "ident" and token.text in ("define", "declare"):
-                self.pos = i + 1
-                return_type = self.parse_type()
-                name = self.expect("global").text[1:]
-                self.expect("punct", "(")
-                params: List[Type] = []
-                vararg = False
-                arg_names: List[str] = []
-                if not self.accept("punct", ")"):
-                    while True:
-                        if self.accept("ellipsis"):
-                            vararg = True
-                            break
-                        params.append(self.parse_type())
-                        if self.tok.kind == "local":
-                            arg_names.append(self.advance().text[1:])
-                        if not self.accept("punct", ","):
-                            break
-                    self.expect("punct", ")")
-                if self.module.get_function(name) is None:
-                    self.module.add_function(
-                        name, FunctionType(return_type, params, vararg), arg_names
-                    )
-                i = self.pos
-                continue
-            i += 1
-        self.pos = saved
-
     def _parse_struct_def(self) -> None:
-        token = self.advance()
-        name = token.text[len("%struct."):]
-        self.expect("punct", "=")
-        self.expect("ident", "type")
-        self.expect("punct", "{")
+        name = self.texts[self.pos][len("%struct."):]
+        self.pos += 1
+        self.expect_punct("=")
+        self.expect_ident("type")
+        self.expect_punct("{")
         fields = []
-        if not self.accept("punct", "}"):
+        if not self.accept_punct("}"):
             fields.append(self.parse_type())
-            while self.accept("punct", ","):
+            while self.accept_punct(","):
                 fields.append(self.parse_type())
-            self.expect("punct", "}")
-        struct = StructType(fields, name)
+            self.expect_punct("}")
+        try:
+            struct = StructType(fields, name)
+        except ValueError as error:
+            raise self.error(str(error)) from None
         self.module.register_struct(struct)
 
     def _parse_global(self) -> None:
-        name = self.advance().text[1:]
-        self.expect("punct", "=")
-        external = bool(self.accept("ident", "external"))
+        name = self.texts[self.pos][1:]
+        self.pos += 1
+        self.expect_punct("=")
+        external = self.accept_ident("external")
         is_const = False
-        if self.accept("ident", "constant"):
+        if self.accept_ident("constant"):
             is_const = True
         else:
-            self.expect("ident", "global")
+            self.expect_ident("global")
         value_type = self.parse_type()
         initializer: Optional[Constant] = None
         if not external:
             initializer = self.parse_constant(value_type)
-        self.module.add_global(name, value_type, initializer, is_const)
+        gv = self.module.add_global(name, value_type, initializer, is_const)
+        self._globals[name] = gv
 
     def parse_constant(self, ty: Type) -> Constant:
         """Parse a constant of the given type."""
-        token = self.tok
-        if token.kind == "int":
-            self.advance()
+        pos = self.pos
+        kind = self.kinds[pos]
+        text = self.texts[pos]
+        if kind == _K_INT:
             if not isinstance(ty, IntType):
                 raise self.error(f"integer literal for non-integer type {ty}")
-            return ConstantInt(ty, int(token.text))
-        if token.kind == "float":
-            self.advance()
-            return ConstantFloat(ty, float(token.text))
-        if token.kind == "ident":
-            if token.text in ("true", "false"):
-                self.advance()
-                return ConstantInt(IntType(1), 1 if token.text == "true" else 0)
-            if token.text == "undef":
-                self.advance()
-                return UndefValue(ty)
-            if token.text == "null":
-                self.advance()
-                return ConstantNull(ty)
-            if token.text == "zeroinitializer":
-                self.advance()
-                return ConstantZero(ty)
-        if token.kind == "punct" and token.text == "[":
-            self.advance()
+            self.pos = pos + 1
+            return self.interns.int_constant(ty, text)
+        if kind == _K_FLOAT:
+            if not isinstance(ty, FloatType):
+                raise self.error(f"float literal for non-float type {ty}")
+            self.pos = pos + 1
+            return self.interns.float_constant(ty, text)
+        if kind == _K_IDENT:
+            if text == "true" or text == "false":
+                self.pos = pos + 1
+                return self.interns.int_constant(I1, "1" if text == "true" else "0")
+            if text == "undef":
+                self.pos = pos + 1
+                return self.interns.singleton(UndefValue, ty)
+            if text == "null":
+                self.pos = pos + 1
+                return self.interns.singleton(ConstantNull, ty)
+            if text == "zeroinitializer":
+                self.pos = pos + 1
+                return self.interns.singleton(ConstantZero, ty)
+        if kind == _K_PUNCT and (text == "[" or text == "{"):
+            close = "]" if text == "[" else "}"
+            self.pos = pos + 1
             elements = []
-            if not self.accept("punct", "]"):
+            if not self.accept_punct(close):
                 while True:
                     elem_ty = self.parse_type()
                     elements.append(self.parse_constant(elem_ty))
-                    if not self.accept("punct", ","):
+                    if not self.accept_punct(","):
                         break
-                self.expect("punct", "]")
+                self.expect_punct(close)
             return ConstantAggregate(ty, elements)
-        if token.kind == "punct" and token.text == "{":
-            self.advance()
-            elements = []
-            if not self.accept("punct", "}"):
-                while True:
-                    elem_ty = self.parse_type()
-                    elements.append(self.parse_constant(elem_ty))
-                    if not self.accept("punct", ","):
-                        break
-                self.expect("punct", "}")
-            return ConstantAggregate(ty, elements)
-        raise self.error(f"expected constant, got {token.text!r}")
+        raise self._expected("constant")
 
-    def _parse_declare(self) -> None:
-        self.expect("ident", "declare")
+    def _parse_signature(
+        self, arg_names_required: bool
+    ) -> Tuple[Type, str, List[Type], List[str], bool]:
         return_type = self.parse_type()
-        name = self.expect("global").text[1:]
-        self.expect("punct", "(")
+        name = self.expect_kind(_K_GLOBAL)[1:]
+        self.expect_punct("(")
         params: List[Type] = []
+        arg_names: List[str] = []
         vararg = False
-        if not self.accept("punct", ")"):
+        if not self.accept_punct(")"):
             while True:
-                if self.accept("ellipsis"):
+                if self.kinds[self.pos] == _K_ELLIPSIS:
+                    self.pos += 1
                     vararg = True
                     break
                 params.append(self.parse_type())
-                if self.tok.kind == "local":
-                    self.advance()
-                if not self.accept("punct", ","):
+                if self.kinds[self.pos] == _K_LOCAL:
+                    arg_names.append(self.texts[self.pos][1:])
+                    self.pos += 1
+                elif arg_names_required:
+                    raise self._expected("local")
+                if not self.accept_punct(","):
                     break
-            self.expect("punct", ")")
-        fn = self.module.get_function(name)
+            self.expect_punct(")")
+        return return_type, name, params, arg_names, vararg
+
+    def _get_or_add_function(
+        self,
+        name: str,
+        function_type: FunctionType,
+        arg_names: List[str],
+    ) -> Function:
+        fn = self._functions.get(name)
         if fn is None:
-            fn = self.module.add_function(
-                name, FunctionType(return_type, params, vararg)
-            )
-        while self.tok.kind == "ident" and self.tok.text in ("readnone", "readonly"):
-            fn.attributes.add(self.advance().text)
+            fn = LazyFunction(name, function_type, self.module, arg_names)
+            self.module.functions.append(fn)
+            self._functions[name] = fn
+        return fn
+
+    def _parse_declare(self) -> None:
+        self.pos += 1  # 'declare'
+        return_type, name, params, arg_names, vararg = self._parse_signature(
+            arg_names_required=False
+        )
+        fn = self._get_or_add_function(
+            name, FunctionType(return_type, params, vararg), arg_names
+        )
+        while self.kinds[self.pos] == _K_IDENT and self.texts[self.pos] in (
+            "readnone",
+            "readonly",
+        ):
+            fn.attributes.add(self.texts[self.pos])
+            self.pos += 1
 
     def _parse_define(self) -> None:
-        self.expect("ident", "define")
-        return_type = self.parse_type()
-        name = self.expect("global").text[1:]
-        self.expect("punct", "(")
-        params: List[Type] = []
-        arg_names: List[str] = []
-        if not self.accept("punct", ")"):
-            while True:
-                params.append(self.parse_type())
-                arg_tok = self.expect("local")
-                arg_names.append(arg_tok.text[1:])
-                if not self.accept("punct", ","):
-                    break
-            self.expect("punct", ")")
-        fn = self.module.get_function(name)
-        if fn is None:
-            fn = self.module.add_function(
-                name, FunctionType(return_type, params), arg_names
-            )
-        self.expect("punct", "{")
-        self._parse_body(fn)
-        self.expect("punct", "}")
+        self.pos += 1  # 'define'
+        return_type, name, params, arg_names, vararg = self._parse_signature(
+            arg_names_required=True
+        )
+        fn = self._get_or_add_function(
+            name, FunctionType(return_type, params, vararg), arg_names
+        )
+        self.expect_punct("{")
+        body_start = self.pos
+        body_end = self._skip_body()
+        if not isinstance(fn, LazyFunction):  # pragma: no cover - defensive
+            raise self.error(f"redefinition of @{name}")
+        fn._thunk = lambda: self._parse_body(fn, body_start, body_end)
+        fn._parse_error = None
 
-    # ----- function body ---------------------------------------------------
+    def _skip_body(self) -> int:
+        """Advance past a brace-balanced body; return the index of ``}``."""
+        kinds = self.kinds
+        texts = self.texts
+        pos = self.pos
+        depth = 1
+        while True:
+            kind = kinds[pos]
+            if kind == _K_PUNCT:
+                text = texts[pos]
+                if text == "{":
+                    depth += 1
+                elif text == "}":
+                    depth -= 1
+                    if depth == 0:
+                        self.pos = pos + 1
+                        return pos
+            elif kind == _K_EOF:
+                raise self.error("unterminated function body", pos)
+            pos += 1
 
-    def _parse_body(self, fn: Function) -> None:
+    # ----- function body --------------------------------------------------
+
+    def _parse_body(self, fn: Function, start: int, end: int) -> None:
+        self.pos = start
+        kinds = self.kinds
+        texts = self.texts
         values: Dict[str, Value] = {f"%{a.name}": a for a in fn.arguments}
         forwards: Dict[str, _Forward] = {}
 
@@ -416,239 +706,240 @@ class Parser:
             existing = values.get(key)
             if isinstance(existing, BasicBlock):
                 return existing
-            if key in forwards:
-                placeholder = forwards[key]
-            else:
-                placeholder = _Forward(label)
-                forwards[key] = placeholder
+            placeholder = forwards.get(key)
+            if placeholder is None:
+                placeholder = forwards[key] = _Forward(label)
             return placeholder  # type: ignore[return-value]
 
         def lookup_local(name: str) -> Value:
-            if name in values:
-                return values[name]
-            if name in forwards:
-                return forwards[name]
-            placeholder = _Forward(name[1:])
-            forwards[name] = placeholder
+            value = values.get(name)
+            if value is not None:
+                return value
+            placeholder = forwards.get(name)
+            if placeholder is None:
+                placeholder = forwards[name] = _Forward(name[1:])
             return placeholder
 
         def define(name: str, value: Value) -> None:
             if name in values:
                 raise self.error(f"redefinition of {name}")
             values[name] = value
-            if name in forwards:
-                forwards.pop(name).replace_all_uses_with(value)
+            pending = forwards.pop(name, None)
+            if pending is not None:
+                pending.replace_all_uses_with(value)
 
         block: Optional[BasicBlock] = None
-        while not (self.tok.kind == "punct" and self.tok.text == "}"):
+        while self.pos < end:
+            pos = self.pos
+            kind = kinds[pos]
             # A label introduces a new block: `name:`
             if (
-                self.tok.kind in ("ident", "int")
-                and self.tokens[self.pos + 1].kind == "punct"
-                and self.tokens[self.pos + 1].text == ":"
+                (kind == _K_IDENT or kind == _K_INT)
+                and kinds[pos + 1] == _K_PUNCT
+                and texts[pos + 1] == ":"
             ):
-                label = self.advance().text
-                self.advance()
+                label = texts[pos]
+                self.pos = pos + 2
                 block = fn.add_block(label)
                 define(f"%{label}", block)
                 continue
             if block is None:
                 block = fn.add_block("entry")
                 define("%entry", block)
-            self._parse_instruction(fn, block, lookup_local, lookup_block, define)
+            name: Optional[str] = None
+            if kind == _K_LOCAL:
+                name = texts[pos]
+                self.pos = pos + 1
+                self.expect_punct("=")
+            inst = self._parse_instruction_rhs(lookup_local, lookup_block)
+            if name is not None:
+                inst.name = name[1:]
+                define(name, inst)
+            block.append(inst)
 
-        unresolved = [name for name in forwards]
-        if unresolved:
-            raise self.error(f"unresolved references: {', '.join(unresolved)}")
+        if forwards:
+            raise self.error(
+                f"unresolved references: {', '.join(forwards)}", end
+            )
 
     def _parse_operand(self, ty: Type, lookup_local) -> Value:
-        token = self.tok
-        if token.kind == "local":
-            self.advance()
-            return lookup_local(token.text)
-        if token.kind == "global":
-            self.advance()
-            name = token.text[1:]
-            target = self.module.get_global(name) or self.module.get_function(name)
+        pos = self.pos
+        kind = self.kinds[pos]
+        if kind == _K_LOCAL:
+            self.pos = pos + 1
+            return lookup_local(self.texts[pos])
+        if kind == _K_GLOBAL:
+            self.pos = pos + 1
+            name = self.texts[pos][1:]
+            target = self._globals.get(name)
             if target is None:
-                raise self.error(f"unknown global @{name}")
+                target = self._functions.get(name)
+            if target is None:
+                raise self.error(f"unknown global @{name}", pos)
             return target
         return self.parse_constant(ty)
 
-    def _parse_instruction(self, fn, block, lookup_local, lookup_block, define) -> None:
-        name: Optional[str] = None
-        if self.tok.kind == "local":
-            name = self.advance().text
-            self.expect("punct", "=")
-        inst = self._parse_instruction_rhs(fn, lookup_local, lookup_block)
-        if name is not None:
-            inst.name = name[1:]
-            define(name, inst)
-        block.append(inst)
-
-    def _parse_instruction_rhs(self, fn, lookup_local, lookup_block):
-        token = self.tok
-        if token.kind != "ident":
-            raise self.error(f"expected instruction, got {token.text!r}")
-        op = token.text
+    def _parse_instruction_rhs(self, lookup_local, lookup_block) -> "Value":
+        pos = self.pos
+        if self.kinds[pos] != _K_IDENT:
+            raise self._expected("instruction")
+        op = self.texts[pos]
 
         if op in BINARY_OPCODES:
-            self.advance()
+            self.pos = pos + 1
             ty = self.parse_type()
             lhs = self._parse_operand(ty, lookup_local)
-            self.expect("punct", ",")
+            self.expect_punct(",")
             rhs = self._parse_operand(ty, lookup_local)
-            return BinaryOp(op, self._coerce(lhs, ty), self._coerce(rhs, ty))
+            return BinaryOp(op, _coerce(lhs, ty), _coerce(rhs, ty))
 
         if op == "icmp" or op == "fcmp":
-            self.advance()
-            predicate = self.expect("ident").text
+            self.pos = pos + 1
+            predicate = self.expect_kind(_K_IDENT)
             ty = self.parse_type()
             lhs = self._parse_operand(ty, lookup_local)
-            self.expect("punct", ",")
+            self.expect_punct(",")
             rhs = self._parse_operand(ty, lookup_local)
             cls = ICmp if op == "icmp" else FCmp
-            return cls(predicate, self._coerce(lhs, ty), self._coerce(rhs, ty))
+            try:
+                return cls(predicate, _coerce(lhs, ty), _coerce(rhs, ty))
+            except ValueError as error:
+                raise self.error(str(error), pos) from None
 
-        if op == "select":
-            self.advance()
-            cond_ty = self.parse_type()
-            cond = self._parse_operand(cond_ty, lookup_local)
-            self.expect("punct", ",")
-            a_ty = self.parse_type()
-            a = self._parse_operand(a_ty, lookup_local)
-            self.expect("punct", ",")
-            b_ty = self.parse_type()
-            b = self._parse_operand(b_ty, lookup_local)
-            return Select(cond, self._coerce(a, a_ty), self._coerce(b, b_ty))
+        if op == "load":
+            self.pos = pos + 1
+            ty = self.parse_type()
+            self.expect_punct(",")
+            ptr_ty = self.parse_type()
+            pointer = self._parse_operand(ptr_ty, lookup_local)
+            return Load(ty, _coerce(pointer, ptr_ty))
 
-        if op in CAST_OPCODES:
-            self.advance()
-            from_ty = self.parse_type()
-            value = self._parse_operand(from_ty, lookup_local)
-            self.expect("ident", "to")
-            to_ty = self.parse_type()
-            return Cast(op, self._coerce(value, from_ty), to_ty)
+        if op == "store":
+            self.pos = pos + 1
+            val_ty = self.parse_type()
+            value = self._parse_operand(val_ty, lookup_local)
+            self.expect_punct(",")
+            ptr_ty = self.parse_type()
+            pointer = self._parse_operand(ptr_ty, lookup_local)
+            return Store(_coerce(value, val_ty), _coerce(pointer, ptr_ty))
 
         if op == "getelementptr":
-            self.advance()
+            self.pos = pos + 1
             source_type = self.parse_type()
-            self.expect("punct", ",")
+            self.expect_punct(",")
             ptr_ty = self.parse_type()
             pointer = self._parse_operand(ptr_ty, lookup_local)
             indices = []
-            index_types = []
-            while self.accept("punct", ","):
+            while self.accept_punct(","):
                 idx_ty = self.parse_type()
                 indices.append(self._parse_operand(idx_ty, lookup_local))
-                index_types.append(idx_ty)
-            gep = GetElementPtr.__new__(GetElementPtr)
-            result = GetElementPtr._result_type(source_type, indices)
-            from .instructions import Instruction as _I
-            _I.__init__(gep, result)
-            gep.source_type = source_type
-            gep.add_operand(self._coerce(pointer, ptr_ty))
-            for idx in indices:
-                gep.add_operand(idx)
-            return gep
-
-        if op == "load":
-            self.advance()
-            ty = self.parse_type()
-            self.expect("punct", ",")
-            ptr_ty = self.parse_type()
-            pointer = self._parse_operand(ptr_ty, lookup_local)
-            return Load(ty, self._coerce(pointer, ptr_ty))
-
-        if op == "store":
-            self.advance()
-            val_ty = self.parse_type()
-            value = self._parse_operand(val_ty, lookup_local)
-            self.expect("punct", ",")
-            ptr_ty = self.parse_type()
-            pointer = self._parse_operand(ptr_ty, lookup_local)
-            return Store(self._coerce(value, val_ty), self._coerce(pointer, ptr_ty))
-
-        if op == "call":
-            self.advance()
-            self.parse_type()  # return type (redundant with callee)
-            callee_tok = self.expect("global")
-            callee = self.module.get_function(callee_tok.text[1:])
-            if callee is None:
-                raise self.error(f"unknown function {callee_tok.text}")
-            self.expect("punct", "(")
-            args = []
-            if not self.accept("punct", ")"):
-                while True:
-                    arg_ty = self.parse_type()
-                    args.append(
-                        self._coerce(self._parse_operand(arg_ty, lookup_local), arg_ty)
-                    )
-                    if not self.accept("punct", ","):
-                        break
-                self.expect("punct", ")")
-            return Call(callee, args)
-
-        if op == "phi":
-            self.advance()
-            ty = self.parse_type()
-            phi = Phi(ty)
-            while True:
-                self.expect("punct", "[")
-                value = self._parse_operand(ty, lookup_local)
-                self.expect("punct", ",")
-                label = self.expect("local").text[1:]
-                self.expect("punct", "]")
-                phi.add_incoming(self._coerce(value, ty), lookup_block(label))
-                if not self.accept("punct", ","):
-                    break
-            return phi
+            try:
+                return GetElementPtr(source_type, _coerce(pointer, ptr_ty), indices)
+            except ValueError as error:
+                raise self.error(str(error), pos) from None
 
         if op == "br":
-            self.advance()
-            if self.accept("ident", "label"):
-                label = self.expect("local").text[1:]
+            self.pos = pos + 1
+            if self.accept_ident("label"):
+                label = self.expect_kind(_K_LOCAL)[1:]
                 return Br(lookup_block(label))
             cond_ty = self.parse_type()
             cond = self._parse_operand(cond_ty, lookup_local)
-            self.expect("punct", ",")
-            self.expect("ident", "label")
-            t = self.expect("local").text[1:]
-            self.expect("punct", ",")
-            self.expect("ident", "label")
-            f = self.expect("local").text[1:]
-            return Br(cond, lookup_block(t), lookup_block(f))
+            self.expect_punct(",")
+            self.expect_ident("label")
+            true_label = self.expect_kind(_K_LOCAL)[1:]
+            self.expect_punct(",")
+            self.expect_ident("label")
+            false_label = self.expect_kind(_K_LOCAL)[1:]
+            return Br(
+                _coerce(cond, cond_ty),
+                lookup_block(true_label),
+                lookup_block(false_label),
+            )
+
+        if op == "phi":
+            self.pos = pos + 1
+            ty = self.parse_type()
+            phi = Phi(ty)
+            while True:
+                self.expect_punct("[")
+                value = self._parse_operand(ty, lookup_local)
+                self.expect_punct(",")
+                label = self.expect_kind(_K_LOCAL)[1:]
+                self.expect_punct("]")
+                phi.add_incoming(_coerce(value, ty), lookup_block(label))
+                if not self.accept_punct(","):
+                    break
+            return phi
+
+        if op == "call":
+            self.pos = pos + 1
+            self.parse_type()  # return type (redundant with callee)
+            callee_name = self.expect_kind(_K_GLOBAL)[1:]
+            callee = self._functions.get(callee_name)
+            if callee is None:
+                raise self.error(f"unknown function @{callee_name}")
+            self.expect_punct("(")
+            args = []
+            if not self.accept_punct(")"):
+                while True:
+                    arg_ty = self.parse_type()
+                    args.append(
+                        _coerce(self._parse_operand(arg_ty, lookup_local), arg_ty)
+                    )
+                    if not self.accept_punct(","):
+                        break
+                self.expect_punct(")")
+            return Call(callee, args)
+
+        if op in CAST_OPCODES:
+            self.pos = pos + 1
+            from_ty = self.parse_type()
+            value = self._parse_operand(from_ty, lookup_local)
+            self.expect_ident("to")
+            to_ty = self.parse_type()
+            return Cast(op, _coerce(value, from_ty), to_ty)
+
+        if op == "select":
+            self.pos = pos + 1
+            cond_ty = self.parse_type()
+            cond = self._parse_operand(cond_ty, lookup_local)
+            self.expect_punct(",")
+            a_ty = self.parse_type()
+            a = self._parse_operand(a_ty, lookup_local)
+            self.expect_punct(",")
+            b_ty = self.parse_type()
+            b = self._parse_operand(b_ty, lookup_local)
+            return Select(_coerce(cond, cond_ty), _coerce(a, a_ty), _coerce(b, b_ty))
 
         if op == "ret":
-            self.advance()
-            if self.accept("ident", "void"):
+            self.pos = pos + 1
+            if self.accept_ident("void"):
                 return Ret()
             ty = self.parse_type()
             value = self._parse_operand(ty, lookup_local)
-            return Ret(self._coerce(value, ty))
+            return Ret(_coerce(value, ty))
 
         if op == "unreachable":
-            self.advance()
+            self.pos = pos + 1
             return Unreachable()
 
         if op == "alloca":
-            self.advance()
+            self.pos = pos + 1
             ty = self.parse_type()
             return Alloca(ty)
 
         raise self.error(f"unknown instruction {op!r}")
 
-    @staticmethod
-    def _coerce(value: Value, ty: Type) -> Value:
-        """Give forward placeholders their real type once it is known."""
-        if isinstance(value, _Forward) and value.type.is_void:
-            value.type = ty
-        return value
 
+def parse_module(source: str, *, lazy: bool = False) -> Module:
+    """Parse IR text into a :class:`Module`.
 
-def parse_module(source: str) -> Module:
-    """Parse IR text into a :class:`Module`."""
-    return Parser(source).parse_module()
+    ``lazy`` defers function-body parsing until ``fn.blocks`` is first
+    touched (see :class:`LazyFunction`); the default materializes every
+    body before returning, so all parse errors surface immediately.
+    """
+    return Parser(source).parse_module(lazy=lazy)
 
 
 def parse_function(source: str) -> Function:

@@ -80,29 +80,44 @@ class User(Value):
     def __init__(self, ty: Type, name: str = "") -> None:
         super().__init__(ty, name)
         self.operands: List[Value] = []
+        #: The Use record this user appended to each operand's use
+        #: list, parallel to ``operands``.  Detaching removes the
+        #: record *by identity* -- an O(n) C-level scan with no
+        #: allocation -- instead of rebuilding the whole list, which
+        #: matters for interned constants with module-wide use lists.
+        self._use_links: List[Use] = []
 
     def add_operand(self, value: Value) -> None:
         """Append an operand, recording the use."""
-        index = len(self.operands)
+        link = Use(self, len(self.operands))
         self.operands.append(value)
-        value.uses.append(Use(self, index))
+        self._use_links.append(link)
+        value.uses.append(link)
 
     def set_operand(self, index: int, value: Value) -> None:
         """Replace operand ``index``, updating use lists."""
         old = self.operands[index]
         if old is value:
             return
-        old.uses = [u for u in old.uses if not (u.user is self and u.index == index)]
+        link = self._use_links[index]
+        try:
+            old.uses.remove(link)
+        except ValueError:
+            pass  # already detached
+        new_link = Use(self, index)
         self.operands[index] = value
-        value.uses.append(Use(self, index))
+        self._use_links[index] = new_link
+        value.uses.append(new_link)
 
     def drop_all_references(self) -> None:
         """Detach this user from all of its operands."""
-        for index, old in enumerate(self.operands):
-            old.uses = [
-                u for u in old.uses if not (u.user is self and u.index == index)
-            ]
+        for old, link in zip(self.operands, self._use_links):
+            try:
+                old.uses.remove(link)
+            except ValueError:
+                pass  # already detached
         self.operands = []
+        self._use_links = []
 
     def operand_iter(self) -> Iterator[Value]:
         """Iterate operands."""

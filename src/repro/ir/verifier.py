@@ -21,7 +21,7 @@ error, not raised as an ``IndexError``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from .instructions import (
     BinaryOp,
@@ -126,14 +126,21 @@ def _check_blocks(
             if inst.is_terminator and inst is not block.instructions[-1]:
                 errors.append(f"terminator mid-block in %{block.name}")
 
-    # Use-def chain consistency.
+    # Use-def chain consistency.  Each distinct operand value's use
+    # list is folded into a set once and memoized: interned constants
+    # are shared module-wide, so scanning their (long) use lists per
+    # referencing operand would be quadratic.
+    use_sets: Dict[int, set] = {}
     for block in blocks:
         for inst in block.instructions:
+            inst_id = id(inst)
             for index, op in enumerate(inst.operands):
-                found = any(
-                    u.user is inst and u.index == index for u in op.uses
-                )
-                if not found:
+                key = id(op)
+                pairs = use_sets.get(key)
+                if pairs is None:
+                    pairs = {(id(u.user), u.index) for u in op.uses}
+                    use_sets[key] = pairs
+                if (inst_id, index) not in pairs:
                     errors.append(
                         f"operand {index} of {inst!r} missing from use list"
                     )

@@ -8,11 +8,14 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 #: The pipeline phases the optional wall-time counters distinguish.
-#: ``eval`` is credited outside the rolling pipeline proper: callers
-#: that execute code on the rolled output (the driver's semantics
-#: oracle, the harness' dynamic-step measurements) book that wall time
-#: here so guided-rolling overhead studies see evaluation cost too.
+#: ``parse`` and ``eval`` are credited outside the rolling pipeline
+#: proper: the driver books module parse/verify wall time under
+#: ``parse``, and callers that execute code on the rolled output (the
+#: driver's semantics oracle, the harness' dynamic-step measurements)
+#: book under ``eval`` -- so Amdahl attribution (parse vs. roll vs.
+#: eval) is measured directly instead of inferred by subtraction.
 PHASE_NAMES: Tuple[str, ...] = (
+    "parse",
     "seeds",
     "alignment",
     "scheduling",

@@ -59,31 +59,37 @@ def _simplify(inst: Instruction) -> Optional[Value]:
             if inst.opcode in table:
                 return ConstantFloat(ty, table[inst.opcode])
         if isinstance(ty, IntType):
-            zero = ConstantInt(ty, 0)
-            if inst.opcode == "add":
-                if rhs == zero:
+            # Cheap inline tests (no throwaway ConstantInt per call):
+            # a constant operand equals zero/one iff it is a
+            # ConstantInt of this type with that stored value.
+            lhs_const = isinstance(lhs, ConstantInt) and lhs.type is ty
+            rhs_const = isinstance(rhs, ConstantInt) and rhs.type is ty
+            lhs_zero = lhs_const and lhs.value == 0
+            rhs_zero = rhs_const and rhs.value == 0
+            opcode = inst.opcode
+            if opcode == "add":
+                if rhs_zero:
                     return lhs
-                if lhs == zero:
+                if lhs_zero:
                     return rhs
-            if inst.opcode == "sub" and rhs == zero:
+            if opcode == "sub" and rhs_zero:
                 return lhs
-            if inst.opcode == "mul":
-                one = ConstantInt(ty, 1)
-                if rhs == one:
+            if opcode == "mul":
+                if rhs_const and rhs.value == 1:
                     return lhs
-                if lhs == one:
+                if lhs_const and lhs.value == 1:
                     return rhs
-                if rhs == zero or lhs == zero:
-                    return zero
-            if inst.opcode in ("and", "or") and lhs is rhs:
+                if rhs_zero or lhs_zero:
+                    return ConstantInt(ty, 0)
+            if opcode in ("and", "or") and lhs is rhs:
                 return lhs
-            if inst.opcode == "xor" and lhs is rhs:
-                return zero
-            if inst.opcode in ("shl", "lshr", "ashr") and rhs == zero:
+            if opcode == "xor" and lhs is rhs:
+                return ConstantInt(ty, 0)
+            if opcode in ("shl", "lshr", "ashr") and rhs_zero:
                 return lhs
-            if inst.opcode == "or" and rhs == zero:
+            if opcode == "or" and rhs_zero:
                 return lhs
-            if inst.opcode == "xor" and rhs == zero:
+            if opcode == "xor" and rhs_zero:
                 return lhs
         return None
     if isinstance(inst, ICmp):

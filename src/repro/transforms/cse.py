@@ -30,10 +30,12 @@ from ..ir.values import ConstantFloat, ConstantInt, Value
 
 
 def _operand_key(value: Value) -> object:
+    # Types are interned (same type <=> same object), so the type
+    # object itself is a sound and cheap key component.
     if isinstance(value, ConstantInt):
-        return ("ci", str(value.type), value.value)
+        return ("ci", value.type, value.value)
     if isinstance(value, ConstantFloat):
-        return ("cf", str(value.type), value.value)
+        return ("cf", value.type, value.value)
     return id(value)
 
 
@@ -42,19 +44,19 @@ def _value_key(inst: Instruction) -> Optional[Tuple]:
     if isinstance(inst, BinaryOp):
         if inst.is_commutative:
             ops = tuple(sorted(ops, key=repr))
-        return ("bin", inst.opcode, str(inst.type), ops)
+        return ("bin", inst.opcode, inst.type, ops)
     if isinstance(inst, ICmp):
         return ("icmp", inst.predicate, ops)
     if isinstance(inst, FCmp):
         return ("fcmp", inst.predicate, ops)
     if isinstance(inst, Cast):
-        return ("cast", inst.opcode, str(inst.type), ops)
+        return ("cast", inst.opcode, inst.type, ops)
     if isinstance(inst, GetElementPtr):
-        return ("gep", str(inst.source_type), ops)
+        return ("gep", inst.source_type, ops)
     if isinstance(inst, Select):
         return ("select", ops)
     if isinstance(inst, Load):
-        return ("load", str(inst.type), ops)
+        return ("load", inst.type, ops)
     return None
 
 

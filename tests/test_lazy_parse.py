@@ -1,0 +1,149 @@
+"""Lazy module parsing: round-trip fidelity and materialization rules.
+
+``parse_module(source, lazy=True)`` scans top-level structure only and
+defers each function body until ``fn.blocks`` is first touched.  These
+tests pin the contract: lazy and eager parses print byte-identically,
+``is_declaration`` never forces a body, bodies materialize exactly
+once, and a body whose parse fails surfaces the same ParseError
+(with position) on every touch.
+"""
+
+import pytest
+
+from repro.difftest.fuzzer import FunctionFuzzer
+from repro.ir import (
+    ParseError,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.ir.parser import LazyFunction
+
+
+MULTI_FUNCTION = """
+declare i32 @ext(i32)
+
+@G = global [4 x i32] [i32 1, i32 2, i32 3, i32 4]
+
+define i32 @first(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @second(i32 %n) {
+entry:
+  %start = icmp slt i32 0, %n
+  br i1 %start, label %loop, label %done
+loop:
+  %i = phi i32 [ 0, %entry ], [ %next, %loop ]
+  %acc = phi i32 [ 0, %entry ], [ %sum, %loop ]
+  %sum = add i32 %acc, %i
+  %next = add i32 %i, 1
+  %more = icmp slt i32 %next, %n
+  br i1 %more, label %loop, label %done
+done:
+  %r = phi i32 [ 0, %entry ], [ %sum, %loop ]
+  %c = call i32 @ext(i32 %r)
+  ret i32 %c
+}
+
+define i32 @third() {
+entry:
+  %p = getelementptr [4 x i32], [4 x i32]* @G, i64 0, i64 2
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+"""
+
+
+def test_lazy_round_trip_matches_eager():
+    eager = print_module(parse_module(MULTI_FUNCTION))
+    lazy = print_module(parse_module(MULTI_FUNCTION, lazy=True))
+    assert lazy == eager
+
+
+def test_lazy_round_trip_matches_eager_on_fuzzed_corpus():
+    fuzzer = FunctionFuzzer(7)
+    for index in range(25):
+        module, _ = fuzzer.build(index)
+        source = print_module(module)
+        eager = print_module(parse_module(source))
+        lazy = print_module(parse_module(source, lazy=True))
+        assert lazy == eager, f"case {index} diverged"
+
+
+def test_lazy_module_verifies_after_forcing():
+    module = parse_module(MULTI_FUNCTION, lazy=True)
+    verify_module(module)
+
+
+def test_is_declaration_does_not_force():
+    module = parse_module(MULTI_FUNCTION, lazy=True)
+    fn = module.get_function("second")
+    assert isinstance(fn, LazyFunction)
+    assert not fn.is_materialized
+    assert not fn.is_declaration
+    assert not fn.is_materialized, "is_declaration must not force the body"
+    decl = module.get_function("ext")
+    assert decl.is_declaration
+
+
+def test_body_materializes_once_on_first_touch():
+    module = parse_module(MULTI_FUNCTION, lazy=True)
+    fn = module.get_function("second")
+    assert not fn.is_materialized
+    blocks = fn.blocks
+    assert fn.is_materialized
+    assert [b.name for b in blocks] == ["entry", "loop", "done"]
+    assert fn.blocks is blocks, "second touch must reuse the parsed body"
+
+
+def test_untouched_functions_stay_unmaterialized():
+    module = parse_module(MULTI_FUNCTION, lazy=True)
+    first = module.get_function("first")
+    third = module.get_function("third")
+    _ = first.blocks
+    assert first.is_materialized
+    assert not third.is_materialized
+
+
+BROKEN_BODY = """
+define i32 @fine() {
+entry:
+  ret i32 0
+}
+
+define i32 @broken(i32 %x) {
+entry:
+  %r = add i32 %x, %undefined_op
+  ret i32 %r
+}
+"""
+
+
+def test_eager_parse_raises_for_broken_body():
+    with pytest.raises(ParseError):
+        parse_module(BROKEN_BODY)
+
+
+def test_lazy_body_error_raises_on_every_touch():
+    module = parse_module(BROKEN_BODY, lazy=True)  # top-level scan succeeds
+    fine = module.get_function("fine")
+    assert [b.name for b in fine.blocks] == ["entry"]
+
+    broken = module.get_function("broken")
+    with pytest.raises(ParseError) as first:
+        broken.blocks
+    with pytest.raises(ParseError) as second:
+        broken.blocks
+    assert str(first.value) == str(second.value)
+    # The message carries the line:column of the offending token.
+    assert "%undefined_op" in str(first.value) or "undefined" in str(
+        first.value
+    )
+    assert first.value.line is not None
+    assert first.value.column is not None
+    # A failed body never counts as a declaration.
+    assert not broken.is_declaration
+    assert not broken.is_materialized
