@@ -1,0 +1,49 @@
+"""Structural cache exhibit: a renamed corpus rerun must be (nearly) free.
+
+Runs :func:`repro.bench.structcache.run_struct_cache_suite` -- cold
+run, rename-perturbed warm rerun, text-SHA baseline, and the
+natural-duplication dedupe round -- and pins the acceptance bars:
+
+* the warm rerun of the fully renamed corpus hits the structural
+  cache for **every** job (asserted in quick runs too: this is the CI
+  smoke gate),
+* the warm results agree with a no-cache recompute (zero mismatches)
+  and every differential-semantics verdict passes,
+* on full runs, the warm rerun beats the text-keyed baseline by at
+  least :data:`~repro.bench.structcache.MIN_SPEEDUP`x.
+
+The machine-readable payload is emitted separately by
+``benchmarks/emit_bench_json.py --suite struct-cache`` (writes
+``BENCH_struct_cache.json``); this exhibit saves the human-readable
+report under ``results/``.
+"""
+
+from conftest import save_and_print
+
+from repro.bench.structcache import (
+    MIN_SPEEDUP,
+    render_struct_cache,
+    run_struct_cache_suite,
+)
+
+
+def test_struct_cache_speedup(results_dir, bench_quick):
+    results = run_struct_cache_suite(quick=bench_quick)
+    text = render_struct_cache(results)
+    save_and_print(results_dir, "struct_cache.txt", text)
+
+    # The smoke gate: structural keying must make a renamed corpus a
+    # 100% warm rerun, and the served results must be *right*.
+    assert results["warm_perturbed"]["hit_rate"] == 1.0
+    assert results["mismatches"] == 0
+    assert results["semantics_ok"]
+
+    dup = results["natural_duplication"]
+    assert dup["dedupe_hits"] == dup["jobs"] // 2
+    assert dup["executed_with_dedupe"] == dup["jobs"] // 2
+
+    if not bench_quick:
+        assert results["speedup"] >= MIN_SPEEDUP, (
+            f"warm rerun speedup {results['speedup']:.2f}x below "
+            f"{MIN_SPEEDUP:.1f}x bar"
+        )

@@ -1,6 +1,6 @@
 """Benchmark substrates and the experiment harness for every exhibit."""
 
-from . import angha, programs, tsvc
+from . import angha, programs, structcache, tsvc
 from .harness import (
     AnghaExperiment,
     AnghaFunctionResult,

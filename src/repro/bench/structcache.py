@@ -1,0 +1,213 @@
+"""The structural-cache benchmark: rename-proof warm reruns, dedupe wins.
+
+The exhibit behind ``BENCH_struct_cache.json``.  The scenario the
+structural cache exists for: a corpus is optimized once, then comes
+back *rename-perturbed* -- the functions are the same work modulo
+alpha-renaming (regenerated Angha dumps renumber every temporary;
+recompiled projects reseed local names), which a text-keyed cache
+misses wholesale.  Three timed runs over the same corpus:
+
+* **cold** -- fresh structural cache, everything computes and writes;
+* **warm perturbed** -- every job alpha-renamed (locals *and* the
+  defined function, via the real text renamer), same cache: the
+  structural keys must all hit;
+* **text baseline** -- what a text-SHA keyed cache would do with the
+  perturbed corpus: miss everything and recompute (measured as a cold
+  run into a fresh directory, which is exactly that).
+
+plus a **natural duplication** round: the corpus with an alpha-variant
+twin of every function, run with in-batch dedupe on and off.
+
+Correctness bar: the warm hit rate is 100%, every result carries a
+passing differential-semantics verdict (the runs use
+``check_semantics``), and the warm results match a no-cache rerun of
+the perturbed corpus (sizes, savings, rolled-loop counts).
+Performance bar (full runs): warm-perturbed beats the text baseline by
+``MIN_SPEEDUP``x.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from time import perf_counter
+from typing import Dict, List, Tuple
+
+from ..driver import FunctionJob, optimize_functions
+from ..frontend import compile_c
+from ..ir import (
+    parse_module,
+    print_module,
+    rename_function_locals,
+    rename_globals,
+    structural_eq,
+    structural_summary,
+)
+from . import angha
+
+#: Full-run bar: a structural warm rerun of a renamed corpus must beat
+#: recomputation by at least this much.
+MIN_SPEEDUP = 5.0
+
+
+def corpus_jobs(count: int, seed: int = 2022) -> List[FunctionJob]:
+    """``count`` Angha-style functions as precompiled IR jobs."""
+    return [
+        FunctionJob(
+            name=cs.name,
+            ir_text=print_module(compile_c(cs.source, cs.name)),
+            metadata=(("family", cs.family),),
+        )
+        for cs in angha.generate_sources(count=count, seed=seed)
+    ]
+
+
+def perturb_job(job: FunctionJob, suffix: str = "") -> FunctionJob:
+    """An alpha-variant of ``job``: every unique local renamed through
+    the canonical namespace and the function itself renamed, using the
+    real text renamer (comments/layout survive, names change)."""
+    summary = structural_summary(parse_module(job.ir_text))
+    canonical = summary.canonical_target(job.name)
+    new_name = f"{canonical}{suffix}" if suffix else canonical
+    text = rename_globals(
+        rename_function_locals(
+            job.ir_text, {job.name: summary.fn_renames.get(canonical, {})}
+        ),
+        {job.name: new_name},
+    )
+    assert text != job.ir_text, f"{job.name}: perturbation was a no-op"
+    return FunctionJob(
+        name=new_name, ir_text=text, metadata=job.metadata
+    )
+
+
+def _timed_run(jobs, cache_dir, **kwargs):
+    start = perf_counter()
+    report = optimize_functions(
+        jobs, workers=1, cache_dir=cache_dir, check_semantics=True, **kwargs
+    )
+    return perf_counter() - start, report
+
+
+def _count_mismatches(hits, computed) -> int:
+    """Result disagreements between warm hits and a fresh recompute."""
+    mismatches = 0
+    for hit, fresh in zip(hits, computed):
+        same = (
+            hit.rolag_size == fresh.rolag_size
+            and hit.llvm_size == fresh.llvm_size
+            and hit.rolag_rolled == fresh.rolag_rolled
+            and hit.savings == fresh.savings
+            and structural_eq(
+                parse_module(hit.optimized_ir),
+                parse_module(fresh.optimized_ir),
+            )
+        )
+        if not same:
+            mismatches += 1
+    return mismatches
+
+
+def run_struct_cache_suite(
+    seed: int = 2022, count: int = 40, quick: bool = False
+) -> Dict[str, object]:
+    """Measure the whole exhibit; returns the JSON-ready payload."""
+    if quick:
+        count = min(count, 8)
+    jobs = corpus_jobs(count, seed=seed)
+    perturbed = [perturb_job(job) for job in jobs]
+
+    with tempfile.TemporaryDirectory(prefix="rolag-structcache-") as root:
+        struct_dir = os.path.join(root, "structural")
+        cold_seconds, cold = _timed_run(jobs, struct_dir)
+        warm_seconds, warm = _timed_run(perturbed, struct_dir)
+        # A text-keyed cache misses a renamed corpus wholesale; its
+        # warm rerun *is* a cold run (plus writes, which it also pays).
+        text_seconds, text = _timed_run(
+            perturbed, os.path.join(root, "textbaseline")
+        )
+        nocache_report = optimize_functions(
+            perturbed, workers=1, check_semantics=True
+        )
+
+        # Natural duplication: every function plus one renamed twin.
+        twins = jobs + [perturb_job(job, suffix="_twin") for job in jobs]
+        dup_seconds, dup = _timed_run(twins, os.path.join(root, "dup"))
+        nodedupe_seconds, nodedupe = _timed_run(
+            twins, os.path.join(root, "dup_off"), dedupe=False
+        )
+
+    hit_rate = warm.stats.cache_hits / len(perturbed)
+    mismatches = _count_mismatches(warm.results, nocache_report.results)
+    semantics_ok = all(
+        r.semantics_ok for r in warm.results + nocache_report.results
+    )
+    return {
+        "suite": "struct_cache",
+        "quick": bool(quick),
+        "seed": seed,
+        "count": count,
+        "cold": {
+            "seconds": cold_seconds,
+            "misses": cold.stats.cache_misses,
+            "writes": cold.stats.cache_writes,
+        },
+        "warm_perturbed": {
+            "seconds": warm_seconds,
+            "hits": warm.stats.cache_hits,
+            "hit_rate": hit_rate,
+        },
+        "text_baseline": {
+            "seconds": text_seconds,
+            "misses": text.stats.cache_misses,
+        },
+        "speedup": text_seconds / warm_seconds if warm_seconds else 0.0,
+        "natural_duplication": {
+            "jobs": len(jobs) * 2,
+            "dedupe_hits": dup.stats.dedupe_hits,
+            "executed_with_dedupe": dup.stats.executed,
+            "executed_without": nodedupe.stats.executed,
+            "seconds_with_dedupe": dup_seconds,
+            "seconds_without": nodedupe_seconds,
+            "speedup": (
+                nodedupe_seconds / dup_seconds if dup_seconds else 0.0
+            ),
+        },
+        "mismatches": mismatches,
+        "semantics_ok": semantics_ok,
+        "min_speedup_bar": MIN_SPEEDUP,
+    }
+
+
+def render_struct_cache(results: Dict[str, object]) -> str:
+    """A human-readable report of one suite payload."""
+    cold = results["cold"]
+    warm = results["warm_perturbed"]
+    text = results["text_baseline"]
+    dup = results["natural_duplication"]
+    lines = [
+        "=== Structural cache: rename-perturbed corpus rerun "
+        f"({results['count']} functions, seed {results['seed']}"
+        f"{', quick' if results['quick'] else ''}) ===",
+        f"cold run (fresh cache):        {cold['seconds']:8.2f}s "
+        f"({cold['writes']} writes)",
+        f"warm rerun, all renamed:       {warm['seconds']:8.2f}s "
+        f"({warm['hits']} hits, hit rate {warm['hit_rate']:.0%})",
+        f"text-SHA baseline (recompute): {text['seconds']:8.2f}s "
+        f"({text['misses']} misses)",
+        f"speedup vs text keying:        {results['speedup']:8.2f}x "
+        f"(bar: {results['min_speedup_bar']:.1f}x, full runs)",
+        "",
+        "--- natural duplication (every function + a renamed twin) ---",
+        f"with in-batch dedupe:          {dup['seconds_with_dedupe']:8.2f}s "
+        f"({dup['executed_with_dedupe']}/{dup['jobs']} executed, "
+        f"{dup['dedupe_hits']} deduped)",
+        f"without dedupe:                {dup['seconds_without']:8.2f}s "
+        f"({dup['executed_without']}/{dup['jobs']} executed)",
+        f"dedupe speedup:                {dup['speedup']:8.2f}x",
+        "",
+        f"result mismatches vs no-cache run: {results['mismatches']}",
+        f"all differential-semantics verdicts pass: "
+        f"{results['semantics_ok']}",
+    ]
+    return "\n".join(lines)

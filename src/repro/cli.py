@@ -92,6 +92,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="ignore --cache-dir: neither read nor write memoized results",
     )
     parser.add_argument(
+        "--no-dedupe",
+        action="store_true",
+        help="disable in-batch structural dedupe: run every job even "
+        "when it is alpha-equivalent to another job in the batch",
+    )
+    parser.add_argument(
         "--unroll",
         type=int,
         metavar="N",
@@ -563,6 +569,7 @@ def run_batch(args: argparse.Namespace) -> int:
         workers=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        dedupe=not args.no_dedupe,
         check_semantics=args.check_semantics,
         evaluator=args.evaluator,
         deadline=args.deadline,
@@ -576,6 +583,8 @@ def run_batch(args: argparse.Namespace) -> int:
     for path, result in zip(args.input, report.results):
         if result.failed:
             status = result.error_kind.upper()
+        elif result.dedupe_hit:
+            status = "dedup"
         else:
             status = "hit" if result.cache_hit else "miss"
         row = [
@@ -600,6 +609,7 @@ def run_batch(args: argparse.Namespace) -> int:
     print(
         f"; {stats.jobs} module(s), {stats.workers} worker(s), "
         f"cache hits: {stats.cache_hits}, misses: {stats.cache_misses}, "
+        f"dedupe hits: {stats.dedupe_hits}, "
         f"{stats.wall_seconds:.2f}s"
     )
     if (

@@ -7,21 +7,33 @@ A cache entry is keyed by a SHA-256 fingerprint of
 * the :meth:`RolagConfig.fingerprint` of the active config,
 * a fingerprint of the measuring cost model,
 * the semantics-check flag and the oracle's evaluator backend,
-* the target function name, and
-* the function's canonical text (printed IR, or the mini-C source).
+* the *canonical* target function name, and
+* the function's **structural fingerprint** (see
+  :mod:`repro.ir.structhash`): an alpha-invariant digest of the
+  verified IR, so a rename of values, labels, or the defined functions
+  themselves -- or a reordering of reachable blocks -- still *hits*.
+  Inputs that fail to build (unparseable IR, uncompilable C) fall back
+  to a digest of their raw text, flagged with a distinct prefix so the
+  two namespaces cannot collide.
 
-Equal inputs therefore hit regardless of process, worker count, or
-run order; any config/model/input change misses and recomputes.
-Entries are JSON files sharded two hex characters deep so corpus-sized
-caches do not degenerate into one giant directory.
+Equal inputs therefore hit regardless of process, worker count, run
+order, or spelling; any config/model/structural change misses and
+recomputes.  Because the key is structural, a hit may come from a job
+with different names than the requester's: the envelope therefore
+stores the producing job's renaming *witness* so the driver can
+rewrite the cached ``optimized_ir`` into the requester's namespace
+(see ``core.py``).  Entries are JSON files sharded two hex characters
+deep so corpus-sized caches do not degenerate into one giant
+directory.
 
 The cache trusts nothing it reads back.  Each entry is an envelope
-``{"schema": N, "checksum": ..., "result": {...}}``; a read that fails
-to parse, carries the wrong schema, or fails its checksum is treated
-as a *miss*: counted in :attr:`ResultCache.corrupt`, logged, deleted,
-and rewritten when the recomputed result lands.  Reads pass through
-the ``cache.read`` fault-injection site so corruption handling stays
-under test (see ``repro.faultinject``).
+``{"schema": N, "checksum": ..., "result": {...}, "renames": {...}}``;
+a read that fails to parse, carries the wrong schema, or fails its
+checksum is treated as a *miss*: counted in
+:attr:`ResultCache.corrupt`, logged, deleted, and rewritten when the
+recomputed result lands.  Reads pass through the ``cache.read``
+fault-injection site so corruption handling stays under test (see
+``repro.faultinject``).
 """
 
 from __future__ import annotations
@@ -35,6 +47,8 @@ from typing import Dict, Optional
 
 from ..analysis.costmodel import CodeSizeCostModel
 from ..faultinject import corrupt_bytes, fire
+from ..ir import parse_module
+from ..ir.structhash import StructuralSummary, structural_summary
 from ..rolag.config import RolagConfig
 from .types import FunctionJob, FunctionResult
 
@@ -45,7 +59,13 @@ log = logging.getLogger(__name__)
 #: 5: results gained ``guard_reports`` (online translation validation).
 #: 6: stats gained the ``parse`` phase timer, and the evaluator knob
 #: grew the ``bytecode`` tier (same knob string keys different code).
-SCHEMA_VERSION = 6
+#: 7: keys went structural (alpha-invariant fingerprint + canonical
+#: target instead of raw text), and the envelope gained the producing
+#: job's renaming witness.
+SCHEMA_VERSION = 7
+
+#: ``job_key``/``quarantine_key`` sentinel: "compute the summary here".
+_AUTO = object()
 
 
 def model_fingerprint(model: Optional[CodeSizeCostModel]) -> str:
@@ -57,12 +77,49 @@ def model_fingerprint(model: Optional[CodeSizeCostModel]) -> str:
     return digest.hexdigest()[:16]
 
 
+def job_struct_summary(job: FunctionJob) -> Optional[StructuralSummary]:
+    """The job's structural summary, or ``None`` if it does not build.
+
+    IR jobs are parsed; mini-C jobs run through the frontend (the
+    compile is a fraction of what the full worker pipeline costs, and
+    only cache-enabled or failure paths ever need it).  Any exception
+    means "no structural identity": the caller falls back to keying by
+    raw text, and the job still flows -- its worker will report the
+    real error.
+    """
+    try:
+        if job.ir_text is not None:
+            module = parse_module(job.ir_text)
+        else:
+            from ..frontend import compile_c
+
+            module = compile_c(job.c_source, module_name="structhash.probe")
+        return structural_summary(module)
+    except Exception:
+        return None
+
+
+def text_fingerprint(job: FunctionJob) -> str:
+    """The fallback content fingerprint for jobs that do not build."""
+    material = f"{job.format}:{job.name}\n{job.text}"
+    return "text:" + hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _content_fingerprint(
+    job: FunctionJob, summary: Optional[StructuralSummary]
+) -> str:
+    if summary is not None:
+        return "struct:" + summary.fingerprint
+    return text_fingerprint(job)
+
+
 def job_key(
     job: FunctionJob,
     config: RolagConfig,
     measure_model: Optional[CodeSizeCostModel] = None,
     check_semantics: bool = False,
     evaluator: str = "interp",
+    summary: object = _AUTO,
 ) -> str:
     """The content-addressed cache key for one job.
 
@@ -70,7 +127,17 @@ def job_key(
     without the differential oracle must not satisfy a request that
     asked for one.  So does ``evaluator``: the backend that executed
     the oracle is part of what the cached verdict attests.
+
+    ``summary`` is the job's :class:`StructuralSummary` when the
+    caller already computed one (the driver memoizes them), ``None``
+    for a job known not to build; left at the default it is computed
+    here, so ``job_key(job, config)`` is self-contained.
     """
+    if summary is _AUTO:
+        summary = job_struct_summary(job)
+    target = job.name
+    if summary is not None:
+        target = summary.canonical_target(job.name)
     material = "\n".join(
         [
             f"schema:{SCHEMA_VERSION}",
@@ -78,10 +145,8 @@ def job_key(
             f"model:{model_fingerprint(measure_model)}",
             f"semantics:{int(check_semantics)}",
             f"evaluator:{evaluator}",
-            f"target:{job.name}",
-            f"format:{job.format}",
-            "text:",
-            job.text,
+            f"target:{target}",
+            f"content:{_content_fingerprint(job, summary)}",
         ]
     )
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
@@ -135,12 +200,21 @@ class ResultCache:
                     f"expected {SCHEMA_VERSION}"
                 )
             payload = data["result"]
-            checksum = _payload_checksum(payload)
+            renames = data.get("renames")
+            checksum = _payload_checksum(
+                {"result": payload, "renames": renames}
+            )
             if data.get("checksum") != checksum:
                 raise ValueError(
                     f"checksum {data.get('checksum')!r} != {checksum}"
                 )
             result = FunctionResult.from_json_dict(payload)
+            if isinstance(renames, dict):
+                result.producer_witness = StructuralSummary(
+                    fingerprint="",
+                    fn_renames=renames.get("fns") or {},
+                    global_renames=renames.get("globals") or {},
+                )
         except Exception as error:
             # Corrupt-entry path: never let a bad byte on disk take the
             # run down.  Treat as a miss, drop the entry, recompute.
@@ -157,18 +231,34 @@ class ResultCache:
         result.cache_hit = True
         return result
 
-    def put(self, key: str, result: FunctionResult) -> None:
+    def put(
+        self,
+        key: str,
+        result: FunctionResult,
+        summary: Optional[StructuralSummary] = None,
+    ) -> None:
         """Persist one result atomically (write-temp then rename).
 
+        ``summary`` is the producing job's structural summary; its
+        renaming witness rides in the envelope so a later hit from an
+        alpha-variant job can be rewritten into that job's namespace.
         Write failures are swallowed and counted: a memo the next run
         will recompute is not worth aborting this run over.
         """
         path = self.path(key)
         payload = result.to_json_dict()
+        renames = (
+            {"fns": summary.fn_renames, "globals": summary.global_renames}
+            if summary is not None
+            else None
+        )
         envelope = {
             "schema": SCHEMA_VERSION,
-            "checksum": _payload_checksum(payload),
+            "checksum": _payload_checksum(
+                {"result": payload, "renames": renames}
+            ),
             "result": payload,
+            "renames": renames,
         }
         tmp = None
         try:

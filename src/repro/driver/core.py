@@ -10,9 +10,14 @@ baseline, RoLAG, verify, size after -- and sends back a plain
 Scheduling is chunked (one pickle round-trip per chunk, not per
 function) and falls back to a deterministic in-process loop for
 ``workers=1``, so tests and small runs never pay pool startup.  With a
-cache directory, results are memoized content-addressed (see
-``cache.py``): a warm rerun of an unchanged corpus resolves entirely
-from disk without touching the pool.
+cache directory, results are memoized content-addressed under an
+*alpha-invariant structural* key (see ``cache.py`` and
+``repro.ir.structhash``): a warm rerun resolves entirely from disk
+even if every value, label, and function in the corpus was renamed in
+between.  The same fingerprints drive an in-batch dedupe pass --
+structurally identical jobs are coalesced before they reach the pool,
+one leader computes, and every follower receives a copy rewritten
+into its own namespace via the canonical-renaming witness.
 
 At corpus scale, one pathological function must cost one result, never
 the run.  The resilience contract (see ``docs/robustness.md``):
@@ -63,11 +68,19 @@ from ..faultinject import (
     resolve_plan,
 )
 from ..frontend import compile_c
-from ..ir import parse_module, print_module, verify_module
+from ..ir import (
+    ParseError,
+    parse_module,
+    print_module,
+    rename_function_locals,
+    rename_globals,
+    verify_module,
+)
 from ..ir.module import Module
+from ..ir.structhash import StructuralSummary, compose_witness_renames
 from ..rolag import RolagConfig, RolagStats, roll_loops_in_module
 from ..transforms.reroll import reroll_loops
-from .cache import ResultCache, job_key
+from .cache import ResultCache, job_key, job_struct_summary
 from .quarantine import QuarantineList, quarantine_key
 from .types import DriverReport, DriverStats, FunctionJob, FunctionResult
 
@@ -324,6 +337,81 @@ def _error_result(
     )
 
 
+def _retarget_result(
+    result: FunctionResult,
+    producer: Optional[StructuralSummary],
+    consumer: Optional[StructuralSummary],
+) -> None:
+    """Respell ``result`` (the producer's output) in the consumer's
+    names, via the composed canonical-renaming witness.
+
+    Rewrites the ``optimized_ir`` text and the per-function names in
+    ``savings``.  Identity compositions (same spelling on both sides)
+    are free, and any failure keeps the producer's text verbatim -- the
+    result is still structurally correct, just spelled differently.
+    """
+    if producer is None or consumer is None:
+        return
+    locals_map, globals_map = compose_witness_renames(producer, consumer)
+    if not locals_map and not globals_map:
+        return
+    try:
+        text = result.optimized_ir
+        if locals_map:
+            text = rename_function_locals(text, locals_map)
+        if globals_map:
+            text = rename_globals(text, globals_map)
+        result.optimized_ir = text
+    except ParseError:  # pragma: no cover - output IR always lexes
+        pass
+    if globals_map:
+        result.savings = [
+            (globals_map.get(fn_name, fn_name), saved)
+            for fn_name, saved in result.savings
+        ]
+
+
+def _follower_result(
+    leader_result: FunctionResult,
+    job: FunctionJob,
+    leader_summary: Optional[StructuralSummary],
+    summary: Optional[StructuralSummary],
+    stats: DriverStats,
+) -> FunctionResult:
+    """Fan one computed leader result out to a structural duplicate.
+
+    A failed leader degrades the follower identically (same error
+    class, counted per follower) -- the follower *is* the same
+    computation, so pretending it might have succeeded would be a lie.
+    Successful results are deep-copied, restamped with the follower's
+    identity, and their ``optimized_ir`` rewritten into the follower's
+    namespace; ``guard_reports`` travel with the copy, so every
+    rolled-back transaction is attributed to every duplicate.
+    """
+    if leader_result.failed:
+        kind = leader_result.error_kind or "crash"
+        if kind == "timeout":
+            stats.timed_out += 1
+        else:
+            stats.crashed += 1
+        result = _error_result(
+            job, kind, leader_result.error or "", leader_result.attempts
+        )
+        result.dedupe_hit = True
+        return result
+    result = FunctionResult.from_json_dict(leader_result.to_json_dict())
+    result.name = job.name
+    result.metadata = dict(job.metadata)
+    result.attempts = leader_result.attempts
+    # The work happened once, in the leader: no wall/phase time here,
+    # or timed aggregates would double-count it.
+    result.wall_seconds = 0.0
+    result.phase_seconds = {}
+    result.dedupe_hit = True
+    _retarget_result(result, leader_summary, summary)
+    return result
+
+
 # --- pool plumbing ----------------------------------------------------------
 #
 # The per-run knobs are shipped once per worker through the pool
@@ -375,7 +463,7 @@ def _default_chunk_size(pending: int, workers: int) -> int:
 
 def _attempt_serially(
     job: FunctionJob,
-    qkey: str,
+    qkey_fn: Callable[[], str],
     config: Optional[RolagConfig],
     measure_model: Optional[CodeSizeCostModel],
     timed: bool,
@@ -387,7 +475,12 @@ def _attempt_serially(
     quarantine: QuarantineList,
     stats: DriverStats,
 ) -> FunctionResult:
-    """The in-process retry loop: attempt, back off, degrade."""
+    """The in-process retry loop: attempt, back off, degrade.
+
+    ``qkey_fn`` is lazy: deriving a quarantine key means fingerprinting
+    the job (structurally when it builds), which only failure paths
+    should ever pay for.
+    """
     attempts = 0
     while True:
         attempts += 1
@@ -398,7 +491,9 @@ def _attempt_serially(
         if isinstance(outcome, FunctionResult):
             outcome.attempts = attempts
             return outcome
-        quarantine.record_failure(qkey, job.label, outcome.kind, outcome.message)
+        quarantine.record_failure(
+            qkey_fn(), job.label, outcome.kind, outcome.message
+        )
         if attempts <= retries:
             stats.retried += 1
             if retry_backoff > 0.0:
@@ -625,7 +720,7 @@ def _run_pool(
             stats.serial_fallback = True
             for index in remaining:
                 computed[index] = _attempt_serially(
-                    jobs[index], qkey(index), config, measure_model,
+                    jobs[index], lambda i=index: qkey(i), config, measure_model,
                     timed, check_semantics, evaluator, deadline,
                     retries, retry_backoff, quarantine, stats,
                 )
@@ -663,6 +758,7 @@ def optimize_functions(
     fault_plan: Union[None, str, FaultPlan] = None,
     serial_fallback: bool = False,
     max_pool_respawns: int = 2,
+    dedupe: bool = True,
 ) -> DriverReport:
     """Optimize every job, in parallel, memoized, and fault-tolerant.
 
@@ -676,6 +772,19 @@ def optimize_functions(
     part of the cache key, so checked and unchecked results never mix.
     ``evaluator`` picks the oracle's execution backend and is likewise
     fingerprinted into the key.
+
+    The batch is scheduled through a warm-path partition.  With the
+    cache on, every job is structurally fingerprinted (see
+    ``repro.ir.structhash``) and split three ways: **cache hits** are
+    served inline (rewritten into the job's namespace via the stored
+    witness, no pool round-trip), **dedupe followers** -- jobs
+    structurally identical to an earlier job in the same batch -- wait
+    for their leader's single computation and receive a renamed copy,
+    and only the **unique misses** reach the retry/pool machinery.
+    Without a cache no fingerprinting happens (the no-cache fast path
+    stays overhead-free) and dedupe degrades to coalescing textually
+    identical jobs.  ``dedupe=False`` disables the coalescing
+    entirely.
 
     Resilience knobs (see the module docstring and
     ``docs/robustness.md``): ``deadline`` bounds each function's wall
@@ -698,11 +807,31 @@ def optimize_functions(
 
     stats = DriverStats(jobs=len(jobs), workers=workers)
     quarantine = QuarantineList(quarantine_file, threshold=quarantine_after)
+    summaries: Dict[int, Optional[StructuralSummary]] = {}
+    hash_seconds = 0.0
     qkey_memo: Dict[int, str] = {}
+
+    def summary_of(index: int) -> Optional[StructuralSummary]:
+        """Memoized structural summary (None when the job won't build).
+
+        Lazy on purpose: without a cache only failure/quarantine paths
+        ever fingerprint a job, keeping the plain no-cache run at zero
+        hashing overhead.
+        """
+        nonlocal hash_seconds
+        if index not in summaries:
+            hash_start = perf_counter()
+            summaries[index] = job_struct_summary(jobs[index])
+            hash_seconds += perf_counter() - hash_start
+            if summaries[index] is None:
+                stats.hash_fallbacks += 1
+        return summaries[index]
 
     def qkey(index: int) -> str:
         if index not in qkey_memo:
-            qkey_memo[index] = quarantine_key(jobs[index])
+            qkey_memo[index] = quarantine_key(
+                jobs[index], summary_of(index)
+            )
         return qkey_memo[index]
 
     with active_plan(plan):
@@ -712,13 +841,30 @@ def optimize_functions(
         results: List[Optional[FunctionResult]] = [None] * len(jobs)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(jobs)
+        # In-batch dedupe: leader index per content key, follower
+        # indices per leader.  With the cache on, the content key is
+        # the full structural job key; without it, exact text.
+        leader_by_key: Dict[object, int] = {}
+        followers_of: Dict[int, List[int]] = {}
         for i, job in enumerate(jobs):
             if cache is not None:
+                summary = summary_of(i)
                 keys[i] = job_key(
-                    job, config, measure_model, check_semantics, evaluator
+                    job, config, measure_model, check_semantics, evaluator,
+                    summary=summary,
                 )
                 hit = cache.get(keys[i])
                 if hit is not None:
+                    # Structural hits may come from a differently-named
+                    # producer: restamp the job's identity and respell
+                    # the output via the envelope witness.
+                    hit.name = job.name
+                    hit.metadata = dict(job.metadata)
+                    _retarget_result(
+                        hit,
+                        hit.producer_witness,  # type: ignore[arg-type]
+                        summary,
+                    )
                     results[i] = hit
                     stats.cache_hits += 1
                     continue
@@ -730,14 +876,26 @@ def optimize_functions(
                     attempts=0,
                 )
                 continue
+            if dedupe:
+                dkey: object = (
+                    keys[i]
+                    if keys[i] is not None
+                    else ("text", job.format, job.name, job.text)
+                )
+                leader = leader_by_key.get(dkey)
+                if leader is not None:
+                    followers_of.setdefault(leader, []).append(i)
+                    stats.dedupe_hits += 1
+                    continue
+                leader_by_key[dkey] = i
             pending.append(i)
 
         if pending:
             if workers == 1 or len(pending) == 1:
                 computed = {
                     i: _attempt_serially(
-                        jobs[i], qkey(i), config, measure_model, timed,
-                        check_semantics, evaluator, deadline, retries,
+                        jobs[i], lambda i=i: qkey(i), config, measure_model,
+                        timed, check_semantics, evaluator, deadline, retries,
                         retry_backoff, quarantine, stats,
                     )
                     for i in pending
@@ -755,7 +913,18 @@ def optimize_functions(
                 # Error results are never cached: transient failures
                 # must not poison warm reruns.
                 if cache is not None and not result.failed:
-                    cache.put(keys[i], result)
+                    cache.put(keys[i], result, summary=summaries.get(i))
+
+        # Fan leaders out to their followers (same key, so never
+        # cache-written twice; failed leaders degrade each follower).
+        for leader, follower_indices in followers_of.items():
+            leader_result = results[leader]
+            assert leader_result is not None
+            for i in follower_indices:
+                results[i] = _follower_result(
+                    leader_result, jobs[i],
+                    summaries.get(leader), summaries.get(i), stats,
+                )
 
         quarantine.save()
         if cache is not None:
@@ -771,5 +940,10 @@ def optimize_functions(
             stats.phase_seconds[phase] = (
                 stats.phase_seconds.get(phase, 0.0) + seconds
             )
+    if timed:
+        # Parent-side structural fingerprinting books under ``hash``.
+        stats.phase_seconds["hash"] = (
+            stats.phase_seconds.get("hash", 0.0) + hash_seconds
+        )
     stats.wall_seconds = perf_counter() - start
     return DriverReport(results=final, stats=stats)

@@ -3,21 +3,26 @@
 Corpus-scale runs contain pathological functions that crash or hang a
 worker every time they are attempted.  Retrying them across runs wastes
 a worker (and, for hard crashes, a whole pool respawn) per run, so the
-driver records every exhausted failure here, keyed by a fingerprint of
-the function *text* (deliberately config-independent: a function that
-kills workers does so regardless of tuning knobs).  Once a function
-accumulates ``threshold`` failed attempts it is quarantined: future
-runs emit an error result for it immediately instead of dispatching it.
+driver records every exhausted failure here, keyed by the job's
+*structural* fingerprint (see :mod:`repro.ir.structhash`; deliberately
+config-independent: a function that kills workers does so regardless
+of tuning knobs, and regardless of how its values are named -- an
+alpha-variant of a known-bad function is the same bad function).
+Jobs that do not build fall back to a text fingerprint.  Once a
+function accumulates ``threshold`` failed attempts it is quarantined:
+future runs emit an error result for it immediately instead of
+dispatching it.
 
 The on-disk format is a small JSON document::
 
-    {"schema": 1,
+    {"schema": 2,
      "entries": {"<key>": {"name": "...", "failures": 3,
                             "last_kind": "crash", "last_error": "..."}}}
 
 A missing or unreadable file is treated as an empty list (the
-quarantine layer must itself be corruption-resilient); saving rewrites
-the file atomically.
+quarantine layer must itself be corruption-resilient); a file written
+by an older schema (whose keys derive differently) is treated as
+stale and started fresh.  Saving rewrites the file atomically.
 """
 
 from __future__ import annotations
@@ -33,13 +38,28 @@ from .types import FunctionJob
 
 log = logging.getLogger(__name__)
 
-#: Bump when the on-disk layout changes meaning.
-SCHEMA_VERSION = 1
+#: Bump when the on-disk layout (or the key derivation) changes
+#: meaning.  2: keys went structural (schema-1 files keyed raw text).
+SCHEMA_VERSION = 2
 
 
-def quarantine_key(job: FunctionJob) -> str:
-    """Config-independent fingerprint of one job's function text."""
-    material = f"{job.format}:{job.name}\n{job.text}"
+def quarantine_key(job: FunctionJob, summary: object = None) -> str:
+    """Config-independent structural fingerprint of one job.
+
+    ``summary`` mirrors :func:`repro.driver.cache.job_key`: pass a
+    precomputed :class:`~repro.ir.structhash.StructuralSummary` (the
+    driver memoizes them), or leave the default to compute one here.
+    """
+    from .cache import _content_fingerprint, job_struct_summary
+
+    if summary is None:
+        # Covers both "caller did not compute one" and "job does not
+        # build" (recomputing the latter lands on the text fallback).
+        summary = job_struct_summary(job)
+    target = job.name
+    if summary is not None:
+        target = summary.canonical_target(job.name)
+    material = f"target:{target}\ncontent:{_content_fingerprint(job, summary)}"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
 
 
@@ -61,8 +81,20 @@ class QuarantineList:
             with open(path, encoding="utf-8") as handle:
                 data = json.load(handle)
             entries = data["entries"]
-            if data.get("schema") != SCHEMA_VERSION:
-                raise ValueError(f"schema {data.get('schema')!r}")
+            schema = data.get("schema")
+            if schema != SCHEMA_VERSION:
+                if isinstance(schema, int) and isinstance(entries, dict):
+                    # A well-formed file from an older schema: its keys
+                    # derive differently (schema 1 keyed raw text), so
+                    # the entries cannot migrate -- start fresh, but do
+                    # not flag the file as corrupt.
+                    log.info(
+                        "quarantine file %s uses schema %s (current %s); "
+                        "starting fresh", path, schema, SCHEMA_VERSION,
+                    )
+                    self._dirty = True
+                    return
+                raise ValueError(f"schema {schema!r}")
             self.entries = {
                 str(key): dict(value) for key, value in entries.items()
             }

@@ -93,6 +93,14 @@ class FunctionResult:
     wall_seconds: float = 0.0
     #: Whether this result came out of the memo cache.
     cache_hit: bool = False
+    #: Whether this result was fanned out from a structurally
+    #: identical job computed in the same batch (in-batch dedupe).
+    dedupe_hit: bool = False
+    #: Transient cache plumbing: the producing job's renaming witness
+    #: (a ``repro.ir.structhash.StructuralSummary``), attached by
+    #: ``ResultCache.get`` so the driver can rewrite a structural hit
+    #: into the requesting job's namespace.  Never serialized.
+    producer_witness: Optional[object] = None
     #: Structured failure message when the pipeline could not finish;
     #: the result then carries the *original* function text in
     #: :attr:`optimized_ir` (graceful degradation) and zeroed metrics.
@@ -117,7 +125,8 @@ class FunctionResult:
         """
         data = asdict(self)
         for volatile in (
-            "phase_seconds", "wall_seconds", "cache_hit", "attempts"
+            "phase_seconds", "wall_seconds", "cache_hit", "dedupe_hit",
+            "producer_witness", "attempts",
         ):
             data.pop(volatile)
         return data
@@ -125,7 +134,8 @@ class FunctionResult:
     def to_json_dict(self) -> Dict[str, object]:
         """Serialize for the on-disk cache."""
         data = asdict(self)
-        data.pop("cache_hit")
+        for transient in ("cache_hit", "dedupe_hit", "producer_witness"):
+            data.pop(transient)
         return data
 
     @classmethod
@@ -155,6 +165,12 @@ class DriverStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_writes: int = 0
+    #: Jobs served by fanning out a structurally identical in-batch
+    #: leader's result (never dispatched, never cache-written).
+    dedupe_hits: int = 0
+    #: Jobs whose structural fingerprint could not be computed
+    #: (unbuildable input); they key by raw text instead.
+    hash_fallbacks: int = 0
     wall_seconds: float = 0.0
     #: Sum of the per-function phase timers (timed runs only).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -180,8 +196,9 @@ class DriverStats:
 
     @property
     def executed(self) -> int:
-        """Jobs that actually ran (were not served from the cache)."""
-        return self.jobs - self.cache_hits
+        """Jobs that actually ran (not served from the cache or fanned
+        out from an in-batch structural duplicate)."""
+        return self.jobs - self.cache_hits - self.dedupe_hits
 
     @property
     def failed(self) -> int:

@@ -44,8 +44,23 @@ from .interp import (
     run_function,
 )
 from .module import BasicBlock, Function, Module
-from .parser import ParseError, parse_function, parse_module
+from .parser import (
+    ParseError,
+    parse_function,
+    parse_module,
+    rename_function_locals,
+    rename_globals,
+)
 from .printer import print_function, print_module
+from .structhash import (
+    StructuralSummary,
+    canonical_function_text,
+    canonical_module_text,
+    compose_witness_renames,
+    structural_eq,
+    structural_fingerprint,
+    structural_summary,
+)
 from .types import (
     ArrayType,
     DataLayout,
@@ -104,12 +119,17 @@ __all__ = [
     "FunctionType", "GetElementPtr", "GlobalVariable", "I1", "I16", "I32",
     "I64", "I8", "ICmp", "IRBuilder", "Instruction", "IntType", "LABEL",
     "Load", "Machine", "Module", "ParseError", "Phi", "PointerType", "Ret",
-    "Select", "StepLimitExceeded", "Store", "StructType", "TrapError",
+    "Select", "StepLimitExceeded", "Store", "StructType",
+    "StructuralSummary", "TrapError",
     "Type", "UndefValue", "Unreachable", "VOID", "Value",
-    "VerificationError", "const_float", "const_int", "make_machine",
+    "VerificationError", "canonical_function_text",
+    "canonical_module_text", "compose_witness_renames",
+    "const_float", "const_int", "make_machine",
     "neutral_element",
     "parse_function", "parse_module", "print_function", "print_module",
-    "ptr", "run_function", "types_equivalent", "verify_blocks",
+    "ptr", "rename_function_locals", "rename_globals", "run_function",
+    "structural_eq", "structural_fingerprint", "structural_summary",
+    "types_equivalent", "verify_blocks",
     "verify_function",
     "verify_module", "zero_constant_for",
 ]

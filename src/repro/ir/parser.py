@@ -949,3 +949,152 @@ def parse_function(source: str) -> Function:
     if len(defs) != 1:
         raise ValueError("expected exactly one function definition")
     return defs[0]
+
+
+def rename_function_locals(
+    source: str, renames: Dict[str, Dict[str, str]]
+) -> str:
+    """Rewrite local names inside function bodies, textually.
+
+    ``renames`` maps function name -> {old local name -> new local
+    name}; locals cover argument names, instruction results, and block
+    labels.  The rewrite works on the token stream (comments and
+    whitespace are untouched), which is how the driver's in-batch
+    dedupe translates a computed result into the namespace of a
+    structurally identical duplicate without a parse/print round-trip.
+
+    Unmapped locals that would collide with a new name are deterministically
+    renamed out of the way (``x`` -> ``x.r0``, ...).  Names shaped like
+    ``struct.*`` are never rewritten: that spelling references a named
+    struct type, which the lexer cannot distinguish from a local.
+    """
+    kinds, texts, starts = _tokens_for(source)
+    splices: List[Tuple[int, int, str]] = []
+    i = 0
+    n = len(kinds)
+    while i < n:
+        if not (kinds[i] == _K_IDENT and texts[i] == "define"):
+            i += 1
+            continue
+        # Locate the function name and the body's brace span.
+        j = i + 1
+        while j < n and kinds[j] != _K_GLOBAL:
+            j += 1
+        if j >= n:
+            break
+        fn_name = texts[j][1:]
+        body_start = j
+        while body_start < n and not (
+            kinds[body_start] == _K_PUNCT and texts[body_start] == "{"
+        ):
+            body_start += 1
+        if body_start >= n:
+            break
+        depth = 1
+        end = body_start + 1
+        while end < n and depth:
+            if kinds[end] == _K_PUNCT:
+                if texts[end] == "{":
+                    depth += 1
+                elif texts[end] == "}":
+                    depth -= 1
+            end += 1
+        mapping = renames.get(fn_name)
+        if mapping:
+            region = range(i + 1, end)
+            # Pass 1: collect every local defined/used in this function
+            # (argument list included) so capture avoidance can steer
+            # unmapped names away from the mapping's image.
+            local_names = set()
+            for k in region:
+                if kinds[k] == _K_LOCAL:
+                    local_names.add(texts[k][1:])
+                elif (
+                    kinds[k] in (_K_IDENT, _K_INT)
+                    and k + 1 < n
+                    and kinds[k + 1] == _K_PUNCT
+                    and texts[k + 1] == ":"
+                ):
+                    local_names.add(texts[k])
+            effective = {
+                old: new
+                for old, new in mapping.items()
+                if old in local_names
+                and not old.startswith("struct.")
+                and not new.startswith("struct.")
+            }
+            image = set(effective.values())
+            taken = local_names | image
+            fresh = 0
+            for name in sorted(local_names - set(effective)):
+                if name in image:
+                    candidate = f"{name}.r{fresh}"
+                    while candidate in taken:
+                        fresh += 1
+                        candidate = f"{name}.r{fresh}"
+                    taken.add(candidate)
+                    fresh += 1
+                    effective[name] = candidate
+            # Pass 2: splice the renames in by source offset.
+            for k in region:
+                if kinds[k] == _K_LOCAL:
+                    new = effective.get(texts[k][1:])
+                    if new is not None:
+                        splices.append(
+                            (starts[k], starts[k] + len(texts[k]), "%" + new)
+                        )
+                elif (
+                    kinds[k] in (_K_IDENT, _K_INT)
+                    and k + 1 < n
+                    and kinds[k + 1] == _K_PUNCT
+                    and texts[k + 1] == ":"
+                ):
+                    new = effective.get(texts[k])
+                    if new is not None:
+                        splices.append(
+                            (starts[k], starts[k] + len(texts[k]), new)
+                        )
+        i = end
+    if not splices:
+        return source
+    pieces: List[str] = []
+    pos = 0
+    for start, stop, replacement in splices:
+        pieces.append(source[pos:start])
+        pieces.append(replacement)
+        pos = stop
+    pieces.append(source[pos:])
+    return "".join(pieces)
+
+
+def rename_globals(source: str, renames: Dict[str, str]) -> str:
+    """Rewrite ``@`` symbol references, textually.
+
+    Companion to :func:`rename_function_locals` for the module level:
+    the driver's dedupe uses it to retarget a computed result's
+    defined-function names into a structurally identical duplicate's
+    namespace (extern and global-variable names hash by content and
+    are never in ``renames``).  All occurrences are rewritten --
+    definition lines and call sites alike.  The mapping is applied
+    simultaneously (splice by source offset), so swaps are safe.
+    """
+    if not renames:
+        return source
+    kinds, texts, starts = _tokens_for(source)
+    splices: List[Tuple[int, int, str]] = []
+    for k in range(len(kinds)):
+        if kinds[k] != _K_GLOBAL:
+            continue
+        new = renames.get(texts[k][1:])
+        if new is not None:
+            splices.append((starts[k], starts[k] + len(texts[k]), "@" + new))
+    if not splices:
+        return source
+    pieces: List[str] = []
+    pos = 0
+    for start, stop, replacement in splices:
+        pieces.append(source[pos:start])
+        pieces.append(replacement)
+        pos = stop
+    pieces.append(source[pos:])
+    return "".join(pieces)

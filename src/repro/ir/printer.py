@@ -7,7 +7,7 @@ a local renaming map.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from .instructions import (
     Alloca,
@@ -41,12 +41,28 @@ from .values import (
 
 
 class _Namer:
-    """Assigns unique printable names without touching the IR."""
+    """Assigns unique printable names without touching the IR.
 
-    def __init__(self) -> None:
-        self._names: Dict[int, str] = {}
-        self._taken: set = set()
+    ``preassigned`` maps ``id(value) -> name`` and pins those values to
+    the given names (the structural hasher uses this to print a
+    function under its canonical alpha-renaming); values outside the
+    map fall back to the usual collision-avoiding scheme.
+    ``global_map`` does the same for ``@``-named symbols (functions),
+    which otherwise print their own name verbatim.
+    """
+
+    def __init__(
+        self,
+        preassigned: Optional[Dict[int, str]] = None,
+        global_map: Optional[Dict[int, str]] = None,
+    ) -> None:
+        self._names: Dict[int, str] = dict(preassigned) if preassigned else {}
+        self._taken: set = set(self._names.values())
         self._counter = 0
+        self._globals: Dict[int, str] = global_map or {}
+
+    def global_name_of(self, value: Value) -> str:
+        return self._globals.get(id(value), value.name)
 
     def name_of(self, value: Value) -> str:
         key = id(value)
@@ -68,7 +84,7 @@ def format_value(value: Value, namer: _Namer) -> str:
                           ConstantZero, ConstantAggregate)):
         return _format_constant(value, namer)
     if isinstance(value, (GlobalVariable, Function)):
-        return f"@{value.name}"
+        return f"@{namer.global_name_of(value)}"
     if isinstance(value, (Argument, Instruction, BasicBlock)):
         return f"%{namer.name_of(value)}"
     raise ValueError(f"cannot format value {value!r}")
@@ -163,9 +179,22 @@ def format_instruction(inst: Instruction, namer: _Namer) -> str:
     raise ValueError(f"cannot print instruction {inst!r}")
 
 
-def print_function(fn: Function) -> str:
-    """Render one function as parseable IR text."""
-    namer = _Namer()
+def print_function(
+    fn: Function,
+    *,
+    name_map: Optional[Dict[int, str]] = None,
+    block_order: Optional[Sequence[BasicBlock]] = None,
+    global_map: Optional[Dict[int, str]] = None,
+) -> str:
+    """Render one function as parseable IR text.
+
+    ``name_map`` (``id(value) -> name``) pins printed local names,
+    ``global_map`` pins printed ``@`` symbol names, and ``block_order``
+    overrides the block emission order; together they let
+    :mod:`repro.ir.structhash` print the canonical (alpha-renamed,
+    RPO-ordered) form of a function without mutating it.
+    """
+    namer = _Namer(name_map, global_map)
     for arg in fn.arguments:
         namer.name_of(arg)
     params = ", ".join(
@@ -175,8 +204,9 @@ def print_function(fn: Function) -> str:
         proto = ", ".join(str(t) for t in fn.function_type.params)
         attrs = (" " + " ".join(sorted(fn.attributes))) if fn.attributes else ""
         return f"declare {fn.return_type} @{fn.name}({proto}){attrs}"
-    lines = [f"define {fn.return_type} @{fn.name}({params}) {{"]
-    for i, block in enumerate(fn.blocks):
+    lines = [f"define {fn.return_type} @{namer.global_name_of(fn)}({params}) {{"]
+    for i, block in enumerate(block_order if block_order is not None
+                              else fn.blocks):
         if i > 0:
             lines.append("")
         lines.append(f"{namer.name_of(block)}:")
@@ -186,8 +216,12 @@ def print_function(fn: Function) -> str:
     return "\n".join(lines)
 
 
-def print_module(module: Module) -> str:
-    """Render the whole module as parseable IR text."""
+def module_header_chunks(module: Module) -> List[str]:
+    """The module-level chunks above the functions (structs, globals).
+
+    These carry no local names, so they are already canonical; the
+    structural hasher reuses them verbatim.
+    """
     chunks: List[str] = []
     structs = dict(module.struct_types)
     for name, struct in sorted(structs.items()):
@@ -200,6 +234,12 @@ def print_module(module: Module) -> str:
             chunks.append(f"@{gv.name} = {kind} {gv.value_type} {init}")
         else:
             chunks.append(f"@{gv.name} = external {kind} {gv.value_type}")
+    return chunks
+
+
+def print_module(module: Module) -> str:
+    """Render the whole module as parseable IR text."""
+    chunks = module_header_chunks(module)
     for fn in module.functions:
         chunks.append(print_function(fn))
     return "\n\n".join(chunks) + "\n"

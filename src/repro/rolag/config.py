@@ -8,12 +8,14 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 #: The pipeline phases the optional wall-time counters distinguish.
-#: ``parse`` and ``eval`` are credited outside the rolling pipeline
-#: proper: the driver books module parse/verify wall time under
-#: ``parse``, and callers that execute code on the rolled output (the
+#: ``parse``, ``eval`` and ``hash`` are credited outside the rolling
+#: pipeline proper: the driver books module parse/verify wall time
+#: under ``parse``, callers that execute code on the rolled output (the
 #: driver's semantics oracle, the harness' dynamic-step measurements)
-#: book under ``eval`` -- so Amdahl attribution (parse vs. roll vs.
-#: eval) is measured directly instead of inferred by subtraction.
+#: book under ``eval``, and the driver's parent-side structural
+#: fingerprinting (cache keys + in-batch dedupe) books under ``hash``
+#: -- so Amdahl attribution (parse vs. roll vs. eval vs. keying) is
+#: measured directly instead of inferred by subtraction.
 PHASE_NAMES: Tuple[str, ...] = (
     "parse",
     "seeds",
@@ -21,6 +23,7 @@ PHASE_NAMES: Tuple[str, ...] = (
     "scheduling",
     "codegen",
     "eval",
+    "hash",
 )
 
 

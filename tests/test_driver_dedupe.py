@@ -1,0 +1,361 @@
+"""In-batch structural dedupe and cross-run structural cache hits.
+
+The driver partitions every batch into cache hits (served inline),
+dedupe followers (structurally identical to an earlier job in the same
+batch -- never dispatched, fanned out from their leader's result), and
+unique misses (the only jobs that reach the pool).  These tests pin
+that scheduler's observable contract: follower results land in the
+follower's own namespace, resilience semantics survive dedupe (failed
+leaders degrade every follower, nothing failed is ever cached, guard
+reports travel with the copies), quarantine condemns a structural
+identity rather than a spelling, and the stats/CLI report the three
+populations separately.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import angha
+from repro.cli import main
+from repro.driver import FunctionJob, optimize_functions
+from repro.driver.quarantine import quarantine_key
+from repro.frontend import compile_c
+from repro.ir import (
+    parse_module,
+    print_module,
+    rename_function_locals,
+    rename_globals,
+    structural_eq,
+    structural_summary,
+)
+
+ROLLABLE = """
+define i32 @sum8(i32 %a, i32 %b) {
+entry:
+  %t0 = add i32 %a, %b
+  %t1 = add i32 %t0, %a
+  %t2 = add i32 %t1, %b
+  %t3 = add i32 %t2, %a
+  %t4 = add i32 %t3, %b
+  %t5 = add i32 %t4, %a
+  %t6 = add i32 %t5, %b
+  %t7 = add i32 %t6, %a
+  ret i32 %t7
+}
+"""
+
+
+def _perturb(source, name):
+    """An alpha-variant: every unique local and the function renamed
+    into the canonical namespace (a real rename, not a re-print)."""
+    summary = structural_summary(parse_module(source))
+    canonical = summary.canonical_target(name)
+    perturbed = rename_globals(
+        rename_function_locals(
+            source, {name: summary.fn_renames.get(canonical, {})}
+        ),
+        {name: canonical},
+    )
+    assert perturbed != source
+    return perturbed, canonical
+
+
+def _variant(suffix="other"):
+    """ROLLABLE with hand-renamed locals and a different function name."""
+    return (
+        ROLLABLE.replace("%t", "%acc").replace("%a", "%x")
+        .replace("%b", "%y").replace("@sum8", f"@{suffix}")
+    )
+
+
+def _ir_jobs(count, seed=2022):
+    return [
+        FunctionJob(
+            name=cs.name,
+            ir_text=print_module(compile_c(cs.source, cs.name)),
+            metadata=(("family", cs.family),),
+        )
+        for cs in angha.generate_sources(count=count, seed=seed)
+    ]
+
+
+class TestInBatchDedupe:
+    def test_structural_duplicates_coalesce(self, tmp_path):
+        jobs = [
+            FunctionJob(name="sum8", ir_text=ROLLABLE),
+            FunctionJob(name="other", ir_text=_variant()),
+        ]
+        report = optimize_functions(
+            jobs, workers=1, cache_dir=str(tmp_path / "cache")
+        )
+        assert report.stats.dedupe_hits == 1
+        assert report.stats.executed == 1
+        assert not report.results[0].dedupe_hit
+        assert report.results[1].dedupe_hit
+        # The leader's entry is the only write: followers are a view of
+        # the same memo, not a second copy.
+        assert report.stats.cache_writes == 1
+
+    def test_follower_lands_in_its_own_namespace(self, tmp_path):
+        variant = _variant()
+        jobs = [
+            FunctionJob(name="sum8", ir_text=ROLLABLE),
+            FunctionJob(name="other", ir_text=variant),
+        ]
+        report = optimize_functions(
+            jobs, workers=1, cache_dir=str(tmp_path / "cache")
+        )
+        follower = report.results[1]
+        assert follower.name == "other"
+        assert "@other" in follower.optimized_ir
+        assert "@sum8" not in follower.optimized_ir
+        # Byte-for-byte what a solo run of the variant would produce.
+        solo = optimize_functions(
+            [jobs[1]], workers=1, cache_dir=str(tmp_path / "solo")
+        ).results[0]
+        assert follower.optimized_ir == solo.optimized_ir
+        assert follower.rolag_size == solo.rolag_size
+        assert follower.savings == solo.savings
+
+    def test_without_cache_only_exact_text_coalesces(self):
+        # No cache directory means no structural hashing (the no-cache
+        # path stays hash-free); dedupe degrades to exact-text matches.
+        twins = [
+            FunctionJob(name="sum8", ir_text=ROLLABLE),
+            FunctionJob(name="sum8", ir_text=ROLLABLE),
+            FunctionJob(name="other", ir_text=_variant()),
+        ]
+        report = optimize_functions(twins, workers=1)
+        assert report.stats.dedupe_hits == 1
+        assert report.results[1].dedupe_hit
+        assert not report.results[2].dedupe_hit
+
+    def test_dedupe_can_be_disabled(self, tmp_path):
+        jobs = [
+            FunctionJob(name="sum8", ir_text=ROLLABLE),
+            FunctionJob(name="other", ir_text=_variant()),
+        ]
+        report = optimize_functions(
+            jobs, workers=1, cache_dir=str(tmp_path / "cache"), dedupe=False
+        )
+        assert report.stats.dedupe_hits == 0
+        assert report.stats.executed == 2
+        # Both computed results land on the same structural key (last
+        # write wins; either spelling rewrites cleanly on a later hit).
+        assert report.stats.cache_writes == 2
+
+    def test_fan_out_through_the_pool_path(self, tmp_path):
+        variants = [FunctionJob(name="sum8", ir_text=ROLLABLE)] + [
+            FunctionJob(name=f"v{i}", ir_text=_variant(f"v{i}"))
+            for i in range(4)
+        ]
+        report = optimize_functions(
+            variants, workers=2, cache_dir=str(tmp_path / "cache")
+        )
+        assert report.stats.dedupe_hits == 4
+        assert report.stats.executed == 1
+        assert len({r.rolag_size for r in report.results}) == 1
+        for job, result in zip(variants, report.results):
+            assert f"@{job.name}" in result.optimized_ir
+            parse_module(result.optimized_ir)
+
+
+class TestCrossRunStructuralHits:
+    def test_rename_perturbed_rerun_hits(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        jobs = _ir_jobs(4)
+        cold = optimize_functions(jobs, workers=1, cache_dir=cache_dir)
+        assert cold.stats.cache_misses == len(jobs)
+
+        perturbed_jobs = []
+        for job in jobs:
+            text, canonical = _perturb(job.ir_text, job.name)
+            perturbed_jobs.append(
+                FunctionJob(name=canonical, ir_text=text)
+            )
+        warm = optimize_functions(
+            perturbed_jobs, workers=1, cache_dir=cache_dir
+        )
+        assert warm.stats.cache_hits == len(jobs)
+        assert warm.stats.cache_misses == 0
+        for job, result in zip(perturbed_jobs, warm.results):
+            assert result.cache_hit
+            assert result.name == job.name
+            optimized = parse_module(result.optimized_ir)
+            assert optimized.get_function(job.name) is not None
+
+    def test_perturbed_hits_match_a_fresh_run(self, tmp_path):
+        jobs = _ir_jobs(3)
+        cache_dir = str(tmp_path / "cache")
+        optimize_functions(jobs, workers=1, cache_dir=cache_dir)
+        perturbed = [
+            FunctionJob(name=canonical, ir_text=text)
+            for text, canonical in (
+                _perturb(job.ir_text, job.name) for job in jobs
+            )
+        ]
+        warm = optimize_functions(perturbed, workers=1, cache_dir=cache_dir)
+        fresh = optimize_functions(perturbed, workers=1)
+        assert warm.stats.cache_hits == len(jobs)
+        for hit, computed in zip(warm.results, fresh.results):
+            # The witness rewrites *input* names; RoLAG-introduced
+            # temporaries keep the leader's spelling, so equality with
+            # a fresh run holds structurally, not byte-for-byte.
+            assert structural_eq(
+                parse_module(hit.optimized_ir),
+                parse_module(computed.optimized_ir),
+            )
+            assert hit.rolag_size == computed.rolag_size
+            assert hit.llvm_size == computed.llvm_size
+            assert hit.savings == computed.savings
+
+    def test_byte_identical_rerun_is_still_byte_identical(self, tmp_path):
+        jobs = _ir_jobs(3)
+        cache_dir = str(tmp_path / "cache")
+        cold = optimize_functions(jobs, workers=1, cache_dir=cache_dir)
+        warm = optimize_functions(jobs, workers=1, cache_dir=cache_dir)
+        for before, after in zip(cold.results, warm.results):
+            assert before.stable_dict() == after.stable_dict()
+
+
+@pytest.mark.fault
+class TestFailureSemantics:
+    def _pair(self):
+        return [
+            FunctionJob(name="sum8", ir_text=ROLLABLE),
+            FunctionJob(name="other", ir_text=_variant()),
+        ]
+
+    def test_crashing_leader_degrades_every_follower(self, tmp_path):
+        report = optimize_functions(
+            self._pair(), workers=1, cache_dir=str(tmp_path / "cache"),
+            fault_plan="driver.worker.start:raise@1x*", retries=0,
+        )
+        assert report.stats.dedupe_hits == 1
+        assert report.stats.crashed == 2
+        leader, follower = report.results
+        assert leader.failed and leader.error_kind == "crash"
+        assert follower.failed and follower.error_kind == "crash"
+        assert follower.dedupe_hit
+        # Graceful degradation hands each job back its *own* text.
+        assert follower.optimized_ir == self._pair()[1].ir_text
+        # A failed result must never be memoized.
+        assert report.stats.cache_writes == 0
+
+    def test_quarantine_condemns_the_structural_identity(self, tmp_path):
+        jobs = self._pair()
+        assert quarantine_key(jobs[0]) == quarantine_key(jobs[1])
+        cache_dir = str(tmp_path / "cache")
+        qfile = str(tmp_path / "quarantine.json")
+        for _ in range(2):  # two failed attempts cross the threshold
+            report = optimize_functions(
+                jobs, workers=1, cache_dir=cache_dir,
+                quarantine_file=qfile,
+                fault_plan="driver.worker.start:raise@1x*", retries=0,
+            )
+            assert report.stats.crashed == 2
+        entries = json.load(open(qfile))["entries"]
+        assert list(entries) == [quarantine_key(jobs[0])]
+        # The third run skips *both* spellings without dispatching.
+        third = optimize_functions(
+            jobs, workers=1, cache_dir=cache_dir, quarantine_file=qfile,
+        )
+        assert third.stats.quarantined == 2
+        assert all(r.error_kind == "quarantined" for r in third.results)
+
+    def test_guard_reports_travel_with_followers(self, tmp_path):
+        jobs = _ir_jobs(3)
+        followers = [
+            FunctionJob(name=canonical, ir_text=text)
+            for text, canonical in (
+                _perturb(job.ir_text, job.name) for job in jobs
+            )
+        ]
+        from repro.rolag import RolagConfig
+
+        config = RolagConfig(
+            validate="safe", guard_dir=str(tmp_path / "guards")
+        )
+        report = optimize_functions(
+            jobs + followers, config, workers=1,
+            cache_dir=str(tmp_path / "cache"), retries=0,
+            fault_plan=(
+                "pipeline.pass.exit:corrupt-irx*;"
+                "rolag.roll.exit:corrupt-irx*;seed=13"
+            ),
+        )
+        assert report.stats.dedupe_hits == len(followers)
+        assert report.stats.guard_failures > 0
+        leaders, fanned = (
+            report.results[: len(jobs)], report.results[len(jobs):]
+        )
+        for leader, follower in zip(leaders, fanned):
+            assert follower.guard_reports == leader.guard_reports
+        # The aggregate counts every attribution, copies included.
+        assert report.stats.guard_failures == sum(
+            len(r.guard_reports) for r in report.results
+        )
+
+
+class TestStatsAndCli:
+    def test_three_populations_are_reported_separately(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        jobs = [
+            FunctionJob(name="sum8", ir_text=ROLLABLE),
+            FunctionJob(name="other", ir_text=_variant()),
+            FunctionJob(name="third", ir_text=_variant("third")),
+        ]
+        cold = optimize_functions(jobs[:1], workers=1, cache_dir=cache_dir)
+        assert (cold.stats.cache_hits, cold.stats.dedupe_hits) == (0, 0)
+        mixed = optimize_functions(jobs, workers=1, cache_dir=cache_dir)
+        # sum8 hits the cache; "other" and "third" both hit too (the
+        # structural key ignores their names) -- force a dedupe by
+        # clearing the cache instead.
+        assert mixed.stats.cache_hits == 3
+        fresh = optimize_functions(
+            jobs, workers=1, cache_dir=str(tmp_path / "fresh")
+        )
+        assert fresh.stats.cache_hits == 0
+        assert fresh.stats.dedupe_hits == 2
+        assert fresh.stats.executed == 1
+
+    def test_unbuildable_jobs_fall_back_to_text_keys(self, tmp_path):
+        bad = FunctionJob(name="nope", ir_text="define @broken {")
+        worse = FunctionJob(name="nope2", ir_text="define @broken2 {")
+        report = optimize_functions(
+            [bad, worse], workers=1, cache_dir=str(tmp_path / "cache"),
+            retries=0,
+        )
+        assert report.stats.hash_fallbacks == 2
+        assert report.stats.dedupe_hits == 0  # different texts, no match
+
+    def _write_pair(self, tmp_path):
+        first = tmp_path / "a.ll"
+        second = tmp_path / "b.ll"
+        first.write_text(ROLLABLE)
+        second.write_text(_variant())
+        return str(first), str(second)
+
+    def test_cli_reports_dedupe(self, tmp_path, capsys):
+        first, second = self._write_pair(tmp_path)
+        code = main(
+            [first, second, "--roll", "--jobs", "1",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dedup" in out
+        assert "dedupe hits: 1" in out
+
+    def test_cli_no_dedupe_flag(self, tmp_path, capsys):
+        first, second = self._write_pair(tmp_path)
+        code = main(
+            [first, second, "--roll", "--jobs", "1", "--no-dedupe",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dedupe hits: 0" in out
+        assert "dedup\n" not in out

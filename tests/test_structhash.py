@@ -1,0 +1,237 @@
+"""Alpha-invariant structural hashing: the properties the cache rests on.
+
+The driver's memo cache and in-batch dedupe treat two modules as "the
+same work" exactly when their structural fingerprints match, so these
+tests pin both directions: every *naming/spelling* change the
+fingerprint promises to erase (value renames, block-label renames,
+defined-function renames, reachable-block reordering, comments and
+whitespace) must leave it fixed, and every *semantic* change -- the
+``corrupt-ir`` fault actions, the same miscompile simulator the
+validation tests use -- must move it.  The closing fuzz loop checks
+the central guarantee directly: hash-equal implies print-equal after
+canonical renaming.
+"""
+
+import pytest
+
+from repro.difftest.fuzzer import FunctionFuzzer
+from repro.faultinject import FaultPlan
+from repro.ir import (
+    canonical_function_text,
+    canonical_module_text,
+    compose_witness_renames,
+    parse_module,
+    print_module,
+    rename_function_locals,
+    rename_globals,
+    structural_eq,
+    structural_fingerprint,
+    structural_summary,
+    verify_module,
+)
+
+BRANCHY = """
+define i32 @max3(i32 %a, i32 %b, i32 %c) {
+entry:
+  %ab = icmp sgt i32 %a, %b
+  br i1 %ab, label %left, label %right
+left:
+  %lc = icmp sgt i32 %a, %c
+  br i1 %lc, label %done, label %usec
+right:
+  %rc = icmp sgt i32 %b, %c
+  br i1 %rc, label %useb, label %usec
+useb:
+  br label %done
+usec:
+  br label %done
+done:
+  %best = phi i32 [ %a, %left ], [ %b, %useb ], [ %c, %usec ]
+  ret i32 %best
+}
+"""
+
+
+def _fp(source):
+    return structural_fingerprint(parse_module(source))
+
+
+class TestInvariance:
+    def test_value_and_argument_renames_preserve_hash(self):
+        renamed = (
+            BRANCHY.replace("%a", "%first")
+            .replace("%best", "%winner")
+            .replace("%lc", "%cmp0")
+        )
+        assert renamed != BRANCHY
+        assert _fp(renamed) == _fp(BRANCHY)
+
+    def test_block_label_renames_preserve_hash(self):
+        renamed = (
+            BRANCHY.replace("%left", "%bb1").replace("left:", "bb1:")
+            .replace("%done", "%exit").replace("done:", "exit:")
+        )
+        assert _fp(renamed) == _fp(BRANCHY)
+
+    def test_defined_function_rename_preserves_hash(self):
+        renamed = BRANCHY.replace("@max3", "@pick_largest")
+        assert _fp(renamed) == _fp(BRANCHY)
+
+    def test_reachable_block_reorder_preserves_hash(self):
+        # Textually move ``usec`` before ``useb``: the CFG is unchanged,
+        # so the RPO the canonical form prints is unchanged.
+        lines = BRANCHY.strip().splitlines()
+        useb = lines.index("useb:")
+        usec = lines.index("usec:")
+        reordered = "\n".join(
+            lines[:useb] + lines[usec:usec + 2] + lines[useb:useb + 2]
+            + lines[usec + 2:]
+        )
+        assert reordered != BRANCHY.strip()
+        parse_module(reordered)  # still well-formed
+        assert _fp(reordered) == _fp(BRANCHY)
+
+    def test_comments_and_whitespace_preserve_hash(self):
+        noisy = BRANCHY.replace(
+            "entry:", "entry:  ; the entry block"
+        ).replace("  %ab =", "\n  ; compare the first pair\n    %ab =")
+        assert _fp(noisy) == _fp(BRANCHY)
+
+    def test_structural_eq_agrees_with_fingerprint(self):
+        a = parse_module(BRANCHY)
+        b = parse_module(BRANCHY.replace("%a", "%x").replace("@max3", "@m"))
+        assert structural_eq(a, b)
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+
+
+#: The corrupt-ir mutator needs material to bite on: integer-constant
+#: operands to bump, or non-commutative binary ops to swap.
+MUTABLE = """
+define i32 @poly(i32 %x) {
+entry:
+  %sq = mul i32 %x, %x
+  %scaled = mul i32 %sq, 3
+  %shifted = sub i32 %scaled, %x
+  %r = add i32 %shifted, 17
+  ret i32 %r
+}
+"""
+
+
+class TestSensitivity:
+    def _corrupted(self, seed):
+        """MUTABLE with one injected semantic edit (verifier-clean)."""
+        module = parse_module(MUTABLE)
+        plan = FaultPlan.parse(f"probe:corrupt-ir;seed={seed}")
+        plan.visit("probe", ir_fn=module.functions[0])
+        verify_module(module)
+        return module
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_semantic_edits_change_hash(self, seed):
+        baseline = _fp(MUTABLE)
+        corrupted = self._corrupted(seed)
+        assert print_module(corrupted) != print_module(parse_module(MUTABLE))
+        assert structural_fingerprint(corrupted) != baseline
+
+    def test_extern_names_are_observable(self):
+        # Calling @ext versus @other is a different extern trace even
+        # though the call graphs are isomorphic.
+        src = (
+            "declare i32 @ext(i32)\n"
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = call i32 @ext(i32 %x)\n  ret i32 %r\n}\n"
+        )
+        other = src.replace("@ext", "@other")
+        assert _fp(src) != _fp(other)
+
+    def test_function_attributes_are_observable(self):
+        module = parse_module(BRANCHY)
+        baseline = structural_fingerprint(module)
+        module.functions[0].attributes.add("readnone")
+        assert structural_fingerprint(module) != baseline
+
+    def test_unreachable_block_order_is_not_erased(self):
+        # Unreachable blocks sit outside the RPO; their list order is
+        # part of the identity (documented limitation, pinned here).
+        src = (
+            "define i32 @f() {\nentry:\n  ret i32 0\n"
+            "dead1:\n  ret i32 1\ndead2:\n  ret i32 2\n}\n"
+        )
+        swapped = (
+            "define i32 @f() {\nentry:\n  ret i32 0\n"
+            "dead2:\n  ret i32 2\ndead1:\n  ret i32 1\n}\n"
+        )
+        assert _fp(src) != _fp(swapped)
+
+
+class TestWitnesses:
+    def test_witness_rewrites_leader_text_into_follower_namespace(self):
+        follower_src = (
+            BRANCHY.replace("%a", "%x").replace("%b", "%y")
+            .replace("%best", "%top").replace("@max3", "@largest")
+        )
+        leader = structural_summary(parse_module(BRANCHY))
+        follower = structural_summary(parse_module(follower_src))
+        assert leader.fingerprint == follower.fingerprint
+        locals_map, globals_map = compose_witness_renames(leader, follower)
+        rewritten = rename_globals(
+            rename_function_locals(BRANCHY, locals_map), globals_map
+        )
+        assert print_module(parse_module(rewritten)) == print_module(
+            parse_module(follower_src)
+        )
+
+    def test_canonical_target_maps_defined_functions(self):
+        summary = structural_summary(parse_module(BRANCHY))
+        assert summary.canonical_target("max3") == "f$0"
+        assert summary.canonical_target("not_defined") == "not_defined"
+        assert summary.canonical_target(None) is None
+
+
+class TestFuzzedGuarantee:
+    def test_hash_equal_implies_canonical_print_equal(self):
+        """The central guarantee, fuzzed: fingerprints partition a
+        corpus exactly as canonical prints do."""
+        fuzzer = FunctionFuzzer(7)
+        by_fp = {}
+        for index in range(60):
+            module, _ = fuzzer.build(index)
+            verify_module(module)
+            fp = structural_fingerprint(module)
+            text = canonical_module_text(module)
+            assert by_fp.setdefault(fp, text) == text
+            # And the fingerprint survives a full print -> parse trip.
+            assert structural_fingerprint(
+                parse_module(print_module(module))
+            ) == fp
+
+    def test_fuzzed_rename_perturbation_is_invariant(self):
+        """Renaming every local through the canonical form and back via
+        real text renaming never moves the fingerprint."""
+        fuzzer = FunctionFuzzer(11)
+        checked = 0
+        for index in range(30):
+            module, fn_name = fuzzer.build(index)
+            source = print_module(module)
+            summary = structural_summary(module)
+            canonical = summary.canonical_target(fn_name)
+            locals_map = {fn_name: summary.fn_renames.get(canonical, {})}
+            if not locals_map[fn_name]:
+                continue
+            perturbed = rename_globals(
+                rename_function_locals(source, locals_map),
+                {fn_name: canonical},
+            )
+            assert perturbed != source
+            assert _fp(perturbed) == summary.fingerprint
+            checked += 1
+        assert checked >= 20
+
+    def test_canonical_function_text_is_shared_by_variants(self):
+        a = parse_module(BRANCHY).functions[0]
+        b = parse_module(
+            BRANCHY.replace("%a", "%p").replace("left:", "l:")
+            .replace("%left", "%l")
+        ).functions[0]
+        assert canonical_function_text(a) == canonical_function_text(b)
