@@ -1,0 +1,52 @@
+"""Serve-daemon exhibit: streaming service quality under chaos.
+
+Runs :func:`repro.bench.servebench.run_serve_suite` -- a clean
+baseline pass and a seeded fault storm against the live daemon, both
+through the wire protocol -- and pins the service-grade bars:
+
+* every resilience invariant holds under the storm (exactly-once
+  answers, typed refusals, per-job degradation, daemon liveness),
+* storm success rate is at least
+  :data:`~repro.bench.servebench.MIN_SUCCESS_RATE` with the ``safe``
+  validation gate on and **zero** wrong outputs,
+* every cross-tenant structural duplicate coalesces onto one
+  computation (in-flight dedupe / shared structural cache).
+
+The machine-readable payload is emitted separately by
+``benchmarks/emit_bench_json.py --suite serve`` (writes
+``BENCH_serve.json``); this exhibit saves the human-readable report
+under ``results/``.
+"""
+
+from conftest import save_and_print
+
+from repro.bench.servebench import (
+    MIN_SUCCESS_RATE,
+    render_serve_bench,
+    run_serve_suite,
+)
+
+
+def test_serve_chaos_service_bars(results_dir, bench_quick):
+    results = run_serve_suite(quick=bench_quick)
+    text = render_serve_bench(results)
+    save_and_print(results_dir, "serve.txt", text)
+
+    for label in ("clean", "storm"):
+        run = results[label]
+        assert run["ok"], f"{label}: violations: {run['violations']}"
+        assert run["completed"] == run["accepted"]
+        assert run["coalesced"] == run["duplicates"]
+
+    storm = results["storm"]
+    assert storm["success_rate"] >= MIN_SUCCESS_RATE, (
+        f"storm success rate {storm['success_rate'] * 100:.1f}% below "
+        f"{MIN_SUCCESS_RATE * 100:.0f}% bar"
+    )
+    assert storm["wrong_outputs"] == 0
+    assert storm["latency_p99_ms"] > 0.0
+    assert storm["jobs_per_second"] > 0.0
+
+    clean = results["clean"]
+    assert clean["failed"] == 0
+    assert clean["guard_failures"] == 0

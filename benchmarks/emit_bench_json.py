@@ -10,7 +10,10 @@ human-readable ``results/*.txt``:
   ``BENCH_compiled_eval.json``;
 * ``--suite struct-cache`` -- the structural-cache suite
   (:func:`repro.bench.structcache.run_struct_cache_suite`), writing
-  ``BENCH_struct_cache.json``.
+  ``BENCH_struct_cache.json``;
+* ``--suite serve`` -- the serve-daemon suite
+  (:func:`repro.bench.servebench.run_serve_suite`), writing
+  ``BENCH_serve.json``.
 
 Not collected by pytest (the filename matches neither ``test_*`` nor
 ``bench_*``); the pytest exhibits live in
@@ -42,7 +45,7 @@ from repro.bench.perfsuite import (
 )
 
 
-SUITES = ("compiled-eval", "struct-cache")
+SUITES = ("compiled-eval", "struct-cache", "serve")
 
 
 def main(argv=None) -> int:
@@ -71,7 +74,30 @@ def main(argv=None) -> int:
     parser.add_argument("--text", default=None)
     args = parser.parse_args(argv)
 
-    if args.suite == "struct-cache":
+    if args.suite == "serve":
+        from repro.bench.servebench import (
+            MIN_SUCCESS_RATE,
+            render_serve_bench,
+            run_serve_suite,
+        )
+
+        results = run_serve_suite(
+            seed=0 if args.seed is None else args.seed,
+            count=100 if args.count is None else args.count,
+            quick=args.quick,
+        )
+        text = render_serve_bench(results)
+        json_path = args.json or "BENCH_serve.json"
+        text_path = args.text or "results/serve.txt"
+        storm = results["storm"]
+        ok = (
+            storm["ok"]
+            and results["clean"]["ok"]
+            and storm["success_rate"] >= MIN_SUCCESS_RATE
+            and storm["wrong_outputs"] == 0
+            and storm["coalesced"] == storm["duplicates"]
+        )
+    elif args.suite == "struct-cache":
         from repro.bench.structcache import (
             render_struct_cache,
             run_struct_cache_suite,

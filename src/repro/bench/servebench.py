@@ -1,0 +1,128 @@
+"""The serve-daemon benchmark: streaming throughput under chaos.
+
+The exhibit behind ``BENCH_serve.json``.  Two measured runs of the
+live daemon, both streaming the same Angha-style corpus through the
+wire protocol with a deliberately small admission window (so
+backpressure and resubmission are part of the measured path, not an
+untested corner):
+
+* **clean** -- no injected faults, validation off: the daemon's
+  baseline latency distribution and throughput;
+* **storm** -- a seeded chaos plan (worker crashes, cooperative
+  hangs, cache faults, semantics-changing ``corrupt-ir`` at pass
+  exits) with the ``safe`` validation gate on: the service-grade
+  claim.
+
+Acceptance bars, asserted by ``benchmarks/bench_serve.py`` and
+reported in the payload:
+
+* the storm completes >= :data:`MIN_SUCCESS_RATE` of admitted jobs
+  without degradation, and every resilience invariant holds
+  (``report.ok``);
+* zero wrong outputs: with the gate on, no successful response
+  contradicts the gate's own evidence vectors;
+* every structural duplicate submitted by a second tenant coalesces
+  (in-flight dedupe or cache hit) -- concurrent identical submissions
+  execute at most once;
+* the daemon answers every liveness probe from first admission to
+  final drain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..faultinject.chaos import ServeChaosReport, run_serve_chaos
+
+#: Admitted jobs that must complete without degradation under the storm.
+MIN_SUCCESS_RATE = 0.99
+
+
+def _report_payload(report: ServeChaosReport) -> Dict[str, object]:
+    return {
+        "plan": report.plan,
+        "submitted": report.submitted,
+        "accepted": report.accepted,
+        "completed": report.completed,
+        "failed": report.failed,
+        "success_rate": report.success_rate,
+        "refused_busy": report.refused_busy,
+        "refused_quota": report.refused_quota,
+        "resubmissions": report.resubmissions,
+        "duplicates": report.duplicates,
+        "coalesced": report.coalesced,
+        "guard_failures": report.guard_failures,
+        "wrong_outputs": report.wrong_outputs,
+        "pings_ok": report.pings_ok,
+        "latency_p50_ms": report.latency_p50 * 1000.0,
+        "latency_p99_ms": report.latency_p99 * 1000.0,
+        "jobs_per_second": report.jobs_per_second,
+        "ok": report.ok,
+        "violations": list(report.violations),
+    }
+
+
+def run_serve_suite(
+    seed: int = 0, count: int = 100, quick: bool = False
+) -> Dict[str, object]:
+    """Measure the whole exhibit; returns the JSON-ready payload."""
+    if quick:
+        count = min(count, 16)
+    clean = run_serve_chaos(
+        seed=seed,
+        job_count=count,
+        validate="off",
+        faults=False,
+        retries=1,
+    )
+    storm = run_serve_chaos(
+        seed=seed,
+        job_count=count,
+        validate="safe",
+        ir_faults=True,
+    )
+    return {
+        "suite": "serve",
+        "quick": bool(quick),
+        "seed": seed,
+        "count": count,
+        "clean": _report_payload(clean),
+        "storm": _report_payload(storm),
+        "min_success_rate_bar": MIN_SUCCESS_RATE,
+    }
+
+
+def render_serve_bench(results: Dict[str, object]) -> str:
+    """The human-readable report for ``results/serve.txt``."""
+    lines = [
+        "serve daemon: streaming throughput and chaos resilience",
+        f"  corpus: {results['count']} job(s), seed {results['seed']}"
+        + (" [quick]" if results["quick"] else ""),
+    ]
+    for label in ("clean", "storm"):
+        r = results[label]
+        lines.append(
+            f"  {label:<6} p50 {r['latency_p50_ms']:8.2f} ms   "
+            f"p99 {r['latency_p99_ms']:8.2f} ms   "
+            f"{r['jobs_per_second']:6.1f} jobs/s   "
+            f"success {r['success_rate'] * 100:5.1f}%"
+        )
+    storm = results["storm"]
+    lines.append(
+        f"  storm plan [{storm['plan'] or '(no faults)'}]"
+    )
+    lines.append(
+        f"  storm: {storm['submitted']} submitted, "
+        f"{storm['refused_busy']} busy refusals "
+        f"({storm['resubmissions']} resubmitted), "
+        f"{storm['coalesced']}/{storm['duplicates']} duplicates "
+        f"coalesced, {storm['guard_failures']} guard rollbacks, "
+        f"{storm['wrong_outputs']} wrong outputs"
+    )
+    lines.append(
+        "  OK: service bars hold"
+        if storm["ok"]
+        and storm["success_rate"] >= results["min_success_rate_bar"]
+        else "  FAILED: service bars violated"
+    )
+    return "\n".join(lines)

@@ -12,6 +12,8 @@ Usage::
     python -m repro difftest --seed 0 --count 2000
     python -m repro bench --quick
     python -m repro chaos --seed 0 --rounds 4
+    python -m repro serve --workers 2 --cache-dir .rolag-cache
+    python -m repro client a.ll b.c -- --workers 2
 
 Input ending in ``.ll`` is parsed as IR text; anything else goes
 through the mini-C frontend (with the standard -Os-style cleanups
@@ -30,6 +32,11 @@ minimized (see ``docs/difftest.md``).
 ``repro bench`` times the compiled evaluator against the interpreter
 on the difftest/oracle/TSVC workloads and writes
 ``BENCH_compiled_eval.json`` (see ``repro.bench.perfsuite``).
+
+``repro serve`` runs the always-on streaming optimization daemon over
+stdio (or localhost HTTP with ``--http``); ``repro client`` submits
+files to a freshly spawned daemon and prints the familiar batch table
+(see ``docs/serve.md``).
 """
 
 from __future__ import annotations
@@ -350,14 +357,34 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         "at pass exits) to every faulted round and oracle-check every "
         "successful result",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="storm a live serve daemon through the wire protocol "
+        "instead of the batch driver: backpressure resubmission, "
+        "cross-tenant dedupe, per-job degradation, and (with "
+        "--validate) zero wrong outputs are all asserted",
+    )
     return parser
 
 
 def run_chaos_command(argv: List[str]) -> int:
     """``repro chaos ...``: exit 1 when a resilience invariant breaks."""
-    from .faultinject.chaos import run_chaos
+    from .faultinject.chaos import run_chaos, run_serve_chaos
 
     args = build_chaos_parser().parse_args(argv)
+    if args.serve:
+        report = run_serve_chaos(
+            seed=args.seed,
+            job_count=args.jobs,
+            workers=args.workers,
+            deadline=args.deadline,
+            validate=args.validate if args.validate != "off" else "safe",
+            ir_faults=True,
+            base_dir=args.base_dir,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
     report = run_chaos(
         seed=args.seed,
         job_count=args.jobs,
@@ -370,6 +397,255 @@ def run_chaos_command(argv: List[str]) -> int:
     )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` subcommand's interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the always-on streaming optimization daemon: "
+        "JSON-RPC requests on stdin, responses on stdout (protocol and "
+        "operations in docs/serve.md).",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="driver worker processes (default 1: in-process serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the structural result cache under DIR",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result memoization (in-flight dedupe stays on)",
+    )
+    parser.add_argument(
+        "--no-dedupe",
+        action="store_true",
+        help="disable in-flight coalescing of structurally identical jobs",
+    )
+    parser.add_argument(
+        "--check-semantics",
+        action="store_true",
+        help="interpret every function before/after and compare",
+    )
+    parser.add_argument(
+        "--evaluator",
+        choices=EVALUATOR_CHOICES,
+        default="interp",
+        help="evaluator backing semantic checks (default interp)",
+    )
+    parser.add_argument(
+        "--validate",
+        choices=("off", "fast", "safe", "strict"),
+        default="off",
+        help="online translation-validation level (default off)",
+    )
+    parser.add_argument(
+        "--guard-dir",
+        metavar="DIR",
+        help="write validation-guard rollback evidence under DIR",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        help="per-job wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts after a failed one (default 1)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        help="base seconds between retry attempts (default 0)",
+    )
+    parser.add_argument(
+        "--quarantine-file",
+        metavar="FILE",
+        help="persist repeat-offender quarantine state in FILE",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        help="fault-injection plan for resilience testing "
+        "(SITE:ACTION[@N][xM][%%P][~S], comma-separated)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="global backpressure watermark: admitted-but-unfinished "
+        "jobs beyond this are refused with 'busy' (default 64)",
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=8,
+        help="per-tenant in-flight quota; beyond it submissions are "
+        "refused with 'quota' (default 8)",
+    )
+    parser.add_argument(
+        "--http",
+        type=int,
+        metavar="PORT",
+        help="serve HTTP on 127.0.0.1:PORT instead of stdio "
+        "(0 picks a free port, printed to stderr)",
+    )
+    return parser
+
+
+def _serve_config_from_args(args: argparse.Namespace):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        dedupe=not args.no_dedupe,
+        check_semantics=args.check_semantics,
+        evaluator=args.evaluator,
+        validate=args.validate,
+        guard_dir=args.guard_dir,
+        deadline=args.deadline,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        quarantine_file=args.quarantine_file,
+        fault_plan=args.fault_plan,
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+    )
+
+
+def run_serve_command(argv: List[str]) -> int:
+    """``repro serve ...``: run the daemon until EOF or ``shutdown``."""
+    from .serve import OptimizeService, serve_stdio
+
+    args = build_serve_parser().parse_args(argv)
+    service = OptimizeService(_serve_config_from_args(args)).start()
+    if args.http is not None:
+        import threading
+
+        from .serve.httpd import serve_http
+
+        address_box: dict = {}
+        started = threading.Event()
+        # serve_http blocks; report the bound port before entering it
+        # by seeding the box synchronously via port binding inside.
+        thread = threading.Thread(
+            target=serve_http,
+            args=(service, args.http, started, address_box),
+            daemon=True,
+        )
+        thread.start()
+        started.wait(timeout=10.0)
+        host, port = address_box.get("address", ("127.0.0.1", args.http))
+        print(f"repro serve: ready (http://{host}:{port})", file=sys.stderr)
+        thread.join()
+        return 0
+    return serve_stdio(service)
+
+
+def build_client_parser() -> argparse.ArgumentParser:
+    """The ``repro client`` subcommand's interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro client",
+        description="Spawn a serve daemon, pipeline the given inputs "
+        "through it, and print the batch-style results table.  "
+        "Arguments after ``--`` are passed to ``repro serve`` "
+        "unchanged (e.g. ``-- --workers 4 --validate safe``).",
+    )
+    parser.add_argument(
+        "input", nargs="+", help="IR (.ll) or mini-C source files"
+    )
+    parser.add_argument(
+        "--tenant",
+        default="cli",
+        help="tenant identity for quota accounting (default 'cli')",
+    )
+    return parser
+
+
+def run_client_command(argv: List[str]) -> int:
+    """``repro client ...``: one pipelined conversation with a daemon."""
+    from .serve import ServeClient, ServeError
+    from .serve.protocol import response_error_kind
+
+    if "--" in argv:
+        split = argv.index("--")
+        argv, serve_args = argv[:split], argv[split + 1:]
+    else:
+        serve_args = []
+    args = build_client_parser().parse_args(argv)
+
+    client = ServeClient.spawn(*serve_args)
+    failures = 0
+    try:
+        tickets = []
+        for path in args.input:
+            try:
+                with open(path) as fh:
+                    text = fh.read()
+            except OSError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            fmt = "ir" if path.endswith(".ll") else "c"
+            tickets.append(
+                (
+                    path,
+                    client.submit_optimize(
+                        text,
+                        fmt=fmt,
+                        tenant=args.tenant,
+                        metadata={"source": path},
+                    ),
+                )
+            )
+        rows = []
+        for path, ticket in tickets:
+            response = client.wait(ticket)
+            kind = response_error_kind(response)
+            if kind is not None:
+                error = response.get("error") or {}
+                rows.append((path, f"refused:{kind}", "-", "-", "-"))
+                failures += 1
+                continue
+            result = response["result"]
+            if result["status"] != "ok":
+                rows.append(
+                    (path, result.get("error_kind") or "error",
+                     "-", "-", "-")
+                )
+                failures += 1
+                continue
+            rows.append(
+                (
+                    path,
+                    "ok",
+                    result["size_before"],
+                    result["size_after"],
+                    f"{result['reduction_percent']:.1f}%",
+                )
+            )
+        print(
+            format_table(
+                ["Input", "Status", "Before(B)", "After(B)", "Reduction"],
+                rows,
+            )
+        )
+    except ServeError as error:
+        print(f"error: serve daemon: {error}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0 if failures == 0 else 1
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -674,6 +950,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_bench_command(argv[1:])
     if argv and argv[0] == "chaos":
         return run_chaos_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve_command(argv[1:])
+    if argv and argv[0] == "client":
+        return run_client_command(argv[1:])
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 

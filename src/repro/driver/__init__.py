@@ -4,34 +4,51 @@ Public surface::
 
     from repro.driver import (
         FunctionJob, FunctionResult, DriverReport, DriverStats,
-        ResultCache, QuarantineList, quarantine_key,
-        optimize_functions, optimize_one, run_one_guarded,
-        default_worker_count,
+        ServiceStats, TenantStats, ResultCache, QuarantineList,
+        quarantine_key, optimize_functions, optimize_one,
+        run_one_guarded, default_worker_count, DriverSession,
     )
+
+:class:`DriverSession` is the incremental (submit/collect) front end
+the ``repro serve`` daemon runs on; :func:`optimize_functions` is the
+batch entry point everything else uses.
 """
 
 from .cache import ResultCache, job_key, model_fingerprint
 from .core import (
+    DriverSession,
     default_worker_count,
     optimize_functions,
     optimize_one,
     run_one_guarded,
 )
 from .quarantine import QuarantineList, quarantine_key
-from .types import DriverReport, DriverStats, FunctionJob, FunctionResult
+from .types import (
+    DriverReport,
+    DriverStats,
+    FunctionJob,
+    FunctionResult,
+    ServiceStats,
+    TenantStats,
+    percentile,
+)
 
 __all__ = [
     "DriverReport",
+    "DriverSession",
     "DriverStats",
     "FunctionJob",
     "FunctionResult",
     "QuarantineList",
     "ResultCache",
+    "ServiceStats",
+    "TenantStats",
     "default_worker_count",
     "job_key",
     "model_fingerprint",
     "optimize_functions",
     "optimize_one",
+    "percentile",
     "quarantine_key",
     "run_one_guarded",
 ]

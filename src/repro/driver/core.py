@@ -482,6 +482,7 @@ def _attempt_serially(
     should ever pay for.
     """
     attempts = 0
+    dispatch_start = perf_counter()
     while True:
         attempts += 1
         outcome = run_one_guarded(
@@ -490,6 +491,7 @@ def _attempt_serially(
         )
         if isinstance(outcome, FunctionResult):
             outcome.attempts = attempts
+            stats.record_latency(perf_counter() - dispatch_start)
             return outcome
         quarantine.record_failure(
             qkey_fn(), job.label, outcome.kind, outcome.message
@@ -503,6 +505,7 @@ def _attempt_serially(
             stats.timed_out += 1
         else:
             stats.crashed += 1
+        stats.record_latency(perf_counter() - dispatch_start)
         return _error_result(job, outcome.kind, outcome.message, attempts)
 
 
@@ -575,11 +578,18 @@ def _run_pool(
             jobs[index], kind, message, attempts[index]
         )
 
-    def harvest(indices: List[int], outcomes: List[Outcome]) -> None:
+    def harvest(
+        indices: List[int],
+        outcomes: List[Outcome],
+        submitted: Optional[float] = None,
+    ) -> None:
+        now = perf_counter()
         for index, outcome in zip(indices, outcomes):
             if isinstance(outcome, FunctionResult):
                 outcome.attempts = attempts[index] + 1
                 computed[index] = outcome
+                if submitted is not None:
+                    stats.record_latency(now - submitted)
             else:
                 finish_failure(index, outcome.kind, outcome.message)
 
@@ -620,11 +630,12 @@ def _run_pool(
                 except Exception:
                     queue.extend(info["indices"])
                 else:
-                    harvest(info["indices"], outcomes)
+                    harvest(info["indices"], outcomes, info.get("submitted"))
             else:
                 queue.extend(info["indices"])
         futures.clear()
 
+    pool_error: Optional[str] = None
     try:
         while queue or futures:
             if executor is None and queue:
@@ -656,7 +667,9 @@ def _run_pool(
                         _run_chunk, [jobs[i] for i in indices]
                     )
                     futures[future] = {
-                        "indices": indices, "first_running": None
+                        "indices": indices,
+                        "first_running": None,
+                        "submitted": perf_counter(),
                     }
             if not futures:
                 if queue:
@@ -680,7 +693,7 @@ def _run_pool(
                     broken = True
                     queue.extend(info["indices"])
                 else:
-                    harvest(info["indices"], outcomes)
+                    harvest(info["indices"], outcomes, info.get("submitted"))
             if broken:
                 respawns += 1
                 stats.pool_respawns += 1
@@ -706,6 +719,19 @@ def _run_pool(
                     stats.pool_respawns += 1
                     drain_inflight(hung)
                     shutdown(kill=True)
+    except Exception as error:
+        # A parent-side failure mid-collect (executor plumbing, a
+        # harvest gone wrong, a signal-interrupted wait) must never
+        # leak the in-flight requeue: pull every uncomputed index back
+        # out of the in-flight map so the post-loop degradation path
+        # settles it.  The pool itself is no longer trustworthy, so
+        # charge the whole respawn budget.
+        pool_error = f"{type(error).__name__}: {error}"
+        for info in futures.values():
+            queue.extend(
+                i for i in info["indices"] if i not in computed
+            )
+        respawns = max_pool_respawns + 1
     finally:
         shutdown(kill=bool(futures))
         futures.clear()
@@ -725,14 +751,15 @@ def _run_pool(
                     retries, retry_backoff, quarantine, stats,
                 )
         else:
+            detail = f": {pool_error}" if pool_error else ""
             for index in remaining:
                 stats.crashed += 1
                 computed[index] = _error_result(
                     jobs[index],
                     "pool",
-                    f"worker pool unhealthy after {respawns} respawn(s); "
-                    "job abandoned (enable serial_fallback to retry "
-                    "in-process)",
+                    f"worker pool unhealthy after {respawns} respawn(s)"
+                    f"{detail}; job abandoned (enable serial_fallback to "
+                    "retry in-process)",
                     attempts[index],
                 )
     return computed
@@ -947,3 +974,614 @@ def optimize_functions(
         )
     stats.wall_seconds = perf_counter() - start
     return DriverReport(results=final, stats=stats)
+
+
+# --- the incremental front end ---------------------------------------------
+
+
+class DriverSession:
+    """Incremental submit/collect access to the driver machinery.
+
+    Where :func:`optimize_functions` consumes a whole batch and
+    returns, a session stays open: jobs arrive one at a time
+    (:meth:`submit` returns a ticket immediately), results are
+    harvested as they complete (:meth:`collect`), and the memo cache,
+    quarantine list, structural-dedupe table, and worker pool persist
+    across the session's lifetime.  This is the engine behind
+    ``repro serve`` -- a streaming daemon needs admission to be cheap
+    and non-blocking while computation proceeds elsewhere.
+
+    Semantics mirror the batch entry point exactly:
+
+    * with a cache, every job is structurally fingerprinted and cache
+      hits are served at submit time, rewritten into the submitting
+      job's namespace via the stored witness;
+    * a job structurally identical to one still *in flight* coalesces
+      onto that leader (even when the two came from different
+      submitters): one computation, every follower gets a renamed
+      copy, failures degrade every follower alike;
+    * quarantined jobs are refused with a structured error result;
+    * the resilience contract holds: deadlines, retries with backoff,
+      pool respawn after crashes/hangs, graceful degradation -- every
+      submitted ticket always resolves to exactly one result.
+
+    With ``workers == 1`` jobs execute in-process at the next
+    :meth:`pump`/:meth:`collect` (deterministic, pool-free -- the mode
+    tests and single-core daemons run; deferring execution past
+    :meth:`submit` is what lets back-to-back identical submissions
+    coalesce even without a pool).  With more workers a persistent
+    :class:`~concurrent.futures.ProcessPoolExecutor` computes jobs as
+    single-job futures; :meth:`collect` (or :meth:`pump`) advances the
+    event loop.  A session is *not* thread-safe: one owner thread
+    (the serve scheduler) drives it.
+
+    Always :meth:`close` a session (or use it as a context manager):
+    closing drains or degrades every outstanding ticket and tears the
+    pool down -- no orphaned workers, no leaked in-flight jobs, even
+    when teardown itself hits an exception.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RolagConfig] = None,
+        *,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        measure_model: Optional[CodeSizeCostModel] = None,
+        timed: bool = False,
+        check_semantics: bool = False,
+        evaluator: str = "interp",
+        deadline: Optional[float] = None,
+        retries: int = 1,
+        retry_backoff: float = 0.05,
+        quarantine_file: Optional[str] = None,
+        quarantine_after: int = 2,
+        fault_plan: Union[None, str, FaultPlan] = None,
+        serial_fallback: bool = True,
+        max_pool_respawns: int = 2,
+        dedupe: bool = True,
+    ) -> None:
+        self.config = config or RolagConfig()
+        self.workers = (
+            default_worker_count() if workers is None else max(1, workers)
+        )
+        self._measure_model = measure_model
+        self._timed = timed
+        self._check_semantics = check_semantics
+        self._evaluator = evaluator
+        self._deadline = deadline
+        self._retries = retries
+        self._retry_backoff = retry_backoff
+        self._serial_fallback = serial_fallback
+        self._max_pool_respawns = max_pool_respawns
+        self._dedupe = dedupe
+
+        self.stats = DriverStats(jobs=0, workers=self.workers)
+        self._cache = (
+            ResultCache(cache_dir) if (cache_dir and use_cache) else None
+        )
+        self._quarantine = QuarantineList(
+            quarantine_file, threshold=quarantine_after
+        )
+        self._plan = resolve_plan(
+            fault_plan if fault_plan is not None else self.config.fault_plan
+        )
+        # The serial path (and parent-side cache reads) fire fault
+        # sites in this process; install the plan for the session's
+        # lifetime and restore whatever was ambient on close.
+        from ..faultinject.plan import get_active_plan
+
+        self._prev_plan = get_active_plan()
+        if self._plan is not None:
+            install_plan(self._plan)
+
+        #: Called as ``on_result(ticket, result)`` the moment a ticket
+        #: resolves (from submit for cache hits / serial runs, from
+        #: pump for pool completions).  The serve scheduler hooks this.
+        self.on_result: Optional[Callable[[int, FunctionResult], None]] = None
+
+        self._next_ticket = 0
+        self._jobs: Dict[int, FunctionJob] = {}
+        self._keys: Dict[int, Optional[str]] = {}
+        self._summaries: Dict[int, Optional[StructuralSummary]] = {}
+        self._qkeys: Dict[int, str] = {}
+        self._submitted_at: Dict[int, float] = {}
+        self._ready: deque = deque()  # (ticket, result) awaiting collect
+        self._done: Dict[int, bool] = {}
+        # In-flight dedupe: content key -> leader ticket (only while
+        # the leader is unresolved), plus follower lists per leader.
+        self._leader_by_key: Dict[object, int] = {}
+        self._dkey_of: Dict[int, object] = {}
+        self._followers: Dict[int, List[int]] = {}
+        # Pool state (workers > 1).
+        self._queue: deque = deque()  # tickets awaiting dispatch
+        self._attempts: Dict[int, int] = {}
+        self._not_before: Dict[int, float] = {}
+        self._inflight: Dict[object, dict] = {}  # future -> info
+        self._executor = None
+        self._respawns = 0
+        self._closed = False
+        self._started = perf_counter()
+
+    # -- context management ------------------------------------------------
+
+    def __enter__(self) -> "DriverSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- bookkeeping helpers -----------------------------------------------
+
+    def _summary_of(self, ticket: int) -> Optional[StructuralSummary]:
+        if ticket not in self._summaries:
+            self._summaries[ticket] = job_struct_summary(self._jobs[ticket])
+            if self._summaries[ticket] is None:
+                self.stats.hash_fallbacks += 1
+        return self._summaries[ticket]
+
+    def _qkey(self, ticket: int) -> str:
+        if ticket not in self._qkeys:
+            self._qkeys[ticket] = quarantine_key(
+                self._jobs[ticket], self._summary_of(ticket)
+            )
+        return self._qkeys[ticket]
+
+    def _sync_cache_counters(self) -> None:
+        if self._cache is not None:
+            self.stats.cache_writes = self._cache.writes
+            self.stats.cache_corrupt = self._cache.corrupt
+            self.stats.cache_write_errors = self._cache.write_errors
+
+    def _finish(self, ticket: int, result: FunctionResult) -> None:
+        """Resolve one ticket: stats, ready queue, completion hook."""
+        self._done[ticket] = True
+        self.stats.guard_failures += len(result.guard_reports)
+        for phase, seconds in result.phase_seconds.items():
+            self.stats.phase_seconds[phase] = (
+                self.stats.phase_seconds.get(phase, 0.0) + seconds
+            )
+        self._ready.append((ticket, result))
+        if self.on_result is not None:
+            self.on_result(ticket, result)
+
+    def _settle(self, ticket: int, result: FunctionResult) -> None:
+        """A leader computed (or degraded): cache, finish, fan out."""
+        if (
+            self._cache is not None
+            and not result.failed
+            and self._keys.get(ticket) is not None
+        ):
+            self._cache.put(
+                self._keys[ticket], result, summary=self._summaries.get(ticket)
+            )
+            self._sync_cache_counters()
+        dkey = self._dkey_of.pop(ticket, None)
+        if dkey is not None:
+            self._leader_by_key.pop(dkey, None)
+        self._finish(ticket, result)
+        for follower in self._followers.pop(ticket, ()):  # type: ignore
+            self._finish(
+                follower,
+                _follower_result(
+                    result,
+                    self._jobs[follower],
+                    self._summaries.get(ticket),
+                    self._summaries.get(follower),
+                    self.stats,
+                ),
+            )
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, job: FunctionJob) -> int:
+        """Admit one job; returns its ticket immediately.
+
+        Cache hits and quarantine refusals resolve before this
+        returns; everything else resolves during a later
+        :meth:`pump`/:meth:`collect`.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._jobs[ticket] = job
+        self._done[ticket] = False
+        self._submitted_at[ticket] = perf_counter()
+        self.stats.jobs += 1
+
+        key: Optional[str] = None
+        if self._cache is not None:
+            summary = self._summary_of(ticket)
+            key = job_key(
+                job, self.config, self._measure_model,
+                self._check_semantics, self._evaluator, summary=summary,
+            )
+            self._keys[ticket] = key
+            hit = self._cache.get(key)
+            if hit is not None:
+                hit.name = job.name
+                hit.metadata = dict(job.metadata)
+                _retarget_result(
+                    hit,
+                    hit.producer_witness,  # type: ignore[arg-type]
+                    summary,
+                )
+                self.stats.cache_hits += 1
+                self._finish(ticket, hit)
+                return ticket
+            self.stats.cache_misses += 1
+        else:
+            self._keys[ticket] = None
+
+        if len(self._quarantine) and self._quarantine.is_quarantined(
+            self._qkey(ticket)
+        ):
+            self.stats.quarantined += 1
+            self._finish(
+                ticket,
+                _error_result(
+                    job, "quarantined",
+                    self._quarantine.describe(self._qkey(ticket)),
+                    attempts=0,
+                ),
+            )
+            return ticket
+
+        if self._dedupe:
+            if key is not None:
+                dkey: object = key
+            else:
+                # No cache key to coalesce on; fall back to the
+                # alpha-invariant fingerprint (same respell machinery
+                # as cache retargeting), then to exact text.
+                summary = self._summary_of(ticket)
+                dkey = (
+                    ("struct", job.format, summary.fingerprint)
+                    if summary is not None
+                    else ("text", job.format, job.name, job.text)
+                )
+            leader = self._leader_by_key.get(dkey)
+            if leader is not None and not self._done[leader]:
+                self._followers.setdefault(leader, []).append(ticket)
+                self.stats.dedupe_hits += 1
+                return ticket
+            self._leader_by_key[dkey] = ticket
+            self._dkey_of[ticket] = dkey
+
+        self._attempts[ticket] = 0
+        self._not_before[ticket] = 0.0
+        self._queue.append(ticket)
+        if self.workers > 1:
+            # Get the pool started; serial execution waits for the
+            # next pump/collect so that structurally identical jobs
+            # submitted back-to-back can still coalesce in flight.
+            self.pump()
+        return ticket
+
+    # -- pool event loop ----------------------------------------------------
+
+    def _spawn_executor(self, want: int):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=min(self.workers, max(1, want)),
+            initializer=_init_worker,
+            initargs=(
+                self.config, self._measure_model, self._timed,
+                self._check_semantics, self._evaluator, self._deadline,
+                self._plan.fresh() if self._plan is not None else None,
+            ),
+        )
+
+    def _kill_executor(self) -> None:
+        """Tear the pool down hard; never raises."""
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        for proc in list(
+            (getattr(executor, "_processes", None) or {}).values()
+        ):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _pool_failure(self, ticket: int, kind: str, message: str) -> None:
+        """One failed pool attempt: retry with backoff or degrade."""
+        self._attempts[ticket] += 1
+        self._quarantine.record_failure(
+            self._qkey(ticket), self._jobs[ticket].label, kind, message
+        )
+        self._quarantine.save()
+        if self._attempts[ticket] <= self._retries:
+            self.stats.retried += 1
+            backoff = self._retry_backoff * (2 ** (self._attempts[ticket] - 1))
+            self._not_before[ticket] = perf_counter() + backoff
+            self._queue.append(ticket)
+            return
+        if kind == "timeout":
+            self.stats.timed_out += 1
+        else:
+            self.stats.crashed += 1
+        self._settle(
+            ticket,
+            _error_result(
+                self._jobs[ticket], kind, message, self._attempts[ticket]
+            ),
+        )
+
+    def _degrade_remaining(self, message: str) -> None:
+        """Settle every queued ticket without a pool (fallback path)."""
+        remaining = list(self._queue)
+        self._queue.clear()
+        if self._serial_fallback and not self._closed:
+            self.stats.serial_fallback = True
+            for ticket in remaining:
+                result = _attempt_serially(
+                    self._jobs[ticket], lambda t=ticket: self._qkey(t),
+                    self.config, self._measure_model, self._timed,
+                    self._check_semantics, self._evaluator, self._deadline,
+                    self._retries, self._retry_backoff, self._quarantine,
+                    self.stats,
+                )
+                self._quarantine.save()
+                self._settle(ticket, result)
+        else:
+            for ticket in remaining:
+                self.stats.crashed += 1
+                self._settle(
+                    ticket,
+                    _error_result(
+                        self._jobs[ticket], "pool", message,
+                        self._attempts.get(ticket, 0),
+                    ),
+                )
+
+    def pump(self) -> int:
+        """Advance the pool without blocking; returns tickets resolved.
+
+        Dispatches eligible queued tickets as single-job futures,
+        harvests completions, requeues uncharged in-flight work when
+        the pool dies (respawning it up to the budget), and kills
+        non-cooperative hangs past their deadline budget.  With
+        ``workers == 1`` it instead runs every queued ticket to
+        completion in-process, in submission order.
+        """
+        if self.workers == 1:
+            resolved = 0
+            while self._queue:
+                ticket = self._queue.popleft()
+                result = _attempt_serially(
+                    self._jobs[ticket], lambda t=ticket: self._qkey(t),
+                    self.config, self._measure_model, self._timed,
+                    self._check_semantics, self._evaluator, self._deadline,
+                    self._retries, self._retry_backoff, self._quarantine,
+                    self.stats,
+                )
+                self._quarantine.save()
+                self._settle(ticket, result)
+                resolved += 1
+            return resolved
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        resolved = 0
+        now = perf_counter()
+
+        if self._queue and self._executor is None:
+            if self._respawns > self._max_pool_respawns:
+                before = len(self._ready)
+                self._degrade_remaining(
+                    f"worker pool unhealthy after {self._respawns} "
+                    "respawn(s); job abandoned (serial_fallback off)"
+                )
+                return len(self._ready) - before
+            self._executor = self._spawn_executor(len(self._queue))
+
+        if self._queue and self._executor is not None:
+            waiting: deque = deque()
+            while self._queue:
+                ticket = self._queue.popleft()
+                if self._not_before[ticket] <= now:
+                    future = self._executor.submit(
+                        _run_chunk, [self._jobs[ticket]]
+                    )
+                    self._inflight[future] = {
+                        "ticket": ticket,
+                        "first_running": None,
+                        "submitted": perf_counter(),
+                    }
+                else:
+                    waiting.append(ticket)
+            self._queue = waiting
+
+        if not self._inflight:
+            return resolved
+
+        done, _ = wait(
+            set(self._inflight), timeout=0, return_when=FIRST_COMPLETED
+        )
+        now = perf_counter()
+        broken = False
+        for future in done:
+            info = self._inflight.pop(future)
+            ticket = info["ticket"]
+            try:
+                outcomes = future.result()
+            except BrokenProcessPool:
+                broken = True
+                self._queue.append(ticket)
+            except Exception:
+                broken = True
+                self._queue.append(ticket)
+            else:
+                outcome = outcomes[0]
+                if isinstance(outcome, FunctionResult):
+                    outcome.attempts = self._attempts[ticket] + 1
+                    self.stats.record_latency(now - info["submitted"])
+                    self._settle(ticket, outcome)
+                    resolved += 1
+                else:
+                    self._pool_failure(ticket, outcome.kind, outcome.message)
+                    if self._done[ticket]:
+                        resolved += 1
+        if broken:
+            self._respawns += 1
+            self.stats.pool_respawns += 1
+            for future, info in list(self._inflight.items()):
+                self._queue.append(info["ticket"])
+            self._inflight.clear()
+            self._kill_executor()
+            return resolved
+
+        if self._deadline is not None and self._executor is not None:
+            hung = []
+            for future, info in self._inflight.items():
+                if info["first_running"] is None and future.running():
+                    info["first_running"] = now
+                if info["first_running"] is None:
+                    continue
+                budget = self._deadline + 0.05
+                if now - info["first_running"] > budget:
+                    hung.append(future)
+            if hung:
+                self._respawns += 1
+                self.stats.pool_respawns += 1
+                for future in hung:
+                    info = self._inflight.pop(future)
+                    self._pool_failure(
+                        info["ticket"],
+                        "timeout",
+                        f"exceeded the {self._deadline:.3f}s wall-clock "
+                        "deadline without yielding; worker killed",
+                    )
+                    if self._done[info["ticket"]]:
+                        resolved += 1
+                for future, info in list(self._inflight.items()):
+                    self._queue.append(info["ticket"])
+                self._inflight.clear()
+                self._kill_executor()
+        return resolved
+
+    # -- harvesting ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Tickets submitted but not yet resolved."""
+        return sum(1 for done in self._done.values() if not done)
+
+    @property
+    def unread(self) -> int:
+        """Resolved results not yet collected."""
+        return len(self._ready)
+
+    def collect(
+        self, timeout: Optional[float] = 0.0
+    ) -> List[tuple]:
+        """Harvest resolved tickets as ``[(ticket, result), ...]``.
+
+        ``timeout=0`` polls once; a positive timeout waits up to that
+        long for at least one result; ``None`` blocks until a result
+        arrives or nothing is pending.  Results come back in
+        resolution order (not submission order -- this is a stream).
+        """
+        poll = 0.005 if self._deadline is None else max(
+            0.002, min(0.05, self._deadline / 4.0)
+        )
+        deadline_at = (
+            None if timeout is None else perf_counter() + (timeout or 0.0)
+        )
+        while True:
+            self.pump()
+            if self._ready or self.pending == 0:
+                break
+            if deadline_at is not None and perf_counter() >= deadline_at:
+                break
+            sleep(poll)
+        out = list(self._ready)
+        self._ready.clear()
+        return out
+
+    def drain(self, timeout: Optional[float] = None) -> List[tuple]:
+        """Collect until every submitted ticket has resolved."""
+        deadline_at = (
+            None if timeout is None else perf_counter() + timeout
+        )
+        out: List[tuple] = []
+        while True:
+            remaining = (
+                None
+                if deadline_at is None
+                else max(0.0, deadline_at - perf_counter())
+            )
+            out.extend(self.collect(timeout=remaining))
+            if self.pending == 0:
+                return out
+            if deadline_at is not None and perf_counter() >= deadline_at:
+                return out
+
+    # -- teardown -----------------------------------------------------------
+
+    def close(
+        self, drain: bool = True, drain_timeout: Optional[float] = None
+    ) -> List[tuple]:
+        """Tear the session down; every outstanding ticket resolves.
+
+        With ``drain`` (the default) outstanding work is finished
+        first (bounded by ``drain_timeout``); anything still pending
+        after that -- or everything, with ``drain=False`` -- degrades
+        to structured ``pool``-class error results.  The worker pool
+        is always torn down, even if draining raises: no orphaned
+        workers survive a closed session.  Idempotent.  Returns any
+        results resolved during the close (uncollected ones remain
+        available via :meth:`collect` on the closed session's ready
+        queue -- but new submits are refused).
+        """
+        if self._closed:
+            return []
+        out: List[tuple] = []
+        try:
+            if drain and self.pending:
+                out.extend(self.drain(timeout=drain_timeout))
+        finally:
+            self._closed = True
+            try:
+                # Whatever is still queued or in flight degrades; the
+                # _closed flag above keeps the fallback path from
+                # re-executing work during teardown.
+                for info in self._inflight.values():
+                    self._queue.append(info["ticket"])
+                self._inflight.clear()
+                self._degrade_remaining(
+                    "session closed with the job still outstanding"
+                )
+                # Followers whose leader never resolved degrade too.
+                for ticket, done in list(self._done.items()):
+                    if not done:
+                        self.stats.crashed += 1
+                        self._finish(
+                            ticket,
+                            _error_result(
+                                self._jobs[ticket], "pool",
+                                "session closed with the job still "
+                                "outstanding",
+                                self._attempts.get(ticket, 0),
+                            ),
+                        )
+            finally:
+                self._kill_executor()
+                try:
+                    self._quarantine.save()
+                except Exception:
+                    pass
+                self._sync_cache_counters()
+                self.stats.wall_seconds = perf_counter() - self._started
+                install_plan(self._prev_plan)
+        return out

@@ -8,8 +8,22 @@ IR, JSON-serializable for the on-disk memo cache.
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 1]).
+
+    Returns 0.0 for an empty sample set -- callers render stats
+    snapshots long before the first job completes.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
 
 
 @dataclass(frozen=True)
@@ -193,6 +207,36 @@ class DriverStats:
     #: Total rolled-back transactions across all results (validated
     #: runs only; every one of these kept a bad edit out of the output).
     guard_failures: int = 0
+    #: Per-job dispatch-to-completion latencies in seconds, recorded
+    #: for executed jobs (pool and serial paths alike; cache hits and
+    #: dedupe fan-outs are not dispatched, so they do not appear).
+    #: Feeds :attr:`latency_p50` / :attr:`latency_p99`.
+    latency_seconds: List[float] = field(default_factory=list)
+
+    def record_latency(self, seconds: object) -> None:
+        """Record one job latency, rejecting garbage.
+
+        Teardown paths call this with whatever a dying worker left
+        behind; a non-numeric, negative, or non-finite sample must
+        never poison the percentiles (or raise mid-teardown).
+        """
+        try:
+            value = float(seconds)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return
+        if not math.isfinite(value) or value < 0.0:
+            return
+        self.latency_seconds.append(value)
+
+    @property
+    def latency_p50(self) -> float:
+        """Median executed-job latency in seconds (0.0 if none ran)."""
+        return percentile(self.latency_seconds, 0.50)
+
+    @property
+    def latency_p99(self) -> float:
+        """99th-percentile executed-job latency (0.0 if none ran)."""
+        return percentile(self.latency_seconds, 0.99)
 
     @property
     def executed(self) -> int:
@@ -212,3 +256,110 @@ class DriverReport:
 
     results: List[FunctionResult]
     stats: DriverStats
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant accounting inside one long-running serve session."""
+
+    accepted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_quota: int = 0
+    rejected_busy: int = 0
+    dedupe_hits: int = 0
+    cache_hits: int = 0
+
+    def to_json_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate behaviour of one ``repro serve`` daemon lifetime.
+
+    Where :class:`DriverStats` describes one batch, this describes a
+    *service*: admission decisions (accepted vs. typed ``busy``/
+    ``quota`` rejections), streaming completion latencies measured
+    from admission to response, and per-tenant counters so fleet-wide
+    structural dedupe is attributable ("tenant B's job coalesced onto
+    tenant A's computation" shows up on both ledgers).
+
+    Mutated only under the owning service's lock; :meth:`snapshot`
+    renders the JSON payload the ``stats`` RPC answers with.
+    """
+
+    accepted: int = 0
+    completed: int = 0
+    #: Completed jobs that degraded (crash/timeout/quarantine/pool).
+    failed: int = 0
+    rejected_busy: int = 0
+    rejected_quota: int = 0
+    rejected_invalid: int = 0
+    #: Jobs served by coalescing onto a structurally identical
+    #: in-flight computation (possibly another tenant's) or a leader
+    #: computed earlier in this daemon's lifetime via the shared cache.
+    dedupe_hits: int = 0
+    cache_hits: int = 0
+    #: Admission-to-response latency per completed job, in seconds.
+    latency_seconds: List[float] = field(default_factory=list)
+    #: Wall seconds the service has been accepting work (set by the
+    #: owning service when snapshotting).
+    wall_seconds: float = 0.0
+    #: Gauges stamped at snapshot time by the owning service.
+    queue_depth: int = 0
+    inflight: int = 0
+    per_tenant: Dict[str, TenantStats] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TenantStats:
+        if name not in self.per_tenant:
+            self.per_tenant[name] = TenantStats()
+        return self.per_tenant[name]
+
+    def record_latency(self, seconds: object) -> None:
+        """Record one admission-to-response latency (garbage-safe)."""
+        try:
+            value = float(seconds)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return
+        if not math.isfinite(value) or value < 0.0:
+            return
+        self.latency_seconds.append(value)
+
+    @property
+    def latency_p50(self) -> float:
+        return percentile(self.latency_seconds, 0.50)
+
+    @property
+    def latency_p99(self) -> float:
+        return percentile(self.latency_seconds, 0.99)
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Completed jobs per wall second of service lifetime."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``stats`` RPC payload (plain JSON types only)."""
+        return {
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_busy": self.rejected_busy,
+            "rejected_quota": self.rejected_quota,
+            "rejected_invalid": self.rejected_invalid,
+            "dedupe_hits": self.dedupe_hits,
+            "cache_hits": self.cache_hits,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "wall_seconds": self.wall_seconds,
+            "jobs_per_second": self.jobs_per_second,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "tenants": {
+                name: tenant.to_json_dict()
+                for name, tenant in sorted(self.per_tenant.items())
+            },
+        }

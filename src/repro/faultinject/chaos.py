@@ -44,7 +44,7 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .plan import FaultPlan, FaultSpec
 
@@ -374,4 +374,314 @@ def run_chaos(
     else:
         with tempfile.TemporaryDirectory(prefix="rolag-chaos-") as root:
             campaign(root)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Chaos against the live daemon (``repro chaos --serve``)
+# ---------------------------------------------------------------------------
+
+#: Error kinds a degraded serve job may legitimately carry.
+DEGRADED_KINDS = ("crash", "timeout", "quarantined", "pool")
+
+
+@dataclass
+class ServeChaosReport:
+    """Outcome of one storm against a live :class:`OptimizeService`.
+
+    The invariants, in storm order: every admitted submission is
+    answered exactly once; refusals are typed (``busy``/``quota``) and
+    succeed on resubmission; failed jobs degrade per-job with a
+    documented ``error_kind`` and their original text intact; with the
+    validation gate on, no successful result contradicts the gate's
+    own evidence vectors (zero wrong outputs); structural duplicates
+    submitted by other tenants never execute twice; and the daemon
+    answers ``ping`` from admission to drain -- it never dies.
+    """
+
+    seed: int
+    plan: str = ""
+    submitted: int = 0
+    accepted: int = 0
+    completed: int = 0
+    failed: int = 0
+    refused_busy: int = 0
+    refused_quota: int = 0
+    resubmissions: int = 0
+    duplicates: int = 0
+    coalesced: int = 0
+    guard_failures: int = 0
+    wrong_outputs: int = 0
+    pings_ok: int = 0
+    latency_p50: float = 0.0
+    latency_p99: float = 0.0
+    jobs_per_second: float = 0.0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def success_rate(self) -> float:
+        """Completed-without-degradation over completed."""
+        if not self.completed:
+            return 1.0
+        return (self.completed - self.failed) / self.completed
+
+    def summary(self) -> str:
+        lines = [
+            f"serve chaos: seed {self.seed}, plan "
+            f"[{self.plan or '(no faults)'}]",
+            f"  submitted {self.submitted} ({self.duplicates} duplicates)"
+            f", accepted {self.accepted}, completed {self.completed}, "
+            f"failed {self.failed} "
+            f"(success rate {self.success_rate * 100:.1f}%)",
+            f"  refused busy {self.refused_busy}, quota "
+            f"{self.refused_quota}, resubmissions {self.resubmissions}",
+            f"  coalesced {self.coalesced}/{self.duplicates} duplicates, "
+            f"guard rollbacks {self.guard_failures}, wrong outputs "
+            f"{self.wrong_outputs}, pings {self.pings_ok}",
+            f"  p50 {self.latency_p50 * 1000:.2f} ms, "
+            f"p99 {self.latency_p99 * 1000:.2f} ms, "
+            f"{self.jobs_per_second:.1f} jobs/s",
+        ]
+        for violation in self.violations:
+            lines.append(f"    VIOLATION: {violation}")
+        lines.append(
+            "  OK: all invariants held" if self.ok
+            else "  FAILED: serve resilience invariants violated"
+        )
+        return "\n".join(lines)
+
+
+def _alpha_duplicate(ir_text: str, name: str, suffix: str) -> Tuple[str, str]:
+    """A structurally identical respelling of ``ir_text``.
+
+    Renames the defined function (a different tenant would own a
+    different symbol) -- exact text changes, the alpha-invariant
+    fingerprint does not, so the daemon must coalesce the pair.
+    """
+    new_name = f"{name}_{suffix}"
+    return ir_text.replace(f"@{name}", f"@{new_name}"), new_name
+
+
+def run_serve_chaos(
+    seed: int = 0,
+    job_count: int = 100,
+    workers: int = 1,
+    deadline: float = 5.0,
+    retries: int = 2,
+    validate: str = "safe",
+    ir_faults: bool = True,
+    faults: bool = True,
+    base_dir: Optional[str] = None,
+    max_queue: int = 8,
+    tenant_quota: int = 4,
+    duplicate_every: int = 7,
+    tenants: Sequence[str] = ("alice", "bob", "carol"),
+) -> ServeChaosReport:
+    """Storm a live in-process daemon; see :class:`ServeChaosReport`.
+
+    The service runs *unthreaded*: the storm drives
+    ``pump_once`` itself, so admission edges (busy under a small
+    ``max_queue``, quota under ``tenant_quota``) and the
+    hang-fault virtual clock are deterministic -- same seed, same
+    storm, no real sleeps.  Every ``duplicate_every``-th submission is
+    chased by an alpha-renamed duplicate from the next tenant, which
+    must coalesce onto the original's computation (in-flight dedupe)
+    or its cached result -- never a second execution.
+    """
+    import tempfile
+
+    from ..bench import angha
+    from ..frontend.lower import compile_c
+    from ..ir import print_module
+    from ..serve import LoopbackClient, OptimizeService, ServeConfig
+    from ..serve.protocol import response_error_kind
+    from ..validation import VALIDATION_LEVELS
+
+    if validate not in VALIDATION_LEVELS:
+        raise ValueError(f"unknown validation level {validate!r}")
+
+    rng = random.Random(seed)
+    if faults:
+        plan = build_chaos_plan(rng, job_count, ir_faults=ir_faults)
+        spec = plan.spec_string()
+    else:
+        spec = ""  # fault-free baseline (throughput measurement)
+    report = ServeChaosReport(seed=seed, plan=spec)
+
+    sources = angha.generate_sources(count=job_count, seed=seed)
+    corpus = [
+        (cs.name, print_module(compile_c(cs.source, cs.name)))
+        for cs in sources
+    ]
+
+    def storm(root: str) -> None:
+        service = OptimizeService(
+            ServeConfig(
+                workers=workers,
+                cache_dir=os.path.join(root, "cache"),
+                validate=validate,
+                guard_dir=os.path.join(root, "guards"),
+                deadline=deadline,
+                retries=retries,
+                quarantine_file=os.path.join(root, "quarantine.json"),
+                fault_plan=spec or None,
+                max_queue=max_queue,
+                tenant_quota=tenant_quota,
+            )
+        )
+        service.start(threaded=False)
+        client = LoopbackClient(service)
+        outstanding: Dict[int, Tuple[str, str, bool]] = {}
+
+        def ping() -> None:
+            if client.ping():
+                report.pings_ok += 1
+            else:
+                report.violations.append("daemon stopped answering ping")
+
+        def submit(name: str, text: str, tenant: str, dup: bool) -> None:
+            """Admit one job, riding out backpressure deterministically."""
+            report.submitted += 1
+            for _ in range(10 * max_queue + 10):
+                rid = client.submit_optimize(
+                    text, name=name, tenant=tenant, emit_ir=True
+                )
+                refusal = client.poll(rid)
+                if refusal is None:
+                    report.accepted += 1
+                    outstanding[rid] = (name, text, dup)
+                    return
+                kind = response_error_kind(refusal)
+                if kind == "busy":
+                    report.refused_busy += 1
+                elif kind == "quota":
+                    report.refused_quota += 1
+                else:
+                    report.violations.append(
+                        f"{name}: unexpected refusal kind {kind!r}"
+                    )
+                    return
+                report.resubmissions += 1
+                # Block until something resolves: over a process pool
+                # an instant poll would spin through the attempt
+                # budget before any job finishes.
+                service.pump_once(wait=None)
+            report.violations.append(
+                f"{name}: still refused after draining the queue"
+            )
+
+        for index, (name, ir_text) in enumerate(corpus):
+            tenant = tenants[index % len(tenants)]
+            submit(name, ir_text, tenant, dup=False)
+            if duplicate_every and index % duplicate_every == 0:
+                dup_text, dup_name = _alpha_duplicate(
+                    ir_text, name, f"dup{index}"
+                )
+                report.duplicates += 1
+                submit(
+                    dup_name, dup_text,
+                    tenants[(index + 1) % len(tenants)], dup=True,
+                )
+            if index % 10 == 0:
+                ping()
+                service.pump_once()
+
+        # Drain: everything admitted must answer.
+        for _ in range(len(outstanding) + 10):
+            if service.scheduler.idle:
+                break
+            service.pump_once(wait=None)
+        ping()
+
+        import zlib
+
+        from ..ir import parse_module
+        from ..validation import evidence_check
+
+        config = service.config.rolag_config()
+        for rid, (name, text, dup) in outstanding.items():
+            response = client.poll(rid)
+            if response is None:
+                report.violations.append(f"{name}: admitted but unanswered")
+                continue
+            report.completed += 1
+            kind = response_error_kind(response)
+            if kind is not None:
+                report.violations.append(
+                    f"{name}: admitted job answered with protocol "
+                    f"error {kind!r}"
+                )
+                continue
+            result = response["result"]
+            if dup and not (
+                result.get("dedupe_hit") or result.get("cache_hit")
+            ):
+                report.violations.append(
+                    f"{name}: structural duplicate executed instead of "
+                    "coalescing"
+                )
+            elif dup:
+                report.coalesced += 1
+            if result["status"] != "ok":
+                report.failed += 1
+                if result.get("error_kind") not in DEGRADED_KINDS:
+                    report.violations.append(
+                        f"{name}: unknown error_kind "
+                        f"{result.get('error_kind')!r}"
+                    )
+                if result.get("optimized_ir") != text:
+                    report.violations.append(
+                        f"{name}: degraded result lost the original text"
+                    )
+                continue
+            if validate == "off":
+                continue
+            vector_seed = zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+            try:
+                ok, details = evidence_check(
+                    parse_module(text),
+                    parse_module(result["optimized_ir"]),
+                    seed=vector_seed,
+                    vectors=config.validate_vectors,
+                    step_limit=config.validate_step_limit,
+                    evaluator=config.validate_evaluator,
+                )
+            except Exception as error:
+                report.violations.append(
+                    f"{name}: oracle error: "
+                    f"{type(error).__name__}: {error}"
+                )
+                continue
+            if not ok:
+                report.wrong_outputs += 1
+                detail = details[0] if details else "mismatch"
+                report.violations.append(
+                    f"{name}: validated daemon emitted semantics-"
+                    f"changing IR: {detail}"
+                )
+
+        snapshot = service.stats_snapshot()
+        report.guard_failures = snapshot["driver"]["guard_failures"]
+        report.latency_p50 = snapshot["latency_p50"]
+        report.latency_p99 = snapshot["latency_p99"]
+        report.jobs_per_second = snapshot["jobs_per_second"]
+        if report.completed != report.accepted:
+            report.violations.append(
+                f"accepted {report.accepted} but answered "
+                f"{report.completed}"
+            )
+        service.stop()
+        if service.alive:
+            report.violations.append("service still alive after stop()")
+
+    if base_dir is not None:
+        os.makedirs(base_dir, exist_ok=True)
+        storm(base_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="rolag-serve-chaos-") as root:
+            storm(root)
     return report

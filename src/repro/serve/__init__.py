@@ -1,0 +1,50 @@
+"""``repro serve``: the always-on streaming optimization daemon.
+
+Layers, bottom up:
+
+- :mod:`.protocol` -- JSON-RPC 2.0 line framing and the typed error
+  vocabulary (``busy``/``quota``/``shutting_down``/...).
+- :mod:`.scheduler` -- admission control (per-tenant quotas, global
+  backpressure watermark) and the single thread that owns the
+  :class:`~repro.driver.DriverSession`.
+- :mod:`.service` -- :class:`OptimizeService`, the transport-agnostic
+  handler core; :class:`ServeConfig` is its boot-time knob bag.
+- :mod:`.stdio` / :mod:`.httpd` -- the two transports (subprocess
+  pipe, localhost HTTP) over the same core.
+- :mod:`.client` -- :class:`ServeClient` for pipelined line-protocol
+  callers, plus the in-process :class:`LoopbackClient` tests use.
+"""
+
+from .client import LoopbackClient, ServeClient, ServeError, loopback_pair
+from .protocol import (
+    ERROR_CODES,
+    ProtocolError,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+    response_error_kind,
+)
+from .scheduler import AdmissionController, Scheduler
+from .service import MAX_SOURCE_BYTES, OptimizeService, ServeConfig
+from .stdio import serve_stdio
+
+__all__ = [
+    "AdmissionController",
+    "ERROR_CODES",
+    "LoopbackClient",
+    "MAX_SOURCE_BYTES",
+    "OptimizeService",
+    "ProtocolError",
+    "Scheduler",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "encode_line",
+    "error_response",
+    "loopback_pair",
+    "ok_response",
+    "parse_request",
+    "response_error_kind",
+    "serve_stdio",
+]

@@ -1,0 +1,137 @@
+"""The optional HTTP transport: same handler core, localhost only.
+
+``repro serve --http PORT`` exposes three routes on ``127.0.0.1``:
+
+``POST /rpc``
+    Body is one JSON-RPC request (the same shape as a stdio line);
+    the response body is the matching JSON-RPC response.  The request
+    thread parks on an event until the job completes, so HTTP trades
+    the pipe's streaming for plain request/response -- concurrency
+    comes from :class:`ThreadingHTTPServer`'s thread-per-request.
+``GET /stats``
+    The live stats snapshot as JSON.
+``GET /healthz``
+    ``{"ok": true}`` while the service is alive -- the probe an
+    orchestrator points at.
+
+Binding is hardcoded to loopback: this is an operator socket, not an
+internet service.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from .protocol import ProtocolError, error_response, parse_request
+from .service import OptimizeService
+
+#: Refuse request bodies beyond this size (matches the source cap with
+#: headroom for the JSON envelope).
+MAX_BODY_BYTES = (1 << 20) + 4096
+
+#: How long POST /rpc waits for a job before answering ``internal``.
+#: A deadline-guarded job always resolves well before this; the cap
+#: only bounds the damage of a scheduler bug.
+RESPONSE_TIMEOUT = 300.0
+
+
+def _make_handler(service: OptimizeService, server_box: Dict[str, object]):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt: str, *args: object) -> None:
+            pass  # route nothing to stderr per request
+
+        def _send_json(self, status: int, payload: object) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/healthz":
+                self._send_json(
+                    200 if service.alive else 503, {"ok": service.alive}
+                )
+            elif self.path == "/stats":
+                self._send_json(200, service.stats_snapshot())
+            else:
+                self._send_json(404, {"error": "unknown route"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/rpc":
+                self._send_json(404, {"error": "unknown route"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                self._send_json(
+                    413, error_response(None, "params", "body too large")
+                )
+                return
+            body = self.rfile.read(length).decode("utf-8", "replace")
+            try:
+                request = parse_request(body)
+            except ProtocolError as err:
+                self._send_json(
+                    400, error_response(err.req_id, err.kind, str(err))
+                )
+                return
+
+            done = threading.Event()
+            box: Dict[str, object] = {}
+
+            def respond(message: Dict[str, object]) -> None:
+                box["response"] = message
+                done.set()
+
+            keep_going = service.handle(request, respond)
+            if not done.wait(timeout=RESPONSE_TIMEOUT):
+                box["response"] = error_response(
+                    request.get("id"), "internal", "response timed out"
+                )
+            self._send_json(200, box["response"])
+            if not keep_going:
+                # shutdown: stop accepting from a helper thread (calling
+                # server.shutdown() on a request thread would deadlock).
+                server = server_box.get("server")
+                if server is not None:
+                    threading.Thread(
+                        target=server.shutdown, daemon=True
+                    ).start()
+
+    return Handler
+
+
+def serve_http(
+    service: OptimizeService,
+    port: int = 0,
+    started: Optional[threading.Event] = None,
+    address_box: Optional[Dict[str, Tuple[str, int]]] = None,
+) -> int:
+    """Run the HTTP transport until a ``shutdown`` request arrives.
+
+    ``port=0`` picks a free port; the bound address lands in
+    ``address_box["address"]`` and ``started`` is set once the socket
+    is listening (how in-process tests rendezvous without sleeps).
+    """
+    server_box: Dict[str, object] = {}
+    server = ThreadingHTTPServer(
+        ("127.0.0.1", port), _make_handler(service, server_box)
+    )
+    server.daemon_threads = True
+    server_box["server"] = server
+    if address_box is not None:
+        address_box["address"] = server.server_address
+    if started is not None:
+        started.set()
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.server_close()
+        service.stop()
+    return 0

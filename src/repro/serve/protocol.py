@@ -1,0 +1,142 @@
+"""The ``repro serve`` wire protocol: JSON-RPC 2.0, one message per line.
+
+Requests and responses are single-line JSON objects terminated by
+``\\n`` -- the framing a subprocess pipe, a socket, or an HTTP body can
+all carry unchanged.  The shapes::
+
+    -> {"jsonrpc": "2.0", "id": 7, "method": "optimize",
+        "params": {"ir": "...", "tenant": "ci"}}
+    <- {"jsonrpc": "2.0", "id": 7, "result": {"name": "...", ...}}
+    <- {"jsonrpc": "2.0", "id": 7,
+        "error": {"code": -32000, "message": "...",
+                  "data": {"kind": "busy"}}}
+
+Responses are *streamed*: ``optimize`` answers arrive whenever the job
+completes, in completion order, matched to requests by ``id``.
+Control methods (``ping``, ``stats``, ``drain``, ``shutdown``) answer
+in line.  Every error carries a machine-readable ``kind`` under
+``error.data`` -- the typed vocabulary clients program against:
+
+``busy``
+    The global backpressure watermark is hit; resubmit later.
+``quota``
+    The submitting tenant is at its in-flight quota.
+``shutting_down``
+    The daemon is draining; no new work is admitted.
+``invalid`` / ``method`` / ``params`` / ``parse``
+    Malformed request, unknown method, bad params, unparsable line.
+``internal``
+    The handler itself failed (a bug, not a job failure -- failed
+    *jobs* are successful responses carrying ``status: "error"``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Optional
+
+JSONRPC_VERSION = "2.0"
+
+#: Typed error kinds -> JSON-RPC error codes.  The standard codes for
+#: the standard conditions; implementation-defined server codes
+#: (-32000..-32099) for the service-level ones.
+ERROR_CODES: Dict[str, int] = {
+    "parse": -32700,
+    "invalid": -32600,
+    "method": -32601,
+    "params": -32602,
+    "busy": -32000,
+    "quota": -32001,
+    "shutting_down": -32002,
+    "internal": -32003,
+}
+
+
+class ProtocolError(ValueError):
+    """A request that never made it to a handler.
+
+    Carries the typed ``kind`` and the request ``id`` when one could
+    be recovered, so the transport can still answer addressably.
+    """
+
+    def __init__(
+        self, kind: str, message: str, req_id: object = None
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.req_id = req_id
+
+
+def parse_request(line: str) -> Dict[str, object]:
+    """Decode and validate one request line.
+
+    Raises :class:`ProtocolError` (kind ``parse``/``invalid``) on
+    anything a handler could not act on.  ``params`` defaults to an
+    empty dict; ``id`` may be any JSON scalar and is echoed verbatim.
+    """
+    try:
+        data = json.loads(line)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError("parse", f"unparsable request line: {error}")
+    if not isinstance(data, dict):
+        raise ProtocolError("invalid", "request must be a JSON object")
+    req_id = data.get("id")
+    if isinstance(req_id, (dict, list)):
+        raise ProtocolError("invalid", "id must be a JSON scalar")
+    method = data.get("method")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError(
+            "invalid", "request carries no method", req_id=req_id
+        )
+    params = data.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            "params", "params must be a JSON object", req_id=req_id
+        )
+    return {"id": req_id, "method": method, "params": params}
+
+
+def ok_response(req_id: object, result: object) -> Dict[str, object]:
+    return {"jsonrpc": JSONRPC_VERSION, "id": req_id, "result": result}
+
+
+def error_response(
+    req_id: object,
+    kind: str,
+    message: str,
+    data: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    payload: Dict[str, object] = {"kind": kind}
+    if data:
+        payload.update(data)
+    return {
+        "jsonrpc": JSONRPC_VERSION,
+        "id": req_id,
+        "error": {
+            "code": ERROR_CODES.get(kind, ERROR_CODES["internal"]),
+            "message": message,
+            "data": payload,
+        },
+    }
+
+
+def encode_line(message: Dict[str, object]) -> str:
+    """One response/request as a compact single line (with newline)."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n"
+
+
+def response_error_kind(response: Dict[str, object]) -> Optional[str]:
+    """The typed ``kind`` of an error response, or ``None`` on success."""
+    error = response.get("error")
+    if not isinstance(error, dict):
+        return None
+    data = error.get("data")
+    if isinstance(data, dict) and isinstance(data.get("kind"), str):
+        return data["kind"]  # type: ignore[return-value]
+    return "internal"
+
+
+#: Signature the transports use to deliver a response toward a client.
+Responder = Callable[[Dict[str, object]], None]

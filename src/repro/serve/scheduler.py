@@ -1,0 +1,368 @@
+"""Admission control and async dispatch for the serve daemon.
+
+Two halves, deliberately split:
+
+:class:`AdmissionController` is the *synchronous* policy layer.  It
+answers "may this job enter?" under a lock, instantly, on whatever
+transport thread the request arrived on: over the global backpressure
+watermark -> typed ``busy``; submitting tenant at its in-flight quota
+-> typed ``quota``; draining -> ``shutting_down``.  Overload therefore
+costs the caller one refused message, never unbounded buffering.
+
+:class:`Scheduler` is the *asynchronous* execution layer: a single
+thread that owns the :class:`~repro.driver.DriverSession`, moves
+admitted entries into it, pumps the pool, and fires each entry's
+completion callback as its result streams out.  Because the session is
+single-owner, all the driver-side machinery (structural cache,
+in-flight dedupe, quarantine, retries, pool respawn) needs no extra
+locking -- admission counters are the only shared state.
+
+The scheduler can also run *unthreaded* (``start(threaded=False)``):
+tests call :meth:`Scheduler.pump_once` to advance the world one
+deterministic step at a time, which is how quota/backpressure edges
+are pinned without sleeps or races.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, Optional
+
+from ..driver import DriverSession, FunctionJob, ServiceStats
+from ..driver.types import FunctionResult
+
+#: Default global watermark: admitted-but-unfinished jobs beyond this
+#: are refused with ``busy``.
+DEFAULT_MAX_QUEUE = 64
+
+#: Default per-tenant in-flight quota.
+DEFAULT_TENANT_QUOTA = 8
+
+
+@dataclass
+class _Entry:
+    """One admitted job riding from admission to completion."""
+
+    job: FunctionJob
+    tenant: str
+    on_complete: Callable[[FunctionResult, "_Entry"], None]
+    admitted_at: float = field(default_factory=perf_counter)
+    ticket: Optional[int] = None
+    completed: bool = False
+
+
+class AdmissionController:
+    """Quota and backpressure policy, decided synchronously.
+
+    ``max_queue`` bounds the total of admitted-but-unfinished jobs
+    across all tenants (the backpressure watermark); ``tenant_quota``
+    bounds each tenant's share.  :meth:`admit` returns ``None`` to
+    accept or a typed rejection kind; :meth:`release` returns a
+    finished job's slots.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        tenant_quota: int = DEFAULT_TENANT_QUOTA,
+    ) -> None:
+        self.max_queue = max(1, max_queue)
+        self.tenant_quota = max(1, tenant_quota)
+        self._lock = threading.Lock()
+        self._total = 0
+        self._by_tenant: Dict[str, int] = {}
+        self._draining = False
+
+    def admit(self, tenant: str) -> Optional[str]:
+        """``None`` = admitted (slots charged), else the rejection kind."""
+        with self._lock:
+            if self._draining:
+                return "shutting_down"
+            if self._total >= self.max_queue:
+                return "busy"
+            if self._by_tenant.get(tenant, 0) >= self.tenant_quota:
+                return "quota"
+            self._total += 1
+            self._by_tenant[tenant] = self._by_tenant.get(tenant, 0) + 1
+            return None
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            self._total = max(0, self._total - 1)
+            left = self._by_tenant.get(tenant, 0) - 1
+            if left > 0:
+                self._by_tenant[tenant] = left
+            else:
+                self._by_tenant.pop(tenant, None)
+
+    def start_draining(self) -> None:
+        """Refuse all future admissions with ``shutting_down``."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    @property
+    def outstanding(self) -> int:
+        """Admitted jobs not yet released."""
+        with self._lock:
+            return self._total
+
+
+class Scheduler:
+    """The daemon's event loop over one :class:`DriverSession`.
+
+    ``offer`` (any thread) admits or refuses instantly; admitted
+    entries queue for the scheduler thread, which submits them to the
+    session, pumps, and invokes each entry's ``on_complete(result,
+    entry)`` from the scheduler thread as results stream back.
+    Per-tenant and latency accounting lands on the shared
+    :class:`~repro.driver.ServiceStats` under the stats lock.
+    """
+
+    #: Idle poll interval: how long the loop sleeps on its wake event
+    #: when nothing is pending.
+    IDLE_WAIT = 0.05
+    #: Poll granularity while pool work is in flight.
+    BUSY_WAIT = 0.005
+
+    def __init__(
+        self,
+        session: DriverSession,
+        *,
+        admission: Optional[AdmissionController] = None,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        self.session = session
+        self.admission = admission or AdmissionController()
+        self.stats = stats or ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._inbox: deque = deque()
+        self._by_ticket: Dict[int, _Entry] = {}
+        #: The entry whose session.submit() is currently executing:
+        #: cache hits and quarantine refusals resolve *inside* submit,
+        #: before the ticket mapping exists -- the hook finds the
+        #: entry here instead of dropping the result.
+        self._submitting: Optional[_Entry] = None
+        self._wake = threading.Event()
+        self._stop_requested = False
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._started = perf_counter()
+        session.on_result = self._on_session_result
+
+    # -- admission side (any thread) ----------------------------------------
+
+    def offer(
+        self,
+        job: FunctionJob,
+        tenant: str,
+        on_complete: Callable[[FunctionResult, _Entry], None],
+    ) -> Optional[str]:
+        """Admit ``job`` for ``tenant`` or return the rejection kind.
+
+        On admission the entry is queued for the scheduler thread and
+        ``on_complete`` will eventually fire exactly once with the
+        job's result -- degraded results included; admission is the
+        last point a job can be *refused*.
+        """
+        if self._closed:
+            return "shutting_down"
+        rejection = self.admission.admit(tenant)
+        if rejection is not None:
+            with self._stats_lock:
+                if rejection == "busy":
+                    self.stats.rejected_busy += 1
+                    self.stats.tenant(tenant).rejected_busy += 1
+                elif rejection == "quota":
+                    self.stats.rejected_quota += 1
+                    self.stats.tenant(tenant).rejected_quota += 1
+            return rejection
+        entry = _Entry(job=job, tenant=tenant, on_complete=on_complete)
+        with self._stats_lock:
+            self.stats.accepted += 1
+            self.stats.tenant(tenant).accepted += 1
+        self._inbox.append(entry)
+        self._wake.set()
+        return None
+
+    # -- execution side (scheduler thread) ----------------------------------
+
+    def _on_session_result(self, ticket: int, result: FunctionResult) -> None:
+        """Session completion hook: account, release, call back."""
+        entry = self._by_ticket.pop(ticket, None)
+        if entry is None:
+            entry = self._submitting  # resolved synchronously in submit
+        if entry is None:  # pragma: no cover - tickets map 1:1 to entries
+            return
+        entry.completed = True
+        with self._stats_lock:
+            self.stats.completed += 1
+            tenant = self.stats.tenant(entry.tenant)
+            tenant.completed += 1
+            if result.failed:
+                self.stats.failed += 1
+                tenant.failed += 1
+            if result.dedupe_hit:
+                self.stats.dedupe_hits += 1
+                tenant.dedupe_hits += 1
+            if result.cache_hit:
+                self.stats.cache_hits += 1
+                tenant.cache_hits += 1
+            self.stats.record_latency(perf_counter() - entry.admitted_at)
+        self.admission.release(entry.tenant)
+        try:
+            entry.on_complete(result, entry)
+        except Exception:  # pragma: no cover - a broken responder must
+            pass  # not take the scheduler loop down with it
+
+    def _submit_entry(self, entry: _Entry) -> None:
+        """Move one admitted entry into the session (scheduler thread).
+
+        An entry that resolves inside ``submit`` (cache hit,
+        quarantine refusal) completes through the ``_submitting`` slot
+        and never enters the ticket map.
+        """
+        self._submitting = entry
+        try:
+            entry.ticket = self.session.submit(entry.job)
+        finally:
+            self._submitting = None
+        if not entry.completed:
+            self._by_ticket.setdefault(entry.ticket, entry)
+
+    def pump_once(self, wait: Optional[float] = 0.0) -> int:
+        """One deterministic scheduling step (also the thread's body).
+
+        Submits every inboxed entry to the session, then pumps/collects
+        it once.  ``wait`` is the collect timeout: 0 polls (the
+        threaded loop's mode), ``None`` blocks until at least one
+        result resolves or nothing is pending -- what an unthreaded
+        driver over a process pool needs to make guaranteed progress.
+        Completion callbacks fire from inside this call.  Returns the
+        number of results that completed.
+        """
+        submitted = 0
+        while self._inbox:
+            self._submit_entry(self._inbox.popleft())
+            submitted += 1
+        before = self.stats.completed
+        # collect() both pumps the pool and drains resolved tickets;
+        # results reach entries via the on_result hook.
+        self.session.collect(timeout=wait)
+        return self.stats.completed - before
+
+    def _run(self) -> None:
+        while True:
+            self.pump_once()
+            idle = not self._inbox and self.session.pending == 0
+            if self._stop_requested and idle:
+                return
+            if idle:
+                self._wake.wait(timeout=self.IDLE_WAIT)
+                self._wake.clear()
+            else:
+                # Pool work in flight: poll briskly.  (Serial sessions
+                # resolve everything inside pump_once, so reaching
+                # here means a real pool is computing.)
+                self._wake.wait(timeout=self.BUSY_WAIT)
+                self._wake.clear()
+
+    def start(self, threaded: bool = True) -> None:
+        """Begin scheduling; ``threaded=False`` leaves stepping to tests."""
+        if threaded and self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-serve-scheduler", daemon=True
+            )
+            self._thread.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, finish everything in flight.
+
+        Returns True when all admitted work completed within
+        ``timeout`` (None = wait indefinitely).  The daemon is still
+        alive afterwards -- ``stats``/``ping`` keep answering; only
+        ``optimize`` is refused.
+        """
+        self.admission.start_draining()
+        deadline_at = None if timeout is None else perf_counter() + timeout
+        if self._thread is None:
+            while self._inbox or self.session.pending:
+                if deadline_at is None:
+                    self.pump_once(wait=None)
+                    continue
+                remaining = deadline_at - perf_counter()
+                if remaining <= 0:
+                    break  # timeout=0 means "do not wait at all"
+                self.pump_once(wait=remaining)
+        else:
+            self._wake.set()
+            while self._inbox or self.session.pending:
+                if deadline_at is not None and perf_counter() > deadline_at:
+                    break
+                threading.Event().wait(0.005)
+        return self.admission.outstanding == 0
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Drain, stop the thread, and close the session (idempotent).
+
+        Undrained work degrades to structured error results via
+        :meth:`DriverSession.close` -- every admitted entry's callback
+        still fires, and no pool workers survive.
+        """
+        if self._closed:
+            return
+        self.drain(timeout=drain_timeout)
+        self._stop_requested = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._closed = True
+        # Degrade anything the drain timeout left behind: first any
+        # entries never submitted to the session, then the session's
+        # own outstanding tickets.
+        while self._inbox:
+            self._submit_entry(self._inbox.popleft())
+        self.session.close(drain=False)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def idle(self) -> bool:
+        """No admitted work anywhere: inbox and session both empty."""
+        return not self._inbox and self.session.pending == 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """The live stats payload (gauges stamped now)."""
+        with self._stats_lock:
+            self.stats.queue_depth = len(self._inbox)
+            self.stats.inflight = self.admission.outstanding
+            self.stats.wall_seconds = perf_counter() - self._started
+            snap = self.stats.snapshot()
+        driver = self.session.stats
+        snap["driver"] = {
+            "jobs": driver.jobs,
+            "executed": driver.executed,
+            "cache_hits": driver.cache_hits,
+            "dedupe_hits": driver.dedupe_hits,
+            "crashed": driver.crashed,
+            "timed_out": driver.timed_out,
+            "retried": driver.retried,
+            "quarantined": driver.quarantined,
+            "pool_respawns": driver.pool_respawns,
+            "guard_failures": driver.guard_failures,
+            "latency_p50": driver.latency_p50,
+            "latency_p99": driver.latency_p99,
+        }
+        return snap

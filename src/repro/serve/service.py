@@ -1,0 +1,318 @@
+"""The transport-independent handler core of ``repro serve``.
+
+:class:`OptimizeService` owns the scheduler + driver session and maps
+decoded protocol requests to actions.  Both transports -- the stdio
+line loop and the localhost HTTP server -- feed it the same way::
+
+    service.handle(request_dict, respond)
+
+where ``respond`` is called exactly once per request with the response
+message: synchronously for control methods and refusals, later (from
+the scheduler thread, when the job completes) for admitted ``optimize``
+requests.  That single asynchronous seam is what makes the daemon
+*streaming*: a slow job never blocks the next request's admission or
+another job's response.
+
+Methods:
+
+``optimize``
+    params: exactly one of ``ir`` / ``c`` (source text), optional
+    ``name`` (function to measure), ``tenant`` (accounting identity,
+    default ``"anon"``), ``emit_ir`` (include optimized IR in the
+    response), ``metadata`` (string map, echoed back).
+``stats``    -> the live :class:`~repro.driver.ServiceStats` snapshot.
+``ping``     -> liveness probe.
+``drain``    -> stop admitting, wait for in-flight work, stay alive.
+``shutdown`` -> drain, tear the pool down, and tell the transport to
+                exit its loop (the response is sent *after* the drain
+                completes, so a client that saw it knows every prior
+                response was flushed).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..bench.objsize import reduction_percent
+from ..driver import DriverSession, FunctionJob
+from ..driver.types import FunctionResult
+from ..rolag import RolagConfig
+from .protocol import (
+    ProtocolError,
+    Responder,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .scheduler import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_TENANT_QUOTA,
+    AdmissionController,
+    Scheduler,
+)
+
+#: Refuse single submissions beyond this many bytes of source text.
+MAX_SOURCE_BYTES = 1 << 20
+
+
+@dataclass
+class ServeConfig:
+    """Everything a daemon boot needs, in one picklable bag."""
+
+    workers: int = 1
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    check_semantics: bool = False
+    evaluator: str = "interp"
+    validate: str = "off"
+    guard_dir: Optional[str] = None
+    deadline: Optional[float] = None
+    retries: int = 1
+    retry_backoff: float = 0.0
+    quarantine_file: Optional[str] = None
+    fault_plan: Optional[str] = None
+    dedupe: bool = True
+    max_queue: int = DEFAULT_MAX_QUEUE
+    tenant_quota: int = DEFAULT_TENANT_QUOTA
+
+    def rolag_config(self) -> RolagConfig:
+        return RolagConfig(
+            validate=self.validate,
+            guard_dir=self.guard_dir,
+        )
+
+
+def result_payload(
+    result: FunctionResult, emit_ir: bool = False
+) -> Dict[str, object]:
+    """The JSON body an ``optimize`` response carries.
+
+    Failed jobs are *successful responses* with ``status: "error"`` --
+    the request was handled; the job degraded.  Protocol-level errors
+    (busy/quota/malformed) are JSON-RPC errors instead.
+    """
+    payload: Dict[str, object] = {
+        "name": result.name,
+        "status": "error" if result.failed else "ok",
+        "size_before": result.size_before,
+        "size_after": result.rolag_size,
+        "llvm_size": result.llvm_size,
+        "reduction_percent": round(
+            reduction_percent(result.size_before, result.rolag_size), 2
+        ),
+        "rolled": result.rolag_rolled,
+        "cache_hit": result.cache_hit,
+        "dedupe_hit": result.dedupe_hit,
+        "attempts": result.attempts,
+        "guard_rollbacks": len(result.guard_reports),
+        "metadata": dict(result.metadata),
+    }
+    if result.semantics_checked:
+        payload["semantics_ok"] = result.semantics_ok
+    if result.failed:
+        payload["error"] = result.error
+        payload["error_kind"] = result.error_kind
+    if emit_ir:
+        payload["optimized_ir"] = result.optimized_ir
+    return payload
+
+
+class OptimizeService:
+    """The daemon: one scheduler, one driver session, many transports.
+
+    Thread-safe at the :meth:`handle` boundary; see the module
+    docstring for the method vocabulary.  :meth:`stop` is idempotent
+    and always leaves zero pool workers behind.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        session = DriverSession(
+            self.config.rolag_config(),
+            workers=self.config.workers,
+            cache_dir=self.config.cache_dir,
+            use_cache=self.config.use_cache,
+            check_semantics=self.config.check_semantics,
+            evaluator=self.config.evaluator,
+            deadline=self.config.deadline,
+            retries=self.config.retries,
+            retry_backoff=self.config.retry_backoff,
+            quarantine_file=self.config.quarantine_file,
+            fault_plan=self.config.fault_plan,
+            dedupe=self.config.dedupe,
+        )
+        self.scheduler = Scheduler(
+            session,
+            admission=AdmissionController(
+                max_queue=self.config.max_queue,
+                tenant_quota=self.config.tenant_quota,
+            ),
+        )
+        self._lifecycle_lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, threaded: bool = True) -> "OptimizeService":
+        """Boot the scheduler; with ``threaded=False`` tests drive
+        :meth:`pump_once` themselves."""
+        self.scheduler.start(threaded=threaded)
+        return self
+
+    def pump_once(self, wait: Optional[float] = 0.0) -> int:
+        """Advance an unthreaded service one deterministic step.
+
+        ``wait=None`` blocks until at least one in-flight result
+        resolves (or nothing is pending) -- required for guaranteed
+        progress when the session runs a process pool.
+        """
+        return self.scheduler.pump_once(wait=wait)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        return self.scheduler.drain(timeout=timeout)
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        with self._lifecycle_lock:
+            self.scheduler.stop(drain_timeout=drain_timeout)
+
+    @property
+    def alive(self) -> bool:
+        return not self.scheduler.closed
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        return self.scheduler.snapshot()
+
+    # -- request handling ---------------------------------------------------
+
+    def handle(self, request: Dict[str, object], respond: Responder) -> bool:
+        """Dispatch one decoded request; returns False on ``shutdown``.
+
+        ``respond`` fires exactly once per request -- immediately for
+        everything except an admitted ``optimize``, whose response is
+        delivered from the scheduler thread on completion.
+        """
+        req_id = request.get("id")
+        method = request.get("method")
+        params = request.get("params") or {}
+        try:
+            if method == "ping":
+                respond(ok_response(req_id, {"pong": True}))
+            elif method == "stats":
+                respond(ok_response(req_id, self.stats_snapshot()))
+            elif method == "optimize":
+                self._handle_optimize(req_id, params, respond)
+            elif method == "drain":
+                drained = self.drain(timeout=params.get("timeout"))
+                respond(ok_response(req_id, {"drained": drained}))
+            elif method == "shutdown":
+                self.stop(drain_timeout=params.get("timeout"))
+                respond(ok_response(req_id, {"stopped": True}))
+                return False
+            else:
+                respond(
+                    error_response(
+                        req_id, "method", f"unknown method {method!r}"
+                    )
+                )
+        except Exception as error:  # a handler bug must not kill the loop
+            respond(
+                error_response(
+                    req_id, "internal",
+                    f"{type(error).__name__}: {error}",
+                )
+            )
+        return True
+
+    def handle_line(self, line: str, write_line) -> bool:
+        """Transport convenience: decode, dispatch, encode.
+
+        ``write_line`` receives fully framed response lines (it must
+        be safe to call from the scheduler thread).  Blank lines are
+        ignored.  Returns False when the connection loop should exit.
+        """
+        if not line.strip():
+            return True
+        try:
+            request = parse_request(line)
+        except ProtocolError as error:
+            write_line(
+                encode_line(
+                    error_response(error.req_id, error.kind, str(error))
+                )
+            )
+            return True
+        return self.handle(
+            request, lambda message: write_line(encode_line(message))
+        )
+
+    # -- optimize -----------------------------------------------------------
+
+    def _handle_optimize(
+        self, req_id: object, params: Dict[str, object], respond: Responder
+    ) -> None:
+        try:
+            job, tenant, emit_ir = self._job_from_params(params)
+        except ProtocolError as error:
+            with self.scheduler._stats_lock:
+                self.scheduler.stats.rejected_invalid += 1
+            respond(error_response(req_id, error.kind, str(error)))
+            return
+
+        def on_complete(result: FunctionResult, entry) -> None:
+            respond(ok_response(req_id, result_payload(result, emit_ir)))
+
+        rejection = self.scheduler.offer(job, tenant, on_complete)
+        if rejection is not None:
+            messages = {
+                "busy": "service at its backpressure watermark; "
+                "resubmit later",
+                "quota": f"tenant {tenant!r} is at its in-flight quota",
+                "shutting_down": "service is draining; no new work "
+                "admitted",
+            }
+            respond(
+                error_response(
+                    req_id, rejection, messages[rejection],
+                    data={"tenant": tenant},
+                )
+            )
+
+    @staticmethod
+    def _job_from_params(params: Dict[str, object]):
+        ir = params.get("ir")
+        c_source = params.get("c")
+        if (ir is None) == (c_source is None):
+            raise ProtocolError(
+                "params", "exactly one of 'ir'/'c' must carry source text"
+            )
+        text = ir if ir is not None else c_source
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError("params", "source text must be a string")
+        if len(text.encode("utf-8", "replace")) > MAX_SOURCE_BYTES:
+            raise ProtocolError(
+                "params",
+                f"source exceeds {MAX_SOURCE_BYTES} bytes",
+            )
+        name = params.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError("params", "name must be a string")
+        tenant = params.get("tenant", "anon")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError("params", "tenant must be a non-empty string")
+        metadata = params.get("metadata") or {}
+        if not isinstance(metadata, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in metadata.items()
+        ):
+            raise ProtocolError("params", "metadata must map strings to "
+                                "strings")
+        emit_ir = bool(params.get("emit_ir", False))
+        job = FunctionJob(
+            name=name,
+            ir_text=text if ir is not None else None,
+            c_source=text if c_source is not None else None,
+            metadata=tuple(sorted(metadata.items())),
+        )
+        return job, tenant, emit_ir

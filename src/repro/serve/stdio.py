@@ -1,0 +1,60 @@
+"""The stdio transport: the daemon behind a subprocess pipe.
+
+``repro serve`` reads request lines from stdin and writes response
+lines to stdout until EOF or a ``shutdown`` request.  stdout carries
+*only* protocol frames -- anything human (boot banner, shutdown note)
+goes to stderr so a line-oriented client never chokes on chatter.
+
+Responses can originate on two threads (the transport thread for
+control/refusals, the scheduler thread for completed jobs), so every
+write takes the write lock and flushes before releasing it --
+interleaved frames would corrupt the stream for all in-flight
+requests at once.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import IO, Optional
+
+from .service import OptimizeService
+
+
+def serve_stdio(
+    service: OptimizeService,
+    rfile: Optional[IO[str]] = None,
+    wfile: Optional[IO[str]] = None,
+    log: Optional[IO[str]] = None,
+) -> int:
+    """Run ``service`` over a line pipe until EOF or ``shutdown``.
+
+    EOF is treated as an orderly goodbye: the service drains (in-flight
+    responses are written, though the client may no longer be reading)
+    and stops, so a dying client never strands pool workers.  Returns a
+    process exit code.
+    """
+    rfile = sys.stdin if rfile is None else rfile
+    wfile = sys.stdout if wfile is None else wfile
+    log = sys.stderr if log is None else log
+    write_lock = threading.Lock()
+
+    def write_line(text: str) -> None:
+        with write_lock:
+            try:
+                wfile.write(text)
+                wfile.flush()
+            except (BrokenPipeError, ValueError, OSError):
+                pass  # client hung up; keep draining quietly
+
+    try:
+        print("repro serve: ready (stdio)", file=log, flush=True)
+    except (ValueError, OSError):  # pragma: no cover - stderr closed
+        pass
+    try:
+        for line in rfile:
+            if not service.handle_line(line, write_line):
+                break
+    finally:
+        service.stop()
+    return 0

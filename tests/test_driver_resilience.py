@@ -481,3 +481,133 @@ class TestPoolResilience:
         assert 1 <= len(failed) <= 2
         assert all(r.error_kind == "crash" for r in failed)
         assert report.stats.crashed == len(failed)
+
+
+class TestLatencyStats:
+    """The service-stats plumbing the serve daemon reports from."""
+
+    def test_percentile_nearest_rank(self):
+        from repro.driver import percentile
+
+        samples = [0.1, 0.2, 0.3, 0.4, 0.5]
+        assert percentile(samples, 0.50) == 0.3
+        assert percentile(samples, 0.99) == 0.5
+        assert percentile([], 0.99) == 0.0
+        assert percentile([7.0], 0.50) == 7.0
+
+    def test_record_latency_rejects_garbage(self):
+        from repro.driver import DriverStats
+
+        stats = DriverStats()
+        stats.record_latency(0.25)
+        stats.record_latency(-1.0)       # negative: dropped
+        stats.record_latency(float("nan"))
+        stats.record_latency("bogus")
+        assert stats.latency_seconds == [0.25]
+
+    def test_serial_run_populates_latency(self):
+        report = optimize_functions(_jobs(3), workers=1)
+        assert len(report.stats.latency_seconds) == 3
+        assert report.stats.latency_p50 > 0.0
+        assert report.stats.latency_p99 >= report.stats.latency_p50
+
+
+class TestDriverSessionResilience:
+    """The incremental front end the serve daemon runs on."""
+
+    def test_close_degrades_unpumped_work(self):
+        from repro.driver import DriverSession
+
+        session = DriverSession(workers=1, use_cache=False)
+        jobs = _jobs(2)
+        tickets = [session.submit(job) for job in jobs]
+        session.close(drain=False)
+        resolved = dict(session.collect(timeout=0.0))
+        assert sorted(resolved) == sorted(tickets)
+        for job, ticket in zip(jobs, tickets):
+            result = resolved[ticket]
+            assert result.failed and result.error_kind == "pool"
+            assert result.optimized_ir == job.text
+        with pytest.raises(RuntimeError):
+            session.submit(jobs[0])
+
+    def test_session_restores_ambient_fault_plan(self):
+        from repro.driver import DriverSession
+        from repro.faultinject import get_active_plan
+
+        assert get_active_plan() is None
+        session = DriverSession(
+            workers=1, use_cache=False,
+            fault_plan="driver.worker.start:raise@1",
+        )
+        assert get_active_plan() is not None
+        session.close()
+        assert get_active_plan() is None
+
+    def test_injected_crash_degrades_one_ticket(self):
+        from repro.driver import DriverSession
+
+        jobs = _jobs(3)
+        with DriverSession(
+            workers=1, use_cache=False, retries=0,
+            fault_plan="driver.worker.start:raise@2x1",
+        ) as session:
+            tickets = [session.submit(job) for job in jobs]
+            resolved = dict(session.drain())
+        failed = [t for t in tickets if resolved[t].failed]
+        assert len(failed) == 1
+        assert resolved[failed[0]].error_kind == "crash"
+
+
+@pytest.mark.parallel
+class TestPoolCollectExceptionSafety:
+    def test_exception_mid_collect_degrades_not_crashes(self, monkeypatch):
+        # A bug (or signal) inside the collect loop must tear the pool
+        # down, requeue the in-flight work, and degrade it through the
+        # serial fallback -- never leak workers or lose the batch.
+        # ``wait`` is imported at call time, so the stdlib attribute
+        # is the seam.
+        import concurrent.futures as cf
+
+        real_wait = cf.wait
+        calls = {"n": 0}
+
+        def exploding_wait(fs, timeout=None, return_when=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected collect failure")
+            return real_wait(fs, timeout=timeout, return_when=return_when)
+
+        monkeypatch.setattr(cf, "wait", exploding_wait)
+        jobs = _jobs(4)
+        report = optimize_functions(
+            jobs, workers=2, retries=0, serial_fallback=True,
+            use_cache=False,
+        )
+        assert len(report.results) == 4
+        # The serial fallback recomputed everything the broken collect
+        # loop abandoned: the batch still succeeds end to end.
+        assert not any(r.failed for r in report.results)
+
+    def test_exception_mid_collect_without_fallback_is_structured(
+        self, monkeypatch
+    ):
+        import concurrent.futures as cf
+
+        def always_exploding_wait(fs, timeout=None, return_when=None):
+            raise RuntimeError("injected collect failure")
+
+        monkeypatch.setattr(cf, "wait", always_exploding_wait)
+        jobs = _jobs(3)
+        report = optimize_functions(
+            jobs, workers=2, retries=0, serial_fallback=False,
+            use_cache=False, max_pool_respawns=1,
+        )
+        assert len(report.results) == 3
+        assert all(r.failed for r in report.results)
+        assert all(r.error_kind == "pool" for r in report.results)
+        # The pool error's cause is surfaced, not swallowed.
+        assert any(
+            "injected collect failure" in (r.error or "")
+            for r in report.results
+        )
