@@ -345,10 +345,11 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--validate",
         choices=("off", "fast", "safe", "strict"),
-        default="off",
+        default=None,
         help="run the storm with the online validation gate at this "
         "level; the campaign then asserts no round emits "
-        "semantics-changing IR (default: off)",
+        "semantics-changing IR (default: off for the batch storm, "
+        "safe under --serve; an explicit value is always honored)",
     )
     parser.add_argument(
         "--ir-faults",
@@ -379,7 +380,7 @@ def run_chaos_command(argv: List[str]) -> int:
             job_count=args.jobs,
             workers=args.workers,
             deadline=args.deadline,
-            validate=args.validate if args.validate != "off" else "safe",
+            validate=args.validate if args.validate is not None else "safe",
             ir_faults=True,
             base_dir=args.base_dir,
         )
@@ -392,7 +393,7 @@ def run_chaos_command(argv: List[str]) -> int:
         workers=args.workers,
         deadline=args.deadline,
         base_dir=args.base_dir,
-        validate=args.validate,
+        validate=args.validate if args.validate is not None else "off",
         ir_faults=args.ir_faults,
     )
     print(report.summary())

@@ -461,6 +461,22 @@ def _default_chunk_size(pending: int, workers: int) -> int:
     return max(1, -(-pending // (workers * 4)))
 
 
+def _terminate_pool_workers(executor) -> None:
+    """SIGTERM every live worker of ``executor``; never raises.
+
+    The hang-containment contract depends on this actually reaching
+    the processes: a worker stuck in native code ignores
+    ``shutdown(cancel_futures=True)`` and, being non-daemonic, would
+    otherwise block interpreter exit.
+    """
+    procs = getattr(executor, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
 def _attempt_serially(
     job: FunctionJob,
     qkey_fn: Callable[[], str],
@@ -601,12 +617,7 @@ def _run_pool(
         if executor is None:
             return
         if kill:
-            for proc in list(getattr(executor, "_processes", None) or {}
-                             .values()):
-                try:
-                    proc.terminate()
-                except Exception:
-                    pass
+            _terminate_pool_workers(executor)
         try:
             executor.shutdown(wait=not kill, cancel_futures=True)
         except Exception:
@@ -1281,13 +1292,7 @@ class DriverSession:
         self._executor = None
         if executor is None:
             return
-        for proc in list(
-            (getattr(executor, "_processes", None) or {}).values()
-        ):
-            try:
-                proc.terminate()
-            except Exception:
-                pass
+        _terminate_pool_workers(executor)
         try:
             executor.shutdown(wait=False, cancel_futures=True)
         except Exception:

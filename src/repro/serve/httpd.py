@@ -67,7 +67,16 @@ def _make_handler(service: OptimizeService, server_box: Dict[str, object]):
             if self.path != "/rpc":
                 self._send_json(404, {"error": "unknown route"})
                 return
-            length = int(self.headers.get("Content-Length") or 0)
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._send_json(
+                    400,
+                    error_response(
+                        None, "invalid", "malformed Content-Length header"
+                    ),
+                )
+                return
             if length > MAX_BODY_BYTES:
                 self._send_json(
                     413, error_response(None, "params", "body too large")

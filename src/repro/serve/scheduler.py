@@ -143,6 +143,12 @@ class Scheduler:
         self.admission = admission or AdmissionController()
         self.stats = stats or ServiceStats()
         self._stats_lock = threading.Lock()
+        #: Makes the admit+enqueue step in :meth:`offer` atomic with
+        #: :meth:`stop`'s closed flag: an entry is either enqueued
+        #: before the final inbox sweep (its callback fires, possibly
+        #: degraded) or refused with ``shutting_down`` -- never
+        #: admitted into a dead inbox.
+        self._offer_lock = threading.Lock()
         self._inbox: deque = deque()
         self._by_ticket: Dict[int, _Entry] = {}
         #: The entry whose session.submit() is currently executing:
@@ -172,9 +178,15 @@ class Scheduler:
         job's result -- degraded results included; admission is the
         last point a job can be *refused*.
         """
-        if self._closed:
-            return "shutting_down"
-        rejection = self.admission.admit(tenant)
+        with self._offer_lock:
+            if self._closed:
+                return "shutting_down"
+            rejection = self.admission.admit(tenant)
+            if rejection is None:
+                entry = _Entry(
+                    job=job, tenant=tenant, on_complete=on_complete
+                )
+                self._inbox.append(entry)
         if rejection is not None:
             with self._stats_lock:
                 if rejection == "busy":
@@ -184,13 +196,16 @@ class Scheduler:
                     self.stats.rejected_quota += 1
                     self.stats.tenant(tenant).rejected_quota += 1
             return rejection
-        entry = _Entry(job=job, tenant=tenant, on_complete=on_complete)
         with self._stats_lock:
             self.stats.accepted += 1
             self.stats.tenant(tenant).accepted += 1
-        self._inbox.append(entry)
         self._wake.set()
         return None
+
+    def record_invalid(self) -> None:
+        """Count a request refused before admission (bad params)."""
+        with self._stats_lock:
+            self.stats.rejected_invalid += 1
 
     # -- execution side (scheduler thread) ----------------------------------
 
@@ -326,10 +341,13 @@ class Scheduler:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
-        self._closed = True
+        with self._offer_lock:
+            self._closed = True
         # Degrade anything the drain timeout left behind: first any
         # entries never submitted to the session, then the session's
-        # own outstanding tickets.
+        # own outstanding tickets.  The offer lock above guarantees
+        # this sweep sees every admitted entry -- late offers either
+        # landed in the inbox before _closed was set or were refused.
         while self._inbox:
             self._submit_entry(self._inbox.popleft())
         self.session.close(drain=False)

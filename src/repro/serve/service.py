@@ -255,8 +255,7 @@ class OptimizeService:
         try:
             job, tenant, emit_ir = self._job_from_params(params)
         except ProtocolError as error:
-            with self.scheduler._stats_lock:
-                self.scheduler.stats.rejected_invalid += 1
+            self.scheduler.record_invalid()
             respond(error_response(req_id, error.kind, str(error)))
             return
 

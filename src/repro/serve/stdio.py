@@ -10,6 +10,13 @@ control/refusals, the scheduler thread for completed jobs), so every
 write takes the write lock and flushes before releasing it --
 interleaved frames would corrupt the stream for all in-flight
 requests at once.
+
+When the daemon runs on the real ``sys.stdin``/``sys.stdout``, both
+are detached from the ``sys`` module for the duration: pool workers
+forked by the scheduler thread close ``sys.stdin`` (and flush
+``sys.stdout``) during bootstrap, and inheriting those streams' locks
+mid-``readline`` from the transport thread deadlocks the worker
+before it ever takes work.
 """
 
 from __future__ import annotations
@@ -34,8 +41,26 @@ def serve_stdio(
     and stops, so a dying client never strands pool workers.  Returns a
     process exit code.
     """
-    rfile = sys.stdin if rfile is None else rfile
-    wfile = sys.stdout if wfile is None else wfile
+    detached_stdin = None
+    detached_stdout = None
+    if rfile is None:
+        # Forked pool workers close ``sys.stdin`` during bootstrap.
+        # With the transport thread parked inside this very reader's
+        # buffered readline -- holding its lock -- a worker forked
+        # from the scheduler thread inherits the held lock and
+        # deadlocks before ever taking work.  Detach the module-level
+        # reference (the close becomes a no-op) and keep reading
+        # through the local handle.
+        rfile = sys.stdin
+        detached_stdin = sys.stdin
+        sys.stdin = None
+    if wfile is None:
+        # Stray prints to ``sys.stdout`` would corrupt the frame
+        # stream; route them to stderr.  This also keeps forked
+        # workers' exit-time flush off the protocol stream's lock.
+        wfile = sys.stdout
+        detached_stdout = sys.stdout
+        sys.stdout = sys.stderr
     log = sys.stderr if log is None else log
     write_lock = threading.Lock()
 
@@ -57,4 +82,8 @@ def serve_stdio(
                 break
     finally:
         service.stop()
+        if detached_stdin is not None:
+            sys.stdin = detached_stdin
+        if detached_stdout is not None:
+            sys.stdout = detached_stdout
     return 0

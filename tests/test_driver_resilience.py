@@ -611,3 +611,51 @@ class TestPoolCollectExceptionSafety:
             "injected collect failure" in (r.error or "")
             for r in report.results
         )
+
+
+class TestTerminatePoolWorkers:
+    """Regression: pool teardown must SIGTERM worker *processes*.
+
+    A precedence bug once made the kill loop iterate the executor's
+    ``_processes`` dict KEYS (pids) instead of its values, so
+    ``proc.terminate()`` raised AttributeError into a bare except and
+    hung workers were never terminated.
+    """
+
+    class _FakeProc:
+        def __init__(self):
+            self.terminated = False
+
+        def terminate(self):
+            self.terminated = True
+
+    def test_terminates_every_live_worker(self):
+        from repro.driver.core import _terminate_pool_workers
+
+        procs = {101: self._FakeProc(), 202: self._FakeProc()}
+
+        class FakeExecutor:
+            _processes = procs
+
+        _terminate_pool_workers(FakeExecutor())
+        assert all(p.terminated for p in procs.values())
+
+    def test_tolerates_missing_processes_attr(self):
+        from repro.driver.core import _terminate_pool_workers
+
+        _terminate_pool_workers(object())  # no _processes: no-op
+
+    def test_tolerates_terminate_raising(self):
+        from repro.driver.core import _terminate_pool_workers
+
+        class AngryProc:
+            def terminate(self):
+                raise OSError("already gone")
+
+        ok = self._FakeProc()
+
+        class FakeExecutor:
+            _processes = {1: AngryProc(), 2: ok}
+
+        _terminate_pool_workers(FakeExecutor())
+        assert ok.terminated

@@ -453,3 +453,113 @@ class TestPoolServe:
         session = service.scheduler.session
         assert session._executor is None, "pool outlived the daemon"
         assert not service.alive
+
+
+class TestHttpTransport:
+    """The localhost HTTP mode: same handler core, plus header edges."""
+
+    @staticmethod
+    def _boot():
+        from repro.serve.httpd import serve_http
+
+        service = OptimizeService(
+            ServeConfig(workers=1, use_cache=False)
+        ).start()
+        started = threading.Event()
+        address_box = {}
+        thread = threading.Thread(
+            target=serve_http,
+            args=(service, 0, started, address_box),
+            daemon=True,
+        )
+        thread.start()
+        assert started.wait(timeout=10.0)
+        host, port = address_box["address"]
+        return service, thread, host, port
+
+    def test_rpc_roundtrip_and_malformed_content_length(self):
+        import http.client
+
+        service, thread, host, port = self._boot()
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                # Liveness probe.
+                conn.request("GET", "/healthz")
+                reply = conn.getresponse()
+                assert reply.status == 200
+                assert json.loads(reply.read())["ok"] is True
+
+                # One optimize round-trip through POST /rpc.
+                body = encode_line(
+                    {
+                        "id": 1,
+                        "method": "optimize",
+                        "params": {"ir": IR, "name": "f"},
+                    }
+                )
+                conn.request(
+                    "POST", "/rpc", body=body.encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                )
+                reply = conn.getresponse()
+                assert reply.status == 200
+                payload = json.loads(reply.read())
+                assert payload["result"]["status"] == "ok"
+
+                # A malformed Content-Length must come back as a typed
+                # 400, not an aborted connection.
+                conn.putrequest("POST", "/rpc")
+                conn.putheader("Content-Length", "banana")
+                conn.endheaders()
+                reply = conn.getresponse()
+                assert reply.status == 400
+                assert response_error_kind(json.loads(reply.read())) == (
+                    "invalid"
+                )
+            finally:
+                conn.close()
+
+            # A shutdown request stops the HTTP server loop too.
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                body = encode_line({"id": 2, "method": "shutdown"})
+                conn.request("POST", "/rpc", body=body.encode("utf-8"))
+                assert conn.getresponse().status == 200
+            finally:
+                conn.close()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        finally:
+            service.stop()
+        assert not service.alive
+
+
+@pytest.mark.parallel
+class TestSubprocessPoolDaemon:
+    """Regression: a pool-backed daemon over the real stdio pipe.
+
+    Pool workers are forked from the scheduler thread while the
+    transport thread sits inside ``sys.stdin``'s buffered readline;
+    before ``serve_stdio`` detached ``sys.stdin``, the forked child
+    inherited the held reader lock and deadlocked in multiprocessing's
+    ``_close_stdin`` bootstrap -- two distinct concurrent jobs hung
+    the client forever.
+    """
+
+    def test_two_distinct_jobs_complete_over_pipe(self):
+        ir_other = IR.replace("@f", "@h").replace(
+            "add i32 %n, 1", "add i32 %n, 7"
+        )
+        client = ServeClient.spawn("--workers", "2", "--no-cache")
+        watchdog = threading.Timer(60.0, client._process.kill)
+        watchdog.start()
+        try:
+            first = client.submit_optimize(IR, name="f", tenant="a")
+            second = client.submit_optimize(ir_other, name="h", tenant="b")
+            assert client.wait(first)["result"]["status"] == "ok"
+            assert client.wait(second)["result"]["status"] == "ok"
+        finally:
+            watchdog.cancel()
+            exit_code = client.close()
+        assert exit_code == 0
