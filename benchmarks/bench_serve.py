@@ -10,7 +10,11 @@ through the wire protocol -- and pins the service-grade bars:
   :data:`~repro.bench.servebench.MIN_SUCCESS_RATE` with the ``safe``
   validation gate on and **zero** wrong outputs,
 * every cross-tenant structural duplicate coalesces onto one
-  computation (in-flight dedupe / shared structural cache).
+  computation (in-flight dedupe / shared structural cache),
+* the kill storm (a real supervised daemon SIGKILLed mid-flight)
+  recovers every admitted job with zero duplicate executions, and
+  journaling stays within its throughput-overhead bar (overhead is
+  informational under ``--quick``: single noisy runs).
 
 The machine-readable payload is emitted separately by
 ``benchmarks/emit_bench_json.py --suite serve`` (writes
@@ -21,6 +25,7 @@ under ``results/``.
 from conftest import save_and_print
 
 from repro.bench.servebench import (
+    MAX_JOURNAL_OVERHEAD_PERCENT,
     MIN_SUCCESS_RATE,
     render_serve_bench,
     run_serve_suite,
@@ -32,7 +37,7 @@ def test_serve_chaos_service_bars(results_dir, bench_quick):
     text = render_serve_bench(results)
     save_and_print(results_dir, "serve.txt", text)
 
-    for label in ("clean", "storm"):
+    for label in ("clean", "journaled", "storm"):
         run = results[label]
         assert run["ok"], f"{label}: violations: {run['violations']}"
         assert run["completed"] == run["accepted"]
@@ -50,3 +55,23 @@ def test_serve_chaos_service_bars(results_dir, bench_quick):
     clean = results["clean"]
     assert clean["failed"] == 0
     assert clean["guard_failures"] == 0
+
+    recovery = results["recovery"]
+    assert recovery["ok"], f"recovery: violations: {recovery['violations']}"
+    assert recovery["answered"] == recovery["jobs"]
+    assert recovery["kills"] >= 2
+    assert recovery["duplicate_executions"] == 0
+    assert recovery["wrong_outputs"] == 0
+    assert recovery["supervisor_exit"] == 0
+
+    # Journal overhead: gated on full runs; a single quick pass is too
+    # noisy to fail the build over.
+    if not bench_quick:
+        assert (
+            results["journal_overhead_percent"]
+            <= MAX_JOURNAL_OVERHEAD_PERCENT
+        ), (
+            f"journal overhead "
+            f"{results['journal_overhead_percent']:.1f}% above "
+            f"{MAX_JOURNAL_OVERHEAD_PERCENT:.1f}% bar"
+        )

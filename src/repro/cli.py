@@ -42,6 +42,7 @@ files to a freshly spawned daemon and prints the familiar batch table
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -366,14 +367,44 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         "cross-tenant dedupe, per-job degradation, and (with "
         "--validate) zero wrong outputs are all asserted",
     )
+    parser.add_argument(
+        "--kill-daemon",
+        action="store_true",
+        help="(with --serve) storm a real supervised, journalled "
+        "daemon subprocess and SIGKILL it mid-storm: asserts every "
+        "admitted job still completes with an oracle-verified output "
+        "and no idempotency-keyed resubmission executes twice",
+    )
+    parser.add_argument(
+        "--kills",
+        type=int,
+        default=2,
+        help="(with --kill-daemon) SIGKILLs to deliver (default 2)",
+    )
     return parser
 
 
 def run_chaos_command(argv: List[str]) -> int:
     """``repro chaos ...``: exit 1 when a resilience invariant breaks."""
-    from .faultinject.chaos import run_chaos, run_serve_chaos
+    from .faultinject.chaos import (
+        run_chaos,
+        run_serve_chaos,
+        run_serve_kill_chaos,
+    )
 
     args = build_chaos_parser().parse_args(argv)
+    if args.serve and args.kill_daemon:
+        report = run_serve_kill_chaos(
+            seed=args.seed,
+            job_count=args.jobs,
+            workers=args.workers,
+            deadline=args.deadline,
+            validate=args.validate if args.validate is not None else "safe",
+            base_dir=args.base_dir,
+            kills=args.kills,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
     if args.serve:
         report = run_serve_chaos(
             seed=args.seed,
@@ -500,7 +531,84 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="serve HTTP on 127.0.0.1:PORT instead of stdio "
         "(0 picks a free port, printed to stderr)",
     )
+    parser.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        help="write-ahead job journal under DIR: every admitted job is "
+        "journalled before its admission is acked and replayed at the "
+        "next boot if the daemon dies before answering it",
+    )
+    parser.add_argument(
+        "--journal-sync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help="journal fsync policy: 'always' fsyncs per admission "
+        "(power-failure durable), 'batch' fsyncs periodically "
+        "(process-death durable), 'off' only flushes (default batch)",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run under a supervisor that restarts the daemon on "
+        "abnormal exit (exponential backoff, crash-loop circuit "
+        "breaker); pair with --journal-dir so restarts replay "
+        "unfinished work",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="supervisor circuit breaker: give up after this many "
+        "crashes within --restart-window seconds (default 5)",
+    )
+    parser.add_argument(
+        "--restart-window",
+        type=float,
+        default=60.0,
+        help="crash-counting window in seconds for the circuit "
+        "breaker (default 60)",
+    )
+    parser.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.25,
+        help="base seconds between supervisor restarts, doubling per "
+        "recent crash (default 0.25)",
+    )
+    parser.add_argument(
+        "--pid-file",
+        metavar="FILE",
+        help="publish the live daemon generation's pid (JSON) to FILE "
+        "-- under --supervise this tracks each restarted generation",
+    )
     return parser
+
+
+#: ``repro serve`` tokens consumed by the supervisor parent and
+#: stripped from the child daemon's argv (flag, takes-a-value).
+_SUPERVISOR_ONLY_FLAGS = {
+    "--supervise": False,
+    "--max-restarts": True,
+    "--restart-window": True,
+    "--restart-backoff": True,
+    "--pid-file": True,
+}
+
+
+def _child_serve_args(argv: List[str]) -> List[str]:
+    """The serve argv minus supervisor-only tokens."""
+    child: List[str] = []
+    skip = False
+    for token in argv:
+        if skip:
+            skip = False
+            continue
+        flag, _, inline = token.partition("=")
+        if flag in _SUPERVISOR_ONLY_FLAGS:
+            skip = _SUPERVISOR_ONLY_FLAGS[flag] and not inline
+            continue
+        child.append(token)
+    return child
 
 
 def _serve_config_from_args(args: argparse.Namespace):
@@ -522,6 +630,8 @@ def _serve_config_from_args(args: argparse.Namespace):
         fault_plan=args.fault_plan,
         max_queue=args.max_queue,
         tenant_quota=args.tenant_quota,
+        journal_dir=args.journal_dir,
+        journal_sync=args.journal_sync,
     )
 
 
@@ -530,6 +640,20 @@ def run_serve_command(argv: List[str]) -> int:
     from .serve import OptimizeService, serve_stdio
 
     args = build_serve_parser().parse_args(argv)
+    if args.supervise:
+        from .serve.supervisor import run_supervised
+
+        return run_supervised(
+            _child_serve_args(argv),
+            max_restarts=args.max_restarts,
+            restart_window=args.restart_window,
+            restart_backoff=args.restart_backoff,
+            pid_file=args.pid_file,
+        )
+    if args.pid_file:
+        from .serve.supervisor import write_pid_file
+
+        write_pid_file(args.pid_file, os.getpid(), 1)
     service = OptimizeService(_serve_config_from_args(args)).start()
     if args.http is not None:
         import threading

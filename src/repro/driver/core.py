@@ -419,6 +419,35 @@ def _follower_result(
 
 _WORKER_STATE: dict = {}
 
+#: Exit code of a pool worker that noticed its parent process died.
+ORPHANED_WORKER_EXIT_CODE = 87
+
+#: Seconds between parent-liveness checks in each pool worker.
+_PARENT_WATCH_INTERVAL = 1.0
+
+
+def _watch_parent(parent_pid: int) -> None:
+    """Exit the worker once its parent is gone (ppid changed).
+
+    Forked siblings hold each other's call-queue pipe ends open, so a
+    SIGKILLed parent (e.g. a serve daemon generation under the
+    kill-chaos storm) would otherwise leave its workers blocked on
+    ``get()`` forever -- orphans that also pin any inherited stdio
+    pipes open.  Runs as a daemon thread started by the initializer.
+    """
+    import threading  # local: workers only
+
+    def watch() -> None:
+        while True:
+            sleep(_PARENT_WATCH_INTERVAL)
+            if os.getppid() != parent_pid:
+                os._exit(ORPHANED_WORKER_EXIT_CODE)
+
+    thread = threading.Thread(
+        target=watch, name="parent-watch", daemon=True
+    )
+    thread.start()
+
 
 def _init_worker(
     config: RolagConfig,
@@ -429,6 +458,9 @@ def _init_worker(
     deadline: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
 ) -> None:
+    if "parent_watch" not in _WORKER_STATE:
+        _WORKER_STATE["parent_watch"] = True
+        _watch_parent(os.getppid())
     _WORKER_STATE["config"] = config
     _WORKER_STATE["measure_model"] = measure_model
     _WORKER_STATE["timed"] = timed
@@ -1048,6 +1080,7 @@ class DriverSession:
         retry_backoff: float = 0.05,
         quarantine_file: Optional[str] = None,
         quarantine_after: int = 2,
+        quarantine_fsync: bool = False,
         fault_plan: Union[None, str, FaultPlan] = None,
         serial_fallback: bool = True,
         max_pool_respawns: int = 2,
@@ -1073,7 +1106,8 @@ class DriverSession:
             ResultCache(cache_dir) if (cache_dir and use_cache) else None
         )
         self._quarantine = QuarantineList(
-            quarantine_file, threshold=quarantine_after
+            quarantine_file, threshold=quarantine_after,
+            fsync=quarantine_fsync,
         )
         self._plan = resolve_plan(
             fault_plan if fault_plan is not None else self.config.fault_plan
@@ -1091,6 +1125,11 @@ class DriverSession:
         #: resolves (from submit for cache hits / serial runs, from
         #: pump for pool completions).  The serve scheduler hooks this.
         self.on_result: Optional[Callable[[int, FunctionResult], None]] = None
+        #: Called as ``on_respawn(count)`` each time the worker pool is
+        #: torn down and rebuilt after a death or hang -- the session
+        #: restart hook a supervising service uses to log and count
+        #: partial restarts without polling the stats.
+        self.on_respawn: Optional[Callable[[int], None]] = None
 
         self._next_ticket = 0
         self._jobs: Dict[int, FunctionJob] = {}
@@ -1156,6 +1195,16 @@ class DriverSession:
         self._ready.append((ticket, result))
         if self.on_result is not None:
             self.on_result(ticket, result)
+
+    def _fire_respawn(self) -> None:
+        """Invoke the on_respawn hook; a raising hook never stops pump."""
+        hook = self.on_respawn
+        if hook is None:
+            return
+        try:
+            hook(self._respawns)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     def _settle(self, ticket: int, result: FunctionResult) -> None:
         """A leader computed (or degraded): cache, finish, fan out."""
@@ -1440,6 +1489,7 @@ class DriverSession:
         if broken:
             self._respawns += 1
             self.stats.pool_respawns += 1
+            self._fire_respawn()
             for future, info in list(self._inflight.items()):
                 self._queue.append(info["ticket"])
             self._inflight.clear()
@@ -1459,6 +1509,7 @@ class DriverSession:
             if hung:
                 self._respawns += 1
                 self.stats.pool_respawns += 1
+                self._fire_respawn()
                 for future in hung:
                     info = self._inflight.pop(future)
                     self._pool_failure(

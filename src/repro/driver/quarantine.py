@@ -66,9 +66,18 @@ def quarantine_key(job: FunctionJob, summary: object = None) -> str:
 class QuarantineList:
     """Failure counts per function, optionally persisted to ``path``."""
 
-    def __init__(self, path: Optional[str], threshold: int = 2) -> None:
+    def __init__(
+        self,
+        path: Optional[str],
+        threshold: int = 2,
+        fsync: bool = False,
+    ) -> None:
         self.path = path
         self.threshold = max(1, threshold)
+        #: fsync the replacement file (and, best-effort, its
+        #: directory) on save -- the durability bar serve daemons with
+        #: ``--journal-sync always`` ask for.
+        self.fsync = fsync
         self.entries: Dict[str, Dict[str, object]] = {}
         #: The backing file existed but did not parse.
         self.corrupt_file = False
@@ -150,7 +159,19 @@ class QuarantineList:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=1, sort_keys=True)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp, self.path)
+            if self.fsync:
+                try:
+                    dir_fd = os.open(directory, os.O_RDONLY)
+                    try:
+                        os.fsync(dir_fd)
+                    finally:
+                        os.close(dir_fd)
+                except OSError:  # pragma: no cover - fs-dependent
+                    pass
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)

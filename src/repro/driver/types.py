@@ -301,6 +301,9 @@ class ServiceStats:
     #: computed earlier in this daemon's lifetime via the shared cache.
     dedupe_hits: int = 0
     cache_hits: int = 0
+    #: Requests answered (or coalesced) because their client-supplied
+    #: idempotency key matched an in-flight or memoized execution.
+    idempotent_hits: int = 0
     #: Admission-to-response latency per completed job, in seconds.
     latency_seconds: List[float] = field(default_factory=list)
     #: Wall seconds the service has been accepting work (set by the
@@ -352,6 +355,7 @@ class ServiceStats:
             "rejected_invalid": self.rejected_invalid,
             "dedupe_hits": self.dedupe_hits,
             "cache_hits": self.cache_hits,
+            "idempotent_hits": self.idempotent_hits,
             "queue_depth": self.queue_depth,
             "inflight": self.inflight,
             "wall_seconds": self.wall_seconds,

@@ -480,6 +480,8 @@ def run_serve_chaos(
     tenant_quota: int = 4,
     duplicate_every: int = 7,
     tenants: Sequence[str] = ("alice", "bob", "carol"),
+    journal_dir: Optional[str] = None,
+    journal_sync: str = "batch",
 ) -> ServeChaosReport:
     """Storm a live in-process daemon; see :class:`ServeChaosReport`.
 
@@ -531,6 +533,8 @@ def run_serve_chaos(
                 fault_plan=spec or None,
                 max_queue=max_queue,
                 tenant_quota=tenant_quota,
+                journal_dir=journal_dir,
+                journal_sync=journal_sync,
             )
         )
         service.start(threaded=False)
@@ -683,5 +687,453 @@ def run_serve_chaos(
         storm(base_dir)
     else:
         with tempfile.TemporaryDirectory(prefix="rolag-serve-chaos-") as root:
+            storm(root)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Kill chaos against a real supervised daemon
+# (``repro chaos --serve --kill-daemon``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServeKillChaosReport:
+    """Outcome of one SIGKILL storm against a supervised daemon.
+
+    The durability contract, end to end: a **real** ``repro serve
+    --supervise`` subprocess (write-ahead journal, ``--journal-sync
+    always``) is stormed over its pipes and SIGKILLed mid-flight --
+    the hard kill an OOM killer or ``kill -9`` delivers, no exit
+    handlers, no flushes.  The supervisor must restart it (fresh
+    generation in the pid file), the new generation must replay the
+    journal, and after resubmitting every unanswered request under
+    its original idempotency key:
+
+    * every submitted job is eventually answered (``status: ok``) and
+      its output verifies against the evidence oracle;
+    * no idempotency key executes twice -- at most one response per
+      key reports a fresh execution, the rest are cache / dedupe /
+      idempotent hits or journal replays;
+    * the supervisor survives every kill and still exits 0 on
+      ``shutdown``.
+    """
+
+    seed: int
+    jobs: int
+    kills_requested: int
+    kills_delivered: int = 0
+    submitted: int = 0
+    resubmissions: int = 0
+    answered: int = 0
+    failed: int = 0
+    replayed_responses: int = 0
+    idempotent_responses: int = 0
+    fresh_executions: int = 0
+    duplicate_executions: int = 0
+    wrong_outputs: int = 0
+    garbage_lines: int = 0
+    generations: int = 1
+    #: Seconds from each SIGKILL to the next generation's pid-file.
+    recovery_seconds: List[float] = field(default_factory=list)
+    supervisor_exit: Optional[int] = None
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        recoveries = ", ".join(f"{r:.2f}s" for r in self.recovery_seconds)
+        lines = [
+            f"serve kill chaos: seed {self.seed}, {self.jobs} job(s), "
+            f"{self.kills_delivered}/{self.kills_requested} SIGKILL(s)",
+            f"  submitted {self.submitted} (+{self.resubmissions} "
+            f"resubmissions), answered {self.answered}, failed "
+            f"{self.failed}",
+            f"  fresh executions {self.fresh_executions}, duplicates "
+            f"{self.duplicate_executions}, replayed "
+            f"{self.replayed_responses}, idempotent "
+            f"{self.idempotent_responses}, wrong outputs "
+            f"{self.wrong_outputs}",
+            f"  generations {self.generations}, recovery [{recoveries}], "
+            f"supervisor exit {self.supervisor_exit}",
+        ]
+        for violation in self.violations:
+            lines.append(f"    VIOLATION: {violation}")
+        lines.append(
+            "  OK: all invariants held" if self.ok
+            else "  FAILED: durability invariants violated"
+        )
+        return "\n".join(lines)
+
+
+def run_serve_kill_chaos(
+    seed: int = 0,
+    job_count: int = 24,
+    workers: int = 1,
+    deadline: float = 5.0,
+    retries: int = 1,
+    validate: str = "safe",
+    base_dir: Optional[str] = None,
+    kills: int = 2,
+    overall_timeout: Optional[float] = None,
+) -> ServeKillChaosReport:
+    """SIGKILL a live supervised daemon mid-storm; see the report class.
+
+    Unlike :func:`run_serve_chaos` this storms a *subprocess* (the only
+    honest way to test SIGKILL): ``repro serve --supervise`` with the
+    journal on ``always`` sync, driven over its stdio pipes.  Kills
+    land at roughly 1/3 and 2/3 of the submission stream (further
+    kills spread evenly); after each one the storm waits for the
+    supervisor to publish the next generation's pid, then resubmits
+    every still-unanswered request under its original idempotency key.
+    """
+    import json as json_mod
+    import queue as queue_mod
+    import signal
+    import subprocess
+    import sys as sys_mod
+    import tempfile
+    import threading
+    import time
+    import zlib
+
+    from ..bench import angha
+    from ..frontend.lower import compile_c
+    from ..ir import parse_module, print_module
+    from ..rolag.config import RolagConfig
+    from ..serve.supervisor import read_pid_file
+    from ..validation import VALIDATION_LEVELS, evidence_check
+
+    if validate not in VALIDATION_LEVELS:
+        raise ValueError(f"unknown validation level {validate!r}")
+    kills = max(0, kills)
+    report = ServeKillChaosReport(
+        seed=seed, jobs=job_count, kills_requested=kills
+    )
+    if overall_timeout is None:
+        overall_timeout = max(120.0, job_count * deadline)
+
+    sources = angha.generate_sources(count=job_count, seed=seed)
+    corpus = [
+        (cs.name, print_module(compile_c(cs.source, cs.name)))
+        for cs in sources
+    ]
+    rolag_config = RolagConfig(validate=validate)
+
+    def storm(root: str) -> None:
+        pid_file = os.path.join(root, "daemon.pid")
+        capacity = str(2 * job_count + 8)
+        argv = [
+            sys_mod.executable, "-m", "repro", "serve",
+            "--supervise",
+            "--journal-dir", os.path.join(root, "journal"),
+            "--journal-sync", "always",
+            "--cache-dir", os.path.join(root, "cache"),
+            "--quarantine-file", os.path.join(root, "quarantine.json"),
+            "--pid-file", pid_file,
+            "--max-queue", capacity,
+            "--tenant-quota", capacity,
+            "--validate", validate,
+            "--workers", str(workers),
+            "--deadline", str(deadline),
+            "--retries", str(retries),
+            "--restart-backoff", "0.05",
+            "--restart-window", "600",
+            "--max-restarts", str(kills + 3),
+        ]
+        proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        assert proc.stdin is not None and proc.stdout is not None
+        lines: "queue_mod.Queue[Optional[str]]" = queue_mod.Queue()
+
+        def pump_stdout() -> None:
+            for line in proc.stdout:
+                lines.put(line)
+            lines.put(None)
+
+        reader = threading.Thread(target=pump_stdout, daemon=True)
+        reader.start()
+        started_at = time.monotonic()
+
+        def budget_left() -> float:
+            return overall_timeout - (time.monotonic() - started_at)
+
+        def send(req_id: str, method: str, params: dict) -> None:
+            frame = {
+                "jsonrpc": "2.0", "id": req_id,
+                "method": method, "params": params,
+            }
+            proc.stdin.write(
+                json_mod.dumps(frame, separators=(",", ":")) + "\n"
+            )
+            proc.stdin.flush()
+
+        # key -> (name, ir_text); answers land in results[key].
+        by_key: Dict[str, Tuple[str, str]] = {}
+        results: Dict[str, Dict[str, object]] = {}
+        fresh_count: Dict[str, int] = {}
+        attempts: Dict[str, int] = {}
+        control: Dict[str, Dict[str, object]] = {}
+        eof = False
+
+        def submit(key: str) -> None:
+            name, text = by_key[key]
+            attempt = attempts.get(key, 0)
+            attempts[key] = attempt + 1
+            send(
+                f"{key}:{attempt}", "optimize",
+                {
+                    "ir": text,
+                    "name": name,
+                    "tenant": "chaos",
+                    "emit_ir": True,
+                    "idempotency_key": key,
+                },
+            )
+            if attempt:
+                report.resubmissions += 1
+            else:
+                report.submitted += 1
+
+        def absorb(message: Dict[str, object]) -> None:
+            req_id = message.get("id")
+            if not isinstance(req_id, str):
+                report.garbage_lines += 1
+                return
+            key = req_id.split(":", 1)[0]
+            if key in control or key in ("stats", "shutdown", "ping"):
+                control[key] = message
+                return
+            if key not in by_key:
+                report.garbage_lines += 1
+                return
+            if message.get("error") is not None:
+                error = message["error"]
+                detail = (
+                    error.get("message") if isinstance(error, dict) else error
+                )
+                report.violations.append(
+                    f"{key}: protocol error {detail!r}"
+                )
+                return
+            result = message.get("result")
+            if not isinstance(result, dict):
+                report.garbage_lines += 1
+                return
+            if result.get("replayed"):
+                report.replayed_responses += 1
+            if result.get("idempotent_hit"):
+                report.idempotent_responses += 1
+            if not (
+                result.get("cache_hit")
+                or result.get("dedupe_hit")
+                or result.get("idempotent_hit")
+            ):
+                fresh_count[key] = fresh_count.get(key, 0) + 1
+                report.fresh_executions += 1
+            if key not in results:
+                results[key] = result
+                report.answered += 1
+
+        def drain_lines(timeout: float) -> int:
+            """Absorb buffered responses; returns how many arrived.
+
+            Blocks up to ``timeout`` for the first line, then sweeps
+            whatever else is already buffered without waiting.
+            """
+            nonlocal eof
+            absorbed = 0
+            while True:
+                try:
+                    line = lines.get(
+                        timeout=max(0.0, timeout) if absorbed == 0 else 0.0
+                    )
+                except queue_mod.Empty:
+                    return absorbed
+                if line is None:
+                    eof = True
+                    return absorbed
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    message = json_mod.loads(text)
+                except ValueError:
+                    # A generation died mid-write: the torn frame is
+                    # tolerated, its job recovers via journal replay
+                    # or resubmission.
+                    report.garbage_lines += 1
+                    continue
+                absorb(message)
+                absorbed += 1
+
+        def kill_daemon() -> bool:
+            """SIGKILL the live generation; wait for its successor."""
+            info = None
+            waited_at = time.monotonic()
+            while info is None and time.monotonic() - waited_at < 30.0:
+                info = read_pid_file(pid_file)
+                if info is None:
+                    time.sleep(0.02)
+            if info is None:
+                report.violations.append("pid file never appeared")
+                return False
+            generation = int(info.get("generation", 0))
+            try:
+                os.kill(int(info["pid"]), signal.SIGKILL)
+            except (OSError, ValueError) as error:
+                report.violations.append(f"could not kill daemon: {error}")
+                return False
+            killed_at = time.monotonic()
+            report.kills_delivered += 1
+            while time.monotonic() - killed_at < 60.0:
+                info = read_pid_file(pid_file)
+                if info is not None and int(
+                    info.get("generation", 0)
+                ) > generation:
+                    recovery = time.monotonic() - killed_at
+                    report.recovery_seconds.append(recovery)
+                    report.generations = int(info["generation"])
+                    return True
+                time.sleep(0.02)
+            report.violations.append(
+                f"no new generation within 60s of SIGKILL "
+                f"(generation {generation})"
+            )
+            return False
+
+        # -- the storm ------------------------------------------------------
+        kill_points = {
+            max(1, (index + 1) * job_count // (kills + 1))
+            for index in range(kills)
+        }
+        for index, (name, text) in enumerate(corpus):
+            key = f"k{index}"
+            by_key[key] = (name, text)
+            submit(key)
+            if index + 1 in kill_points:
+                # Let the live generation boot and answer something
+                # first: killing a daemon that never read its stdin
+                # only exercises resubmission, not journal replay.
+                before_kill = len(results)
+                settle_at = time.monotonic()
+                while (
+                    len(results) == before_kill
+                    and time.monotonic() - settle_at < 5.0
+                ):
+                    drain_lines(0.2)
+                if kill_daemon():
+                    # Everything unanswered might have died in the old
+                    # generation's stdin buffer: resubmit it all under
+                    # the same keys -- the journal/idempotency layers
+                    # make the overlap coalesce instead of re-execute.
+                    drain_lines(0.0)
+                    for pending_key in by_key:
+                        if pending_key not in results:
+                            submit(pending_key)
+
+        # -- drain ----------------------------------------------------------
+        stall_retries = 3
+        while len(results) < len(by_key) and not eof and budget_left() > 0:
+            before = len(results)
+            drain_lines(min(10.0, max(0.1, budget_left())))
+            if len(results) == before and stall_retries > 0:
+                stall_retries -= 1
+                for pending_key in by_key:
+                    if pending_key not in results:
+                        submit(pending_key)
+        for key in by_key:
+            if key not in results:
+                report.violations.append(f"{key}: never answered")
+
+        # -- verify ---------------------------------------------------------
+        for key, result in sorted(results.items()):
+            name, text = by_key[key]
+            if fresh_count.get(key, 0) > 1:
+                report.duplicate_executions += fresh_count[key] - 1
+                report.violations.append(
+                    f"{key}: executed {fresh_count[key]} times despite "
+                    "its idempotency key"
+                )
+            if result.get("status") != "ok":
+                report.failed += 1
+                report.violations.append(
+                    f"{key} ({name}): failed with "
+                    f"{result.get('error_kind')!r}: {result.get('error')}"
+                )
+                continue
+            optimized = result.get("optimized_ir")
+            if not isinstance(optimized, str) or not optimized.strip():
+                report.violations.append(
+                    f"{key} ({name}): ok result carries no IR"
+                )
+                continue
+            vector_seed = zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+            try:
+                ok, details = evidence_check(
+                    parse_module(text),
+                    parse_module(optimized),
+                    seed=vector_seed,
+                    vectors=rolag_config.validate_vectors,
+                    step_limit=rolag_config.validate_step_limit,
+                    evaluator=rolag_config.validate_evaluator,
+                )
+            except Exception as error:
+                report.violations.append(
+                    f"{key} ({name}): oracle error: "
+                    f"{type(error).__name__}: {error}"
+                )
+                continue
+            if not ok:
+                report.wrong_outputs += 1
+                detail = details[0] if details else "mismatch"
+                report.violations.append(
+                    f"{key} ({name}): recovered output is semantics-"
+                    f"changing: {detail}"
+                )
+
+        # -- shutdown -------------------------------------------------------
+        try:
+            send("shutdown:0", "shutdown", {})
+        except (BrokenPipeError, OSError, ValueError):
+            report.violations.append("could not send shutdown")
+        shutdown_at = time.monotonic()
+        while (
+            "shutdown" not in control
+            and not eof
+            and time.monotonic() - shutdown_at < 60.0
+        ):
+            drain_lines(1.0)
+        try:
+            proc.stdin.close()
+        except OSError:
+            pass
+        try:
+            report.supervisor_exit = proc.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10.0)
+            report.violations.append("supervisor did not exit; killed")
+        if report.supervisor_exit is not None and report.supervisor_exit != 0:
+            report.violations.append(
+                f"supervisor exited {report.supervisor_exit}, expected 0"
+            )
+        if report.kills_delivered < kills:
+            report.violations.append(
+                f"only {report.kills_delivered}/{kills} kill(s) delivered"
+            )
+        reader.join(timeout=5.0)
+
+    if base_dir is not None:
+        os.makedirs(base_dir, exist_ok=True)
+        storm(base_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="rolag-kill-chaos-") as root:
             storm(root)
     return report

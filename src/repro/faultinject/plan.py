@@ -20,6 +20,11 @@ the hit number) whether to act:
     parent watchdog must kill (use sparingly; tests prefer ``hang``).
 ``abort``
     ``os._exit`` -- simulates a hard worker death (segfault, OOM kill).
+``kill``
+    SIGKILL the current process -- simulates an external hard kill
+    (OOM killer, operator ``kill -9``) at an exact site, no exit
+    handlers, no flushes.  The crash-recovery tests aim this at the
+    serve daemon's admission/result sites.
 ``corrupt``
     deterministically mangle the bytes passing through the site --
     simulates on-disk corruption.
@@ -78,7 +83,7 @@ FOREVER = 1e9
 #: process for more than a minute even without a watchdog.
 SLEEP_CAP_SECONDS = 60.0
 
-ACTIONS = ("raise", "hang", "sleep", "abort", "corrupt", "corrupt-ir")
+ACTIONS = ("raise", "hang", "sleep", "abort", "kill", "corrupt", "corrupt-ir")
 
 #: Binary opcodes where swapping the operands changes the result (for
 #: ``corrupt-ir`` when the function offers no integer constant to bump).
@@ -293,6 +298,10 @@ class FaultPlan:
             )
         if spec.action == "abort":
             os._exit(ABORT_EXIT_CODE)
+        if spec.action == "kill":
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
         if spec.action == "sleep":
             time.sleep(min(spec.seconds, SLEEP_CAP_SECONDS))
             return

@@ -19,18 +19,24 @@ don't pipeline.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
-from typing import IO, Dict, List, Optional
+from typing import IO, Dict, List, Optional, Sequence
 
 from .protocol import encode_line, response_error_kind
+
+#: Respawn attempts a reconnecting client makes before giving up.
+MAX_RECONNECT_ATTEMPTS = 3
 
 
 class ServeError(RuntimeError):
     """The daemon answered with a JSON-RPC error.
 
     ``kind`` is the typed vocabulary clients branch on (``busy``,
-    ``quota``, ``shutting_down``, ...).
+    ``quota``, ``shutting_down``, ...).  ``disconnected`` is
+    client-synthesized: the daemon died (EOF / broken pipe) before
+    answering -- no response is coming on this connection.
     """
 
     def __init__(self, kind: str, message: str) -> None:
@@ -43,6 +49,14 @@ class ServeClient:
 
     Not thread-safe: one client per thread (the daemon handles any
     number of concurrent clients; each brings its own pipe).
+
+    Daemon death surfaces as a typed ``ServeError(kind="disconnected")``
+    instead of a hang or a bare EOF.  With ``reconnect=True`` (spawned
+    clients only) the client instead respawns the daemon and resends
+    every unanswered request under its original id; pair it with a
+    ``--journal-dir`` daemon so the resends land as idempotent
+    duplicates -- the client stamps every optimize with an
+    auto-generated ``idempotency_key`` for exactly that reason.
     """
 
     def __init__(
@@ -50,35 +64,59 @@ class ServeClient:
         reader: IO[str],
         writer: IO[str],
         process: Optional[subprocess.Popen] = None,
+        *,
+        reconnect: bool = False,
+        spawn_args: Optional[Sequence[str]] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._process = process
         self._next_id = 0
         self._pending: Dict[object, Dict[str, object]] = {}
+        self._reconnect = reconnect
+        self._spawn_args = tuple(spawn_args or ())
+        #: Frames sent but not yet answered, by id -- what a reconnect
+        #: resends.
+        self._unacked: Dict[object, Dict[str, object]] = {}
+        self._reconnects = 0
+        self._dead = False
 
     # -- construction --------------------------------------------------------
 
     @classmethod
-    def spawn(cls, *serve_args: str) -> "ServeClient":
+    def spawn(cls, *serve_args: str, reconnect: bool = False) -> "ServeClient":
         """Launch ``python -m repro serve <args>`` and connect to it.
 
         stderr is inherited so daemon diagnostics surface in the
-        caller's terminal; stdout stays pure protocol.
+        caller's terminal; stdout stays pure protocol.  With
+        ``reconnect=True`` a dead daemon is respawned (same args) and
+        unanswered requests are resent instead of raising
+        ``disconnected``.
         """
-        process = subprocess.Popen(
+        process = cls._spawn_process(serve_args)
+        assert process.stdin is not None and process.stdout is not None
+        return cls(
+            process.stdout, process.stdin, process=process,
+            reconnect=reconnect, spawn_args=serve_args,
+        )
+
+    @staticmethod
+    def _spawn_process(serve_args: Sequence[str]) -> subprocess.Popen:
+        return subprocess.Popen(
             [sys.executable, "-m", "repro", "serve", *serve_args],
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             text=True,
         )
-        assert process.stdin is not None and process.stdout is not None
-        return cls(process.stdout, process.stdin, process=process)
 
     # -- raw protocol --------------------------------------------------------
 
     def request(self, method: str, params: Optional[dict] = None) -> int:
         """Send one request, return its id (wait for it with :meth:`wait`)."""
+        if self._dead:
+            raise ServeError(
+                "disconnected", "connection to the daemon is gone"
+            )
         self._next_id += 1
         req_id = self._next_id
         frame = {
@@ -87,30 +125,90 @@ class ServeClient:
             "method": method,
             "params": params or {},
         }
-        self._writer.write(encode_line(frame))
-        self._writer.flush()
+        self._unacked[req_id] = frame
+        try:
+            self._writer.write(encode_line(frame))
+            self._writer.flush()
+        except (BrokenPipeError, ValueError, OSError):
+            self._handle_disconnect()
         return req_id
 
     def wait(self, req_id: int) -> Dict[str, object]:
         """Block until the response for ``req_id`` arrives.
 
         Responses to *other* ids read along the way are buffered, so
-        interleaved completion order never loses a frame.
+        interleaved completion order never loses a frame.  EOF before
+        the response raises ``ServeError(kind="disconnected")`` -- or,
+        in reconnect mode, respawns the daemon and keeps waiting.
         """
         if req_id in self._pending:
+            self._unacked.pop(req_id, None)
             return self._pending.pop(req_id)
+        if self._dead:
+            raise ServeError(
+                "disconnected", "connection to the daemon is gone"
+            )
         while True:
-            line = self._reader.readline()
+            try:
+                line = self._reader.readline()
+            except (ValueError, OSError):
+                line = ""
             if not line:
-                raise ServeError(
-                    "internal", "connection closed before response"
-                )
+                self._handle_disconnect()
+                continue  # reconnected: a fresh reader is in place
             if not line.strip():
                 continue
             response = json.loads(line)
+            self._unacked.pop(response.get("id"), None)
             if response.get("id") == req_id:
                 return response
             self._pending[response.get("id")] = response
+
+    def _handle_disconnect(self) -> None:
+        """The pipe died mid-conversation: reconnect or fail typed.
+
+        Without ``reconnect`` the client goes dead: this call (and
+        every later request/wait) raises ``disconnected`` immediately
+        rather than hanging on a pipe no daemon will ever answer.
+        """
+        if not (self._reconnect and self._process is not None):
+            self._dead = True
+            raise ServeError(
+                "disconnected",
+                "daemon connection lost before the response arrived",
+            )
+        last_error = "daemon died"
+        while self._reconnects < MAX_RECONNECT_ATTEMPTS:
+            self._reconnects += 1
+            try:
+                self._process.kill()
+                self._process.wait(timeout=10)
+            except (OSError, subprocess.TimeoutExpired):
+                pass
+            try:
+                process = self._spawn_process(self._spawn_args)
+                assert process.stdin is not None
+                assert process.stdout is not None
+                self._process = process
+                self._reader = process.stdout
+                self._writer = process.stdin
+                # Resend everything unanswered under its original id;
+                # idempotency keys make the duplicates coalesce
+                # server-side instead of re-executing.
+                for rid in sorted(
+                    self._unacked, key=lambda value: str(value)
+                ):
+                    self._writer.write(encode_line(self._unacked[rid]))
+                self._writer.flush()
+                return
+            except (OSError, ValueError) as error:
+                last_error = f"{type(error).__name__}: {error}"
+        self._dead = True
+        raise ServeError(
+            "disconnected",
+            f"gave up after {MAX_RECONNECT_ATTEMPTS} reconnect "
+            f"attempts ({last_error})",
+        )
 
     def call(self, method: str, params: Optional[dict] = None) -> object:
         """Request, wait, unwrap -- raising :class:`ServeError` on errors."""
@@ -141,8 +239,14 @@ class ServeClient:
         tenant: str = "anon",
         emit_ir: bool = False,
         metadata: Optional[Dict[str, str]] = None,
+        idempotency_key: Optional[str] = None,
     ) -> int:
-        """Fire an optimize request without waiting (pipelining)."""
+        """Fire an optimize request without waiting (pipelining).
+
+        In reconnect mode every optimize is stamped with an
+        auto-generated ``idempotency_key`` (unless the caller supplies
+        one) so post-reconnect resends execute at most once.
+        """
         params: Dict[str, object] = {fmt: text, "tenant": tenant}
         if name is not None:
             params["name"] = name
@@ -150,6 +254,10 @@ class ServeClient:
             params["emit_ir"] = True
         if metadata:
             params["metadata"] = metadata
+        if idempotency_key is None and self._reconnect:
+            idempotency_key = os.urandom(16).hex()
+        if idempotency_key is not None:
+            params["idempotency_key"] = idempotency_key
         return self.request("optimize", params)
 
     def optimize(self, text: str, **kwargs: object) -> Dict[str, object]:

@@ -138,6 +138,11 @@ def serve_http(
         address_box["address"] = server.server_address
     if started is not None:
         started.set()
+    # Crash recovery: HTTP has no pipe to a still-waiting client, so
+    # replayed responses are discarded -- the jobs still re-execute
+    # (warming the cache and settling their idempotency keys) and
+    # their journal records are marked done.
+    service.replay_journal(None)
     try:
         server.serve_forever(poll_interval=0.05)
     finally:

@@ -76,15 +76,22 @@ class AdmissionController:
         self._by_tenant: Dict[str, int] = {}
         self._draining = False
 
-    def admit(self, tenant: str) -> Optional[str]:
-        """``None`` = admitted (slots charged), else the rejection kind."""
+    def admit(self, tenant: str, force: bool = False) -> Optional[str]:
+        """``None`` = admitted (slots charged), else the rejection kind.
+
+        ``force`` bypasses the busy/quota checks (slots are still
+        charged) -- journal replay uses it so already-journalled jobs
+        re-enter even when they overflow the live watermarks.  A
+        draining daemon refuses forced offers too.
+        """
         with self._lock:
             if self._draining:
                 return "shutting_down"
-            if self._total >= self.max_queue:
-                return "busy"
-            if self._by_tenant.get(tenant, 0) >= self.tenant_quota:
-                return "quota"
+            if not force:
+                if self._total >= self.max_queue:
+                    return "busy"
+                if self._by_tenant.get(tenant, 0) >= self.tenant_quota:
+                    return "quota"
             self._total += 1
             self._by_tenant[tenant] = self._by_tenant.get(tenant, 0) + 1
             return None
@@ -170,18 +177,20 @@ class Scheduler:
         job: FunctionJob,
         tenant: str,
         on_complete: Callable[[FunctionResult, _Entry], None],
+        force: bool = False,
     ) -> Optional[str]:
         """Admit ``job`` for ``tenant`` or return the rejection kind.
 
         On admission the entry is queued for the scheduler thread and
         ``on_complete`` will eventually fire exactly once with the
         job's result -- degraded results included; admission is the
-        last point a job can be *refused*.
+        last point a job can be *refused*.  ``force`` (journal replay)
+        bypasses busy/quota but never a draining or closed daemon.
         """
         with self._offer_lock:
             if self._closed:
                 return "shutting_down"
-            rejection = self.admission.admit(tenant)
+            rejection = self.admission.admit(tenant, force=force)
             if rejection is None:
                 entry = _Entry(
                     job=job, tenant=tenant, on_complete=on_complete
@@ -206,6 +215,11 @@ class Scheduler:
         """Count a request refused before admission (bad params)."""
         with self._stats_lock:
             self.stats.rejected_invalid += 1
+
+    def record_idempotent_hit(self) -> None:
+        """Count a request answered from its idempotency key."""
+        with self._stats_lock:
+            self.stats.idempotent_hits += 1
 
     # -- execution side (scheduler thread) ----------------------------------
 

@@ -19,7 +19,10 @@ Methods:
     params: exactly one of ``ir`` / ``c`` (source text), optional
     ``name`` (function to measure), ``tenant`` (accounting identity,
     default ``"anon"``), ``emit_ir`` (include optimized IR in the
-    response), ``metadata`` (string map, echoed back).
+    response), ``metadata`` (string map, echoed back),
+    ``idempotency_key`` (resubmission-safe execute-at-most-once
+    handle: duplicates coalesce onto the in-flight execution or
+    answer from the settled-result memo with ``idempotent_hit``).
 ``stats``    -> the live :class:`~repro.driver.ServiceStats` snapshot.
 ``ping``     -> liveness probe.
 ``drain``    -> stop admitting, wait for in-flight work, stay alive.
@@ -31,14 +34,19 @@ Methods:
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..bench.objsize import reduction_percent
 from ..driver import DriverSession, FunctionJob
 from ..driver.types import FunctionResult
+from ..faultinject import fire
 from ..rolag import RolagConfig
+from .journal import JobJournal
 from .protocol import (
     ProtocolError,
     Responder,
@@ -53,9 +61,14 @@ from .scheduler import (
     AdmissionController,
     Scheduler,
 )
+from .supervisor import GENERATION_ENV, RESTARTS_ENV
 
 #: Refuse single submissions beyond this many bytes of source text.
 MAX_SOURCE_BYTES = 1 << 20
+
+#: Settled idempotency keys remembered for duplicate answers (bounds
+#: the memo; oldest keys fall off first).
+IDEMPOTENCY_MEMO_CAP = 1024
 
 
 @dataclass
@@ -77,6 +90,10 @@ class ServeConfig:
     dedupe: bool = True
     max_queue: int = DEFAULT_MAX_QUEUE
     tenant_quota: int = DEFAULT_TENANT_QUOTA
+    #: Write-ahead job journal directory (None = no durability).
+    journal_dir: Optional[str] = None
+    #: ``always`` | ``batch`` | ``off`` -- see :mod:`repro.serve.journal`.
+    journal_sync: str = "batch"
 
     def rolag_config(self) -> RolagConfig:
         return RolagConfig(
@@ -130,6 +147,16 @@ class OptimizeService:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
+        #: Journal first: a bad journal directory must fail the boot
+        #: before a worker pool exists to leak.
+        self._journal: Optional[JobJournal] = None
+        if self.config.journal_dir:
+            self._journal = JobJournal(
+                self.config.journal_dir, sync=self.config.journal_sync
+            )
+        durable = (
+            self._journal is not None and self.config.journal_sync == "always"
+        )
         session = DriverSession(
             self.config.rolag_config(),
             workers=self.config.workers,
@@ -141,9 +168,11 @@ class OptimizeService:
             retries=self.config.retries,
             retry_backoff=self.config.retry_backoff,
             quarantine_file=self.config.quarantine_file,
+            quarantine_fsync=durable,
             fault_plan=self.config.fault_plan,
             dedupe=self.config.dedupe,
         )
+        session.on_respawn = self._on_pool_respawn
         self.scheduler = Scheduler(
             session,
             admission=AdmissionController(
@@ -152,12 +181,18 @@ class OptimizeService:
             ),
         )
         self._lifecycle_lock = threading.Lock()
+        #: Idempotency bookkeeping: key -> waiters piggybacking on the
+        #: in-flight leader, and key -> settled result memo.
+        self._idem_lock = threading.Lock()
+        self._idem_inflight: Dict[str, List[Tuple[object, Responder, bool]]] = {}
+        self._idem_done: "OrderedDict[str, FunctionResult]" = OrderedDict()
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self, threaded: bool = True) -> "OptimizeService":
         """Boot the scheduler; with ``threaded=False`` tests drive
         :meth:`pump_once` themselves."""
+        fire("serve.boot")
         self.scheduler.start(threaded=threaded)
         return self
 
@@ -176,13 +211,38 @@ class OptimizeService:
     def stop(self, drain_timeout: Optional[float] = None) -> None:
         with self._lifecycle_lock:
             self.scheduler.stop(drain_timeout=drain_timeout)
+            if self._journal is not None:
+                self._journal.close()
 
     @property
     def alive(self) -> bool:
         return not self.scheduler.closed
 
+    def _on_pool_respawn(self, count: int) -> None:
+        """Session restart hook: make partial restarts operator-visible."""
+        print(
+            f"repro serve: worker pool respawned (respawn #{count})",
+            file=sys.stderr, flush=True,
+        )
+
     def stats_snapshot(self) -> Dict[str, object]:
-        return self.scheduler.snapshot()
+        snap = self.scheduler.snapshot()
+        if self._journal is not None:
+            snap["journal"] = self._journal.counters()
+        generation = os.environ.get(GENERATION_ENV)
+        if generation is not None:
+            try:
+                restarts = int(os.environ.get(RESTARTS_ENV, "0"))
+            except ValueError:
+                restarts = 0
+            try:
+                snap["supervisor"] = {
+                    "generation": int(generation),
+                    "restarts": restarts,
+                }
+            except ValueError:
+                pass
+        return snap
 
     # -- request handling ---------------------------------------------------
 
@@ -253,14 +313,58 @@ class OptimizeService:
         self, req_id: object, params: Dict[str, object], respond: Responder
     ) -> None:
         try:
-            job, tenant, emit_ir = self._job_from_params(params)
+            job, tenant, emit_ir, idem_key = self._job_from_params(params)
         except ProtocolError as error:
             self.scheduler.record_invalid()
             respond(error_response(req_id, error.kind, str(error)))
             return
 
+        if idem_key is not None:
+            with self._idem_lock:
+                memo = self._idem_done.get(idem_key)
+                if memo is not None:
+                    # A resubmission of a key that already settled:
+                    # answer from the memo, execute nothing.
+                    self.scheduler.record_idempotent_hit()
+                    payload = result_payload(memo, emit_ir)
+                    payload["idempotent_hit"] = True
+                    respond(ok_response(req_id, payload))
+                    return
+                waiters = self._idem_inflight.get(idem_key)
+                if waiters is not None:
+                    # The key's leader is still executing: piggyback.
+                    self.scheduler.record_idempotent_hit()
+                    waiters.append((req_id, respond, emit_ir))
+                    return
+                self._idem_inflight[idem_key] = []
+
+        # Journal *before* the scheduler can ack: a crash between the
+        # append and the ack costs one harmless replay, the opposite
+        # order would lose an acknowledged job.  Live path only --
+        # these fault sites never fire during journal replay, or a
+        # kill plan would re-trigger every generation and the journal
+        # could never drain.
+        seq = None
+        if self._journal is not None:
+            seq = self._journal.append_admit(
+                req_id=req_id,
+                tenant=tenant,
+                name=job.name,
+                fmt="ir" if job.ir_text is not None else "c",
+                text=job.text,
+                metadata=dict(job.metadata),
+                emit_ir=emit_ir,
+                idempotency_key=idem_key,
+            )
+        fire("serve.admitted")
+
         def on_complete(result: FunctionResult, entry) -> None:
+            fire("serve.result")
             respond(ok_response(req_id, result_payload(result, emit_ir)))
+            if idem_key is not None:
+                self._settle_idempotency(idem_key, result)
+            if seq is not None:
+                self._journal.record_done(seq)
 
         rejection = self.scheduler.offer(job, tenant, on_complete)
         if rejection is not None:
@@ -271,12 +375,111 @@ class OptimizeService:
                 "shutting_down": "service is draining; no new work "
                 "admitted",
             }
+            message = messages[rejection]
+            if seq is not None:
+                self._journal.record_done(seq)
+            if idem_key is not None:
+                self._fail_idempotency_leader(idem_key, rejection, message)
             respond(
                 error_response(
-                    req_id, rejection, messages[rejection],
+                    req_id, rejection, message,
                     data={"tenant": tenant},
                 )
             )
+
+    # -- idempotency ---------------------------------------------------------
+
+    def _settle_idempotency(self, key: str, result: FunctionResult) -> None:
+        """The key's leader finished: memoize, answer the waiters."""
+        with self._idem_lock:
+            waiters = self._idem_inflight.pop(key, [])
+            self._idem_done[key] = result
+            while len(self._idem_done) > IDEMPOTENCY_MEMO_CAP:
+                self._idem_done.popitem(last=False)
+        for w_id, w_respond, w_emit in waiters:
+            payload = result_payload(result, w_emit)
+            payload["idempotent_hit"] = True
+            try:
+                w_respond(ok_response(w_id, payload))
+            except Exception:  # pragma: no cover - a broken responder
+                pass  # must not strand the remaining waiters
+
+    def _fail_idempotency_leader(
+        self, key: str, rejection: str, message: str
+    ) -> None:
+        """The key's leader was refused admission: fail any waiters."""
+        with self._idem_lock:
+            waiters = self._idem_inflight.pop(key, [])
+        for w_id, w_respond, _ in waiters:
+            try:
+                w_respond(error_response(w_id, rejection, message))
+            except Exception:  # pragma: no cover - see above
+                pass
+
+    # -- journal replay ------------------------------------------------------
+
+    def replay_journal(self, write_line=None) -> int:
+        """Resubmit every admitted-but-unanswered job the journal holds.
+
+        Transports call this once at boot, after announcing readiness.
+        Replayed jobs re-enter through forced admission (they were
+        already admitted once; live watermarks do not apply) and their
+        responses -- carrying the *original* JSON-RPC request ids plus
+        a ``"replayed": true`` marker -- go down ``write_line`` (None
+        discards them: the HTTP transport has no pipe to a waiting
+        client).  Structural caching makes the replay mostly free: a
+        job that finished computing before the crash re-resolves as a
+        cache hit.  Returns the number of jobs resubmitted.
+        """
+        if self._journal is None:
+            return 0
+        replayed = 0
+        for record in self._journal.replay_records():
+            job = FunctionJob(
+                name=record.name,
+                ir_text=record.text if record.fmt == "ir" else None,
+                c_source=record.text if record.fmt == "c" else None,
+                metadata=tuple(sorted(record.metadata.items())),
+            )
+            key = record.idempotency_key
+            if key is not None:
+                with self._idem_lock:
+                    if (
+                        key not in self._idem_done
+                        and key not in self._idem_inflight
+                    ):
+                        self._idem_inflight[key] = []
+
+            def on_complete(
+                result: FunctionResult,
+                entry,
+                _seq=record.seq,
+                _id=record.req_id,
+                _emit=record.emit_ir,
+                _key=key,
+            ) -> None:
+                # Deliberately no fire("serve.result") here: replay
+                # must converge even under a kill plan.
+                payload = result_payload(result, _emit)
+                payload["replayed"] = True
+                if write_line is not None:
+                    write_line(encode_line(ok_response(_id, payload)))
+                if _key is not None:
+                    self._settle_idempotency(_key, result)
+                self._journal.record_done(_seq)
+
+            rejection = self.scheduler.offer(
+                job, record.tenant, on_complete, force=True
+            )
+            if rejection is not None:
+                # Draining or closed: leave the record (and the rest)
+                # live for the next generation.
+                if key is not None:
+                    with self._idem_lock:
+                        self._idem_inflight.pop(key, None)
+                break
+            replayed += 1
+        return replayed
 
     @staticmethod
     def _job_from_params(params: Dict[str, object]):
@@ -308,10 +511,17 @@ class OptimizeService:
             raise ProtocolError("params", "metadata must map strings to "
                                 "strings")
         emit_ir = bool(params.get("emit_ir", False))
+        idem_key = params.get("idempotency_key")
+        if idem_key is not None and (
+            not isinstance(idem_key, str) or not idem_key
+        ):
+            raise ProtocolError(
+                "params", "idempotency_key must be a non-empty string"
+            )
         job = FunctionJob(
             name=name,
             ir_text=text if ir is not None else None,
             c_source=text if c_source is not None else None,
             metadata=tuple(sorted(metadata.items())),
         )
-        return job, tenant, emit_ir
+        return job, tenant, emit_ir, idem_key

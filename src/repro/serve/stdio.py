@@ -76,6 +76,20 @@ def serve_stdio(
         print("repro serve: ready (stdio)", file=log, flush=True)
     except (ValueError, OSError):  # pragma: no cover - stderr closed
         pass
+    # Crash recovery: resubmit whatever a dead predecessor journalled
+    # but never answered.  Replayed responses stream down the same
+    # pipe under their original request ids, interleaved with live
+    # traffic -- a client that survived the daemon (supervised mode)
+    # is still waiting on exactly those ids.
+    replayed = service.replay_journal(write_line)
+    if replayed:
+        try:
+            print(
+                f"repro serve: replaying {replayed} journalled job(s)",
+                file=log, flush=True,
+            )
+        except (ValueError, OSError):  # pragma: no cover - stderr closed
+            pass
     try:
         for line in rfile:
             if not service.handle_line(line, write_line):
